@@ -1,0 +1,524 @@
+//! The configured AoA estimation pipeline: snapshots → pseudospectrum.
+//!
+//! Bundles the covariance estimation, domain transform (mode space for
+//! circular arrays), decorrelation (forward–backward / spatial
+//! smoothing), source counting and spectrum computation into one
+//! configurable estimator, so the SecureAngle AP pipeline and every
+//! experiment share a single code path.
+
+use crate::beamform::{bartlett_spectrum, capon_spectrum};
+use crate::manifold::ScanSpace;
+use crate::music::music_spectrum_from_eig;
+use crate::pseudospectrum::Pseudospectrum;
+use crate::source_count::SourceCount;
+use sa_array::geometry::{Array, ArrayKind};
+use sa_array::modespace::ModeSpace;
+use sa_linalg::eigen::eigh;
+use sa_linalg::CMat;
+use sa_sigproc::covariance::{forward_backward, sample_covariance, spatial_smooth};
+
+/// Spectrum estimation algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// MUSIC (the paper's choice).
+    #[default]
+    Music,
+    /// Bartlett delay-and-sum (baseline).
+    Bartlett,
+    /// Capon / MVDR (baseline).
+    Capon,
+}
+
+/// Decorrelation preprocessing applied to the covariance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Smoothing {
+    /// No preprocessing: raw sample covariance. Fails on coherent
+    /// multipath (ablation E8b shows this).
+    None,
+    /// Forward–backward averaging only.
+    ForwardBackward,
+    /// Forward–backward averaging then spatial smoothing to subarrays of
+    /// `sub_len` elements (the default; decorrelates coherent paths).
+    FbSpatial {
+        /// Subarray length; fewer elements ⇒ more decorrelation, less
+        /// aperture.
+        sub_len: usize,
+    },
+}
+
+/// How circular arrays are scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CircularHandling {
+    /// Davies phase-mode transform to a virtual ULA (default): enables
+    /// smoothing, hence robust under coherent multipath.
+    #[default]
+    ModeSpace,
+    /// Scan the physical circular manifold directly. No smoothing is
+    /// possible; kept for ablation E8b.
+    Physical,
+}
+
+/// Estimator configuration. `Default` reproduces the paper's pipeline:
+/// MUSIC, MDL source counting, FB + spatial smoothing, 1° grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AoaConfig {
+    /// Spectrum algorithm.
+    pub method: Method,
+    /// Signal-subspace dimension policy (MUSIC only).
+    pub source_count: SourceCount,
+    /// Decorrelation preprocessing.
+    pub smoothing: Smoothing,
+    /// Circular-array handling.
+    pub circular: CircularHandling,
+    /// Scan-grid resolution, degrees.
+    pub grid_step_deg: f64,
+    /// Capon diagonal loading (fraction of mean eigenvalue).
+    pub capon_loading: f64,
+}
+
+impl Default for AoaConfig {
+    fn default() -> Self {
+        Self {
+            method: Method::Music,
+            source_count: SourceCount::Mdl,
+            smoothing: Smoothing::FbSpatial { sub_len: 0 }, // 0 = auto
+            circular: CircularHandling::ModeSpace,
+            grid_step_deg: 1.0,
+            capon_loading: 1e-6,
+        }
+    }
+}
+
+/// One candidate arrival direction: a MUSIC peak annotated with the
+/// actual received power toward it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedPeak {
+    /// Presentation angle, degrees.
+    pub angle_deg: f64,
+    /// MUSIC pseudospectrum value (orthogonality sharpness).
+    pub music_value: f64,
+    /// Bartlett power toward this direction (physical path strength).
+    pub power: f64,
+}
+
+/// Result of one AoA estimation.
+#[derive(Debug, Clone)]
+pub struct AoaEstimate {
+    /// The pseudospectrum over the presentation domain.
+    pub spectrum: Pseudospectrum,
+    /// Signal-subspace dimension used.
+    pub n_sources: usize,
+    /// Eigenvalues (ascending) of the analysed covariance — useful for
+    /// diagnostics and the source-count ablation.
+    pub eigenvalues: Vec<f64>,
+    /// MUSIC peaks ranked by descending Bartlett power.
+    pub ranked_peaks: Vec<RankedPeak>,
+}
+
+impl AoaEstimate {
+    /// The direct-path bearing in presentation degrees.
+    ///
+    /// MUSIC peak *heights* measure steering-vector orthogonality to the
+    /// noise subspace, not path power, so when the model order is
+    /// under-fit (heavy multipath) the tallest needle can be a
+    /// reflection. The robust reading — and what makes the paper's
+    /// "highest peak is the direct path most of the time" hold — is to
+    /// take MUSIC's peaks as *candidate directions* and rank them by the
+    /// received power toward each (Bartlett on the same covariance).
+    /// Falls back to the raw spectrum maximum when no peaks were
+    /// extracted.
+    pub fn bearing_deg(&self) -> f64 {
+        self.ranked_peaks
+            .first()
+            .map(|p| p.angle_deg)
+            .unwrap_or_else(|| self.spectrum.peak().0)
+    }
+}
+
+/// Estimate from raw per-antenna snapshots (rows = antennas, columns =
+/// samples).
+pub fn estimate(snapshots: &CMat, array: &Array, cfg: &AoaConfig) -> AoaEstimate {
+    let n = snapshots.cols();
+    let r = sample_covariance(snapshots);
+    estimate_from_covariance(&r, n, array, cfg)
+}
+
+/// Estimate from a precomputed physical-domain covariance and the number
+/// of snapshots that formed it.
+pub fn estimate_from_covariance(
+    r: &CMat,
+    n_snapshots: usize,
+    array: &Array,
+    cfg: &AoaConfig,
+) -> AoaEstimate {
+    assert_eq!(
+        r.rows(),
+        array.len(),
+        "estimate: covariance is {}x{} for a {}-element array",
+        r.rows(),
+        r.cols(),
+        array.len()
+    );
+
+    // 1. Move to the analysis domain.
+    let (mut ra, mut space) = match (array.kind(), cfg.circular) {
+        (ArrayKind::Linear, _) => (r.clone(), ScanSpace::physical(array)),
+        (ArrayKind::Circular, CircularHandling::Physical) => {
+            (r.clone(), ScanSpace::physical(array))
+        }
+        (ArrayKind::Circular, CircularHandling::ModeSpace) => {
+            let ms = ModeSpace::for_array(array);
+            let rv = ms.transform_cov(r);
+            (rv, ScanSpace::virtual_ula(array))
+        }
+    };
+
+    // 2. Decorrelation (skipped for the physical circular manifold, which
+    //    has no shift structure).
+    let smoothable = !matches!(space, ScanSpace::Circular { .. });
+    match (cfg.smoothing, smoothable) {
+        (Smoothing::None, _) | (_, false) => {}
+        (Smoothing::ForwardBackward, true) => {
+            ra = forward_backward(&ra);
+        }
+        (Smoothing::FbSpatial { sub_len }, true) => {
+            let m = ra.rows();
+            // Auto subarray size: 3/4 of the aperture, at least 3, at
+            // most m. Leaves K = m − L + 1 subarrays for decorrelation.
+            let l = if sub_len == 0 {
+                ((3 * m) / 4).clamp(3.min(m), m)
+            } else {
+                sub_len.min(m)
+            };
+            ra = spatial_smooth(&forward_backward(&ra), l);
+            if l < m {
+                space = space.truncated(l);
+            }
+        }
+    }
+
+    // 3. Eigenstructure and source count. The count is additionally
+    //    capped to keep a ≥2-dimensional noise subspace whenever the
+    //    aperture allows (m ≥ 4): a 1-dimensional noise subspace makes
+    //    MUSIC peaks fragile under the residual inter-path correlation
+    //    that smoothing cannot fully remove.
+    let eig = eigh(&ra);
+    let m = eig.values.len();
+    let n_sources = if m >= 2 {
+        let k = cfg.source_count.estimate(&eig.values, n_snapshots);
+        if m >= 4 {
+            k.min(m - 2)
+        } else {
+            k
+        }
+    } else {
+        1
+    };
+
+    // 4. Spectrum.
+    let spectrum = match cfg.method {
+        Method::Music => music_spectrum_from_eig(&eig, &space, n_sources.min(m - 1).max(1), cfg.grid_step_deg),
+        Method::Bartlett => bartlett_spectrum(&ra, &space, cfg.grid_step_deg),
+        Method::Capon => capon_spectrum(&ra, &space, cfg.grid_step_deg, cfg.capon_loading),
+    };
+
+    // 5. Candidate peaks ranked by received power toward them.
+    let ranked_peaks = rank_peaks(&spectrum, &ra, &space);
+
+    AoaEstimate {
+        spectrum,
+        n_sources,
+        eigenvalues: eig.values,
+        ranked_peaks,
+    }
+}
+
+/// Extract the spectrum's peaks and rank them by Bartlett power on the
+/// analysis covariance (descending).
+fn rank_peaks(
+    spectrum: &Pseudospectrum,
+    ra: &CMat,
+    space: &ScanSpace,
+) -> Vec<super::estimator::RankedPeak> {
+    use sa_linalg::matrix::{vdot, vnorm};
+    let peaks = spectrum.find_peaks(1.0, 8);
+    let mut ranked: Vec<RankedPeak> = peaks
+        .iter()
+        .map(|p| {
+            let az = space.azimuth_of_present(p.angle_deg);
+            let a = space.steering(az);
+            let rav = ra.matvec(&a);
+            let power = (vdot(&a, &rav).re / vnorm(&a).powi(2).max(1e-30)).max(0.0);
+            RankedPeak {
+                angle_deg: p.angle_deg,
+                music_value: p.value,
+                power,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap());
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudospectrum::angle_diff_deg;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sa_array::geometry::broadside_deg_to_azimuth;
+    use sa_linalg::complex::C64;
+    use sa_sigproc::noise::add_noise;
+
+    fn coherent_snapshots(
+        array: &Array,
+        paths: &[(f64, C64)], // (azimuth rad, gain)
+        n: usize,
+        noise_var: f64,
+        seed: u64,
+    ) -> CMat {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let steers: Vec<Vec<C64>> = paths.iter().map(|&(az, _)| array.steering(az)).collect();
+        let mut x = CMat::from_fn(array.len(), n, |m, t| {
+            let s = C64::cis(1.3 * t as f64 + 0.2 * ((t * t) % 17) as f64);
+            paths
+                .iter()
+                .enumerate()
+                .map(|(p, &(_, g))| steers[p][m] * g * s)
+                .sum()
+        });
+        if noise_var > 0.0 {
+            for m in 0..x.rows() {
+                let mut row = x.row(m);
+                add_noise(&mut rng, &mut row, noise_var);
+                for t in 0..x.cols() {
+                    x[(m, t)] = row[t];
+                }
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn default_config_single_path_linear() {
+        let array = Array::paper_linear(8);
+        let az = broadside_deg_to_azimuth(33.0);
+        let x = coherent_snapshots(&array, &[(az, C64::new(1.0, 0.0))], 160, 0.01, 1);
+        let est = estimate(&x, &array, &AoaConfig::default());
+        assert!(
+            (est.bearing_deg() - 33.0).abs() < 2.0,
+            "bearing {}",
+            est.bearing_deg()
+        );
+        assert!(est.n_sources >= 1);
+    }
+
+    #[test]
+    fn default_config_single_path_circular() {
+        let array = Array::paper_octagon();
+        let x = coherent_snapshots(
+            &array,
+            &[(200f64.to_radians(), C64::new(1.0, 0.0))],
+            160,
+            0.01,
+            2,
+        );
+        let est = estimate(&x, &array, &AoaConfig::default());
+        assert!(
+            angle_diff_deg(est.bearing_deg(), 200.0, true) < 4.0,
+            "bearing {}",
+            est.bearing_deg()
+        );
+    }
+
+    #[test]
+    fn coherent_two_path_resolved_by_default_pipeline_linear() {
+        let array = Array::paper_linear(8);
+        let x = coherent_snapshots(
+            &array,
+            &[
+                (broadside_deg_to_azimuth(-25.0), C64::new(1.0, 0.0)),
+                (broadside_deg_to_azimuth(35.0), C64::from_polar(0.7, 2.1)),
+            ],
+            256,
+            1e-3,
+            3,
+        );
+        let est = estimate(&x, &array, &AoaConfig::default());
+        let peaks = est.spectrum.find_peaks(1.0, 4);
+        assert!(
+            peaks.iter().any(|p| (p.angle_deg + 25.0).abs() < 4.0),
+            "missing −25°: {:?}",
+            peaks
+        );
+        assert!(
+            peaks.iter().any(|p| (p.angle_deg - 35.0).abs() < 4.0),
+            "missing +35°: {:?}",
+            peaks
+        );
+    }
+
+    #[test]
+    fn no_smoothing_fails_on_coherent_pair() {
+        let array = Array::paper_linear(8);
+        let x = coherent_snapshots(
+            &array,
+            &[
+                (broadside_deg_to_azimuth(-25.0), C64::new(1.0, 0.0)),
+                (broadside_deg_to_azimuth(35.0), C64::from_polar(0.7, 2.1)),
+            ],
+            256,
+            1e-3,
+            3,
+        );
+        let cfg = AoaConfig {
+            smoothing: Smoothing::None,
+            source_count: SourceCount::Fixed(2),
+            ..Default::default()
+        };
+        let est = estimate(&x, &array, &cfg);
+        let peaks = est.spectrum.find_peaks(1.0, 4);
+        let both = peaks.iter().any(|p| (p.angle_deg + 25.0).abs() < 3.0)
+            && peaks.iter().any(|p| (p.angle_deg - 35.0).abs() < 3.0);
+        assert!(!both, "raw MUSIC should not resolve coherent pair: {:?}", peaks);
+    }
+
+    #[test]
+    fn bartlett_and_capon_methods_run() {
+        let array = Array::paper_linear(8);
+        let az = broadside_deg_to_azimuth(-10.0);
+        let x = coherent_snapshots(&array, &[(az, C64::new(1.0, 0.0))], 128, 0.01, 4);
+        for method in [Method::Bartlett, Method::Capon] {
+            let cfg = AoaConfig {
+                method,
+                smoothing: Smoothing::None,
+                ..Default::default()
+            };
+            let est = estimate(&x, &array, &cfg);
+            assert!(
+                (est.bearing_deg() + 10.0).abs() < 3.0,
+                "{:?} bearing {}",
+                method,
+                est.bearing_deg()
+            );
+        }
+    }
+
+    #[test]
+    fn physical_circular_handling_single_path() {
+        let array = Array::paper_octagon();
+        let x = coherent_snapshots(
+            &array,
+            &[(80f64.to_radians(), C64::new(1.0, 0.0))],
+            128,
+            0.01,
+            5,
+        );
+        let cfg = AoaConfig {
+            circular: CircularHandling::Physical,
+            smoothing: Smoothing::None,
+            ..Default::default()
+        };
+        let est = estimate(&x, &array, &cfg);
+        assert!(
+            angle_diff_deg(est.bearing_deg(), 80.0, true) < 3.0,
+            "bearing {}",
+            est.bearing_deg()
+        );
+    }
+
+    #[test]
+    fn explicit_subarray_length_respected() {
+        let array = Array::paper_linear(8);
+        let az = broadside_deg_to_azimuth(0.0);
+        let x = coherent_snapshots(&array, &[(az, C64::new(1.0, 0.0))], 64, 0.01, 6);
+        let cfg = AoaConfig {
+            smoothing: Smoothing::FbSpatial { sub_len: 5 },
+            ..Default::default()
+        };
+        let est = estimate(&x, &array, &cfg);
+        // 5-element subarray ⇒ 4 noise+signal eigenvalues.
+        assert_eq!(est.eigenvalues.len(), 5);
+    }
+
+    #[test]
+    fn two_antenna_array_works_end_to_end() {
+        // Fig-7's 2-antenna case: still produces a (broad) spectrum.
+        let array = Array::paper_linear(2);
+        let az = broadside_deg_to_azimuth(20.0);
+        let x = coherent_snapshots(&array, &[(az, C64::new(1.0, 0.0))], 64, 0.01, 7);
+        let cfg = AoaConfig {
+            smoothing: Smoothing::None,
+            source_count: SourceCount::Fixed(1),
+            ..Default::default()
+        };
+        let est = estimate(&x, &array, &cfg);
+        assert!(
+            (est.bearing_deg() - 20.0).abs() < 6.0,
+            "bearing {}",
+            est.bearing_deg()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "covariance is")]
+    fn dimension_mismatch_panics() {
+        let array = Array::paper_linear(4);
+        let r = CMat::identity(6);
+        let _ = estimate_from_covariance(&r, 10, &array, &AoaConfig::default());
+    }
+
+    #[test]
+    fn ranked_peaks_are_power_ordered_and_include_direct() {
+        // Strong path at 40°, weak at 200°: the ranked list must put the
+        // strong one first even though MUSIC needle heights could go
+        // either way.
+        let array = Array::paper_octagon();
+        let x = coherent_snapshots(
+            &array,
+            &[
+                (40f64.to_radians(), C64::new(1.0, 0.0)),
+                (200f64.to_radians(), C64::from_polar(0.4, 1.0)),
+            ],
+            256,
+            1e-4,
+            42,
+        );
+        let est = estimate(&x, &array, &AoaConfig::default());
+        assert!(!est.ranked_peaks.is_empty());
+        for w in est.ranked_peaks.windows(2) {
+            assert!(w[0].power >= w[1].power, "not power-sorted: {:?}", est.ranked_peaks);
+        }
+        assert!(
+            angle_diff_deg(est.ranked_peaks[0].angle_deg, 40.0, true) < 4.0,
+            "strongest ranked peak at {}",
+            est.ranked_peaks[0].angle_deg
+        );
+        assert!(
+            est.ranked_peaks
+                .iter()
+                .any(|p| angle_diff_deg(p.angle_deg, 200.0, true) < 8.0),
+            "weak path missing from candidates: {:?}",
+            est.ranked_peaks
+        );
+    }
+
+    #[test]
+    fn bearing_falls_back_to_spectrum_max_without_peaks() {
+        // A flat spectrum has no prominent peaks; bearing_deg must not
+        // panic and should return the spectrum max.
+        let spec = crate::pseudospectrum::Pseudospectrum::new(
+            (0..360).map(|i| i as f64).collect(),
+            vec![1.0; 360],
+            true,
+        );
+        let est = AoaEstimate {
+            spectrum: spec,
+            n_sources: 1,
+            eigenvalues: vec![1.0; 5],
+            ranked_peaks: Vec::new(),
+        };
+        let b = est.bearing_deg();
+        assert!((0.0..360.0).contains(&b));
+    }
+}

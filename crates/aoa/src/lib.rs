@@ -1,0 +1,35 @@
+//! # sa-aoa — angle-of-arrival estimation
+//!
+//! The paper's signal-processing contribution: from a per-packet antenna
+//! correlation matrix to a pseudospectrum whose peaks are the arrival
+//! directions.
+//!
+//! * [`pseudospectrum`] — the spectrum type, peak extraction with
+//!   topographic prominence, dB presentation;
+//! * [`manifold`] — scan spaces (physical ULA / physical circle / Davies
+//!   virtual ULA) with the paper's presentation conventions;
+//! * [`music`] — MUSIC (Schmidt), the estimator the paper uses;
+//! * [`beamform`] — Bartlett and Capon baselines;
+//! * [`two_antenna`] — the paper's Equation 1 (and its multipath
+//!   breakdown);
+//! * [`source_count`] — AIC/MDL signal-subspace dimension estimation;
+//! * [`estimator`] — the configured end-to-end pipeline shared by the AP
+//!   implementation and all experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beamform;
+pub mod estimator;
+pub mod manifold;
+pub mod music;
+pub mod pseudospectrum;
+pub mod source_count;
+pub mod two_antenna;
+
+pub use estimator::{estimate, estimate_from_covariance, AoaConfig, AoaEstimate, Method, Smoothing};
+pub use manifold::ScanSpace;
+pub use music::music_spectrum;
+pub use pseudospectrum::{angle_diff_deg, Peak, Pseudospectrum};
+pub use source_count::SourceCount;
+pub use two_antenna::two_antenna_bearing;

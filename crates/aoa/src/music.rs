@@ -1,0 +1,343 @@
+//! The MUSIC pseudospectrum (Schmidt 1986) — the paper's AoA estimator.
+//!
+//! Given an `M × M` covariance `R`, its eigendecomposition splits into a
+//! `K`-dimensional signal subspace (largest eigenvalues) and an
+//! `(M − K)`-dimensional noise subspace `E_n`. Steering vectors of true
+//! arrival directions are orthogonal to `E_n`, so the scan function
+//!
+//! ```text
+//! P(θ) = (a^H a) / (a^H E_n E_n^H a)
+//! ```
+//!
+//! peaks sharply at the arrival angles. The numerator makes the spectrum
+//! invariant to steering-vector norm, which matters for truncated and
+//! mode-space manifolds.
+
+use crate::manifold::ScanSpace;
+use crate::pseudospectrum::Pseudospectrum;
+use sa_linalg::eigen::EigH;
+use sa_linalg::matrix::{vdot, vnorm};
+use sa_linalg::CMat;
+
+/// Compute the MUSIC pseudospectrum from a covariance already in the
+/// scan space's domain (physical or mode space, possibly smoothed).
+///
+/// * `n_sources` — signal-subspace dimension `K`, `1 ..= M − 1`;
+/// * `step_deg` — scan-grid resolution in degrees.
+///
+/// Panics if dimensions disagree or `n_sources` leaves no noise subspace.
+pub fn music_spectrum(
+    r: &CMat,
+    space: &ScanSpace,
+    n_sources: usize,
+    step_deg: f64,
+) -> Pseudospectrum {
+    let eig = sa_linalg::eigen::eigh(r);
+    music_spectrum_from_eig(&eig, space, n_sources, step_deg)
+}
+
+/// [`music_spectrum`] when the eigendecomposition is already available
+/// (the estimator reuses it for source counting).
+pub fn music_spectrum_from_eig(
+    eig: &EigH,
+    space: &ScanSpace,
+    n_sources: usize,
+    step_deg: f64,
+) -> Pseudospectrum {
+    let m = eig.values.len();
+    assert_eq!(
+        m,
+        space.len(),
+        "music: covariance dimension {} vs manifold {}",
+        m,
+        space.len()
+    );
+    assert!(
+        n_sources >= 1 && n_sources < m,
+        "music: n_sources {} must be in 1..{}",
+        n_sources,
+        m
+    );
+    // Noise subspace: eigenvectors of the M − K smallest eigenvalues
+    // (ascending order ⇒ the first M − K columns).
+    let n_noise = m - n_sources;
+    let noise: Vec<Vec<_>> = (0..n_noise).map(|k| eig.vector(k)).collect();
+
+    let grid = space.grid(step_deg);
+    let mut angles = Vec::with_capacity(grid.len());
+    let mut values = Vec::with_capacity(grid.len());
+    for &az in &grid {
+        let a = space.steering(az);
+        let num = vnorm(&a).powi(2);
+        let mut denom = 0.0;
+        for e in &noise {
+            denom += vdot(e, &a).norm_sqr();
+        }
+        // A perfectly orthogonal steering vector would give 0; floor to
+        // keep the spectrum finite (the cap is ~300 dB, far above any
+        // physical dynamic range).
+        let denom = denom.max(num * 1e-30);
+        angles.push(space.present_deg(az));
+        values.push(num / denom);
+    }
+    Pseudospectrum::new(angles, values, space.wraps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudospectrum::angle_diff_deg;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sa_array::geometry::Array;
+    use sa_linalg::complex::C64;
+    use sa_sigproc::covariance::{sample_covariance, smooth_fb};
+    use sa_sigproc::noise::add_noise;
+
+    /// Snapshot matrix for paths (azimuth, complex gain) sharing one
+    /// symbol stream (coherent) or using independent streams.
+    fn snapshots(
+        array: &Array,
+        paths: &[(f64, C64)],
+        n: usize,
+        coherent: bool,
+        noise_var: f64,
+        seed: u64,
+    ) -> CMat {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let streams: Vec<Vec<C64>> = if coherent {
+            let s = symbol_stream(n, 1);
+            vec![s; paths.len()]
+        } else {
+            (0..paths.len())
+                .map(|i| symbol_stream(n, 100 + i as u64))
+                .collect()
+        };
+        let steers: Vec<Vec<C64>> = paths.iter().map(|&(az, _)| array.steering(az)).collect();
+        let mut x = CMat::zeros(array.len(), n);
+        for t in 0..n {
+            for m in 0..array.len() {
+                let mut acc = C64::new(0.0, 0.0);
+                for (p, &(_, g)) in paths.iter().enumerate() {
+                    acc += steers[p][m] * g * streams[p][t];
+                }
+                x[(m, t)] = acc;
+            }
+        }
+        if noise_var > 0.0 {
+            for t in 0..n {
+                for m in 0..array.len() {
+                    let mut v = [x[(m, t)]];
+                    add_noise(&mut rng, &mut v, noise_var);
+                    x[(m, t)] = v[0];
+                }
+            }
+        }
+        x
+    }
+
+    fn symbol_stream(n: usize, seed: u64) -> Vec<C64> {
+        (0..n)
+            .map(|t| {
+                let k = (t as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed.wrapping_mul(1442695040888963407))
+                    >> 61;
+                C64::cis(std::f64::consts::FRAC_PI_4 + std::f64::consts::FRAC_PI_2 * (k % 4) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_source_ula_exact_recovery() {
+        let array = Array::paper_linear(8);
+        let space = ScanSpace::physical(&array);
+        for &theta_deg in &[-60.0, -20.0, 0.0, 35.0, 70.0f64] {
+            let az = sa_array::geometry::broadside_deg_to_azimuth(theta_deg);
+            let x = snapshots(&array, &[(az, C64::new(1.0, 0.0))], 128, true, 0.01, 1);
+            let r = sample_covariance(&x);
+            let spec = music_spectrum(&r, &space, 1, 0.5);
+            let (peak, _) = spec.peak();
+            assert!(
+                (peak - theta_deg).abs() <= 1.0,
+                "θ={}: peak at {}",
+                theta_deg,
+                peak
+            );
+        }
+    }
+
+    #[test]
+    fn two_incoherent_sources_resolved() {
+        let array = Array::paper_linear(8);
+        let space = ScanSpace::physical(&array);
+        let az1 = sa_array::geometry::broadside_deg_to_azimuth(-30.0);
+        let az2 = sa_array::geometry::broadside_deg_to_azimuth(25.0);
+        let x = snapshots(
+            &array,
+            &[(az1, C64::new(1.0, 0.0)), (az2, C64::new(0.8, 0.2))],
+            256,
+            false,
+            0.01,
+            2,
+        );
+        let r = sample_covariance(&x);
+        let spec = music_spectrum(&r, &space, 2, 0.5);
+        let peaks = spec.find_peaks(3.0, 4);
+        assert!(peaks.len() >= 2, "peaks: {:?}", peaks);
+        let found: Vec<f64> = peaks.iter().take(2).map(|p| p.angle_deg).collect();
+        for target in [-30.0, 25.0] {
+            assert!(
+                found.iter().any(|&f| (f - target).abs() < 2.0),
+                "no peak near {} in {:?}",
+                target,
+                found
+            );
+        }
+    }
+
+    #[test]
+    fn coherent_pair_unresolved_without_smoothing() {
+        // The phantom-peak failure mode that motivates smoothing: one
+        // merged peak between the arrivals (or biased towards the
+        // stronger), not two.
+        let array = Array::paper_linear(8);
+        let space = ScanSpace::physical(&array);
+        let az1 = sa_array::geometry::broadside_deg_to_azimuth(-20.0);
+        let az2 = sa_array::geometry::broadside_deg_to_azimuth(30.0);
+        let x = snapshots(
+            &array,
+            &[
+                (az1, C64::new(1.0, 0.0)),
+                (az2, C64::from_polar(0.9, 2.0)),
+            ],
+            256,
+            true,
+            1e-4,
+            3,
+        );
+        let r = sample_covariance(&x);
+        // MUSIC told the truth (rank 1) would put everything in one peak.
+        let spec = music_spectrum(&r, &space, 2, 0.5);
+        let peaks = spec.find_peaks(3.0, 4);
+        let hit_both = peaks.iter().any(|p| (p.angle_deg + 20.0).abs() < 2.0)
+            && peaks.iter().any(|p| (p.angle_deg - 30.0).abs() < 2.0);
+        assert!(
+            !hit_both,
+            "coherent sources should not be cleanly resolved without smoothing; peaks {:?}",
+            peaks
+        );
+    }
+
+    #[test]
+    fn coherent_pair_resolved_with_fb_smoothing() {
+        let array = Array::paper_linear(8);
+        let az1 = sa_array::geometry::broadside_deg_to_azimuth(-20.0);
+        let az2 = sa_array::geometry::broadside_deg_to_azimuth(30.0);
+        let x = snapshots(
+            &array,
+            &[
+                (az1, C64::new(1.0, 0.0)),
+                (az2, C64::from_polar(0.9, 2.0)),
+            ],
+            256,
+            true,
+            1e-4,
+            4,
+        );
+        let r = sample_covariance(&x);
+        let sub = 6;
+        let rs = smooth_fb(&r, sub);
+        let space = ScanSpace::physical(&array).truncated(sub);
+        let spec = music_spectrum(&rs, &space, 2, 0.5);
+        let peaks = spec.find_peaks(1.0, 4);
+        assert!(
+            peaks.iter().any(|p| (p.angle_deg + 20.0).abs() < 3.0),
+            "missing −20° peak: {:?}",
+            peaks
+        );
+        assert!(
+            peaks.iter().any(|p| (p.angle_deg - 30.0).abs() < 3.0),
+            "missing +30° peak: {:?}",
+            peaks
+        );
+    }
+
+    #[test]
+    fn circular_array_full_azimuth_recovery() {
+        let array = Array::paper_octagon();
+        let space = ScanSpace::physical(&array);
+        for &az_deg in &[0.0, 95.0, 181.0, 275.0f64] {
+            let az = az_deg.to_radians();
+            let x = snapshots(&array, &[(az, C64::new(1.0, 0.0))], 128, true, 0.01, 5);
+            let r = sample_covariance(&x);
+            let spec = music_spectrum(&r, &space, 1, 0.5);
+            let (peak, _) = spec.peak();
+            assert!(
+                angle_diff_deg(peak, az_deg, true) <= 1.5,
+                "az={}: peak at {}",
+                az_deg,
+                peak
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_ula_recovers_azimuth_and_resolves_coherent() {
+        let array = Array::paper_octagon();
+        let ms = sa_array::modespace::ModeSpace::for_array(&array);
+        // Coherent two-path scenario in mode space with FB smoothing.
+        let az1 = 60f64.to_radians();
+        let az2 = 170f64.to_radians();
+        let x = snapshots(
+            &array,
+            &[
+                (az1, C64::new(1.0, 0.0)),
+                (az2, C64::from_polar(0.8, 1.2)),
+            ],
+            256,
+            true,
+            1e-4,
+            6,
+        );
+        let r = sample_covariance(&x);
+        let rv = ms.transform_cov(&r);
+        let sub = 5;
+        let rs = smooth_fb(&rv, sub);
+        let space = ScanSpace::virtual_ula(&array).truncated(sub);
+        let spec = music_spectrum(&rs, &space, 2, 1.0);
+        let peaks = spec.find_peaks(0.5, 4);
+        assert!(
+            peaks
+                .iter()
+                .any(|p| angle_diff_deg(p.angle_deg, 60.0, true) < 8.0),
+            "missing 60° peak: {:?}",
+            peaks
+        );
+        assert!(
+            peaks
+                .iter()
+                .any(|p| angle_diff_deg(p.angle_deg, 170.0, true) < 8.0),
+            "missing 170° peak: {:?}",
+            peaks
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_sources")]
+    fn rejects_full_rank_source_count() {
+        let array = Array::paper_linear(4);
+        let space = ScanSpace::physical(&array);
+        let r = CMat::identity(4);
+        let _ = music_spectrum(&r, &space, 4, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "covariance dimension")]
+    fn rejects_dimension_mismatch() {
+        let array = Array::paper_linear(4);
+        let space = ScanSpace::physical(&array);
+        let r = CMat::identity(6);
+        let _ = music_spectrum(&r, &space, 1, 1.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Pseudospectra: likelihood-versus-angle curves and their peaks.
+//!
+//! "The output of such AoA estimation algorithms … is a pseudospectrum: a
+//! continuous plot of likelihood versus angle. We use the pseudospectrum
+//! as our client signature." (paper §2.1). This module owns that data
+//! type: a sampled spectrum over presentation angles (degrees), peak
+//! extraction with topographic prominence (so multipath reflection peaks
+//! are ranked meaningfully), and dB normalisation matching the paper's
+//! figures (peak at 0 dB).
+
+/// A sampled pseudospectrum.
+///
+/// `angles_deg` is strictly ascending in the *presentation* convention of
+/// the producing array: broadside `[−90°, 90°]` for linear arrays (Figs 6
+/// and 7), `[0°, 360°)` for circular ones (Fig 5). `wraps` records
+/// whether the angular domain is circular, which peak finding and
+/// distance metrics must respect.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pseudospectrum {
+    /// Sample angles, degrees, strictly ascending.
+    pub angles_deg: Vec<f64>,
+    /// Likelihood values, linear scale, non-negative.
+    pub values: Vec<f64>,
+    /// True if the angle domain wraps (circular arrays).
+    pub wraps: bool,
+}
+
+/// One extracted spectrum peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Peak {
+    /// Peak angle, degrees (presentation convention of the spectrum).
+    pub angle_deg: f64,
+    /// Linear value at the peak.
+    pub value: f64,
+    /// Topographic prominence in dB: height above the higher of the two
+    /// saddle points separating this peak from higher terrain.
+    pub prominence_db: f64,
+}
+
+impl Pseudospectrum {
+    /// Build from parallel angle/value arrays. Panics if lengths differ,
+    /// are empty, or angles are not strictly ascending.
+    pub fn new(angles_deg: Vec<f64>, values: Vec<f64>, wraps: bool) -> Self {
+        assert_eq!(angles_deg.len(), values.len(), "Pseudospectrum: length mismatch");
+        assert!(!angles_deg.is_empty(), "Pseudospectrum: empty");
+        assert!(
+            angles_deg.windows(2).all(|w| w[0] < w[1]),
+            "Pseudospectrum: angles must be strictly ascending"
+        );
+        Self {
+            angles_deg,
+            values,
+            wraps,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.angles_deg.len()
+    }
+
+    /// True if the spectrum has no samples (cannot happen through `new`).
+    pub fn is_empty(&self) -> bool {
+        self.angles_deg.is_empty()
+    }
+
+    /// The global maximum as `(angle_deg, value)` — the paper computes
+    /// "the bearing of each client as the angle corresponding to the
+    /// maximum point on its pseudospectrum" (§3.1).
+    pub fn peak(&self) -> (f64, f64) {
+        let (i, v) = self
+            .values
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        (self.angles_deg[i], v)
+    }
+
+    /// Values normalised so the maximum is 1 (returns a copy). Zero
+    /// spectra are returned unchanged.
+    pub fn normalized(&self) -> Self {
+        let m = self.values.iter().cloned().fold(0.0, f64::max);
+        if m <= 0.0 {
+            return self.clone();
+        }
+        Self {
+            angles_deg: self.angles_deg.clone(),
+            values: self.values.iter().map(|v| v / m).collect(),
+            wraps: self.wraps,
+        }
+    }
+
+    /// Values in dB relative to the peak (peak = 0 dB), floored at
+    /// `floor_db` — the presentation used by the paper's Figs 6 and 7.
+    pub fn db(&self, floor_db: f64) -> Vec<f64> {
+        let m = self.values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+        self.values
+            .iter()
+            .map(|&v| {
+                if v <= 0.0 {
+                    floor_db
+                } else {
+                    (10.0 * (v / m).log10()).max(floor_db)
+                }
+            })
+            .collect()
+    }
+
+    /// Linear value at an arbitrary angle, by linear interpolation
+    /// (with wrap-around when the domain is circular).
+    pub fn value_at(&self, angle_deg: f64) -> f64 {
+        let n = self.len();
+        if n == 1 {
+            return self.values[0];
+        }
+        let a = &self.angles_deg;
+        if self.wraps {
+            let span = 360.0;
+            let first = a[0];
+            let x = (angle_deg - first).rem_euclid(span) + first;
+            // Find the segment [a[i], a[i+1]) containing x, with the
+            // closing segment a[n−1] → a[0]+360.
+            match a.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+                Ok(i) => self.values[i],
+                Err(0) => self.values[0],
+                Err(i) if i < n => {
+                    let t = (x - a[i - 1]) / (a[i] - a[i - 1]);
+                    self.values[i - 1] * (1.0 - t) + self.values[i] * t
+                }
+                Err(_) => {
+                    // Between the last sample and the wrapped first one.
+                    let t = (x - a[n - 1]) / (first + span - a[n - 1]);
+                    self.values[n - 1] * (1.0 - t) + self.values[0] * t
+                }
+            }
+        } else {
+            let x = angle_deg.clamp(a[0], a[n - 1]);
+            match a.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+                Ok(i) => self.values[i],
+                Err(0) => self.values[0],
+                Err(i) if i < n => {
+                    let t = (x - a[i - 1]) / (a[i] - a[i - 1]);
+                    self.values[i - 1] * (1.0 - t) + self.values[i] * t
+                }
+                Err(_) => self.values[n - 1],
+            }
+        }
+    }
+
+    /// Extract local maxima with at least `min_prominence_db` of
+    /// topographic prominence, sorted by descending value, at most
+    /// `max_peaks` of them.
+    ///
+    /// Prominence is measured on the dB scale: for each local maximum,
+    /// walk outward in both directions until terrain higher than the peak
+    /// is met (or the domain edge for non-wrapping spectra); the higher
+    /// of the two lowest saddles passed defines the prominence. This
+    /// matches how one reads "direct-path peak" versus "reflection peaks"
+    /// off the paper's Fig 6.
+    pub fn find_peaks(&self, min_prominence_db: f64, max_peaks: usize) -> Vec<Peak> {
+        let n = self.len();
+        if n < 3 {
+            return Vec::new();
+        }
+        let db = self.db(-300.0);
+        let is_local_max = |i: usize| -> bool {
+            let prev = if i == 0 {
+                if self.wraps {
+                    db[n - 1]
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                db[i - 1]
+            };
+            let next = if i == n - 1 {
+                if self.wraps {
+                    db[0]
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                db[i + 1]
+            };
+            // Strict on one side to de-duplicate flat tops.
+            db[i] > prev && db[i] >= next
+        };
+
+        let mut peaks = Vec::new();
+        for i in 0..n {
+            if !is_local_max(i) {
+                continue;
+            }
+            let h = db[i];
+            // Walk left.
+            let mut min_left = h;
+            let mut found_higher_left = false;
+            let mut steps = 0;
+            let mut j = i;
+            while steps < n {
+                if j == 0 {
+                    if !self.wraps {
+                        break;
+                    }
+                    j = n - 1;
+                } else {
+                    j -= 1;
+                }
+                steps += 1;
+                if db[j] > h {
+                    found_higher_left = true;
+                    break;
+                }
+                min_left = min_left.min(db[j]);
+            }
+            // Walk right.
+            let mut min_right = h;
+            let mut found_higher_right = false;
+            steps = 0;
+            j = i;
+            while steps < n {
+                j = if j == n - 1 {
+                    if !self.wraps {
+                        break;
+                    }
+                    0
+                } else {
+                    j + 1
+                };
+                steps += 1;
+                if db[j] > h {
+                    found_higher_right = true;
+                    break;
+                }
+                min_right = min_right.min(db[j]);
+            }
+            // Key saddle: the *higher* of the two side minima, but only
+            // sides that actually reach higher terrain count as saddles;
+            // for the global maximum both walks fail and prominence is
+            // height above the global minimum.
+            let saddle = match (found_higher_left, found_higher_right) {
+                (true, true) => min_left.max(min_right),
+                (true, false) => min_left,
+                (false, true) => min_right,
+                (false, false) => min_left.min(min_right),
+            };
+            let prominence = h - saddle;
+            if prominence >= min_prominence_db {
+                peaks.push(Peak {
+                    angle_deg: self.angles_deg[i],
+                    value: self.values[i],
+                    prominence_db: prominence,
+                });
+            }
+        }
+        peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+        peaks.truncate(max_peaks);
+        peaks
+    }
+
+    /// A compact ASCII rendering (one row of height buckets per call),
+    /// used by the examples for quick terminal visualisation. Each
+    /// output column shows the *maximum* of its bucket (in dB, −30 dB
+    /// floor), so narrow MUSIC needles stay visible at any width.
+    pub fn ascii(&self, width: usize) -> String {
+        const GLYPHS: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+        let db = self.db(-30.0);
+        let n = db.len();
+        let width = width.max(1);
+        let mut out = String::with_capacity(width);
+        for c in 0..width {
+            let lo = c * n / width;
+            let hi = (((c + 1) * n / width).max(lo + 1)).min(n);
+            let v = db[lo..hi].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let t = ((v + 30.0) / 30.0).clamp(0.0, 1.0);
+            let g = (t * (GLYPHS.len() - 1) as f64).round() as usize;
+            out.push(GLYPHS[g]);
+        }
+        out
+    }
+}
+
+/// Smallest angular difference respecting the domain: wrap-around modular
+/// distance for circular domains, plain absolute difference otherwise.
+pub fn angle_diff_deg(a: f64, b: f64, wraps: bool) -> f64 {
+    if wraps {
+        let d = (a - b).rem_euclid(360.0);
+        d.min(360.0 - d)
+    } else {
+        (a - b).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gaussian bump helper on a 1° grid.
+    fn bump_spectrum(centers: &[(f64, f64)], wraps: bool) -> Pseudospectrum {
+        let (lo, hi) = if wraps { (0.0, 360.0) } else { (-90.0, 91.0) };
+        let angles: Vec<f64> = (0..)
+            .map(|i| lo + i as f64)
+            .take_while(|&a| a < hi)
+            .collect();
+        let values = angles
+            .iter()
+            .map(|&a| {
+                centers
+                    .iter()
+                    .map(|&(c, amp)| {
+                        let d = angle_diff_deg(a, c, wraps);
+                        amp * (-d * d / 50.0).exp()
+                    })
+                    .sum::<f64>()
+                    + 1e-6
+            })
+            .collect();
+        Pseudospectrum::new(angles, values, wraps)
+    }
+
+    #[test]
+    fn peak_finds_global_maximum() {
+        let s = bump_spectrum(&[(30.0, 1.0), (-40.0, 0.5)], false);
+        let (a, v) = s.peak();
+        assert_eq!(a, 30.0);
+        assert!((v - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalized_peak_is_one() {
+        let s = bump_spectrum(&[(10.0, 7.3)], false).normalized();
+        let (_, v) = s.peak();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_scale_peak_zero_floor_respected() {
+        let s = bump_spectrum(&[(0.0, 1.0)], false);
+        let db = s.db(-40.0);
+        let max = db.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = db.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - 0.0).abs() < 1e-9);
+        assert!(min >= -40.0);
+    }
+
+    #[test]
+    fn find_two_peaks_with_prominence() {
+        let s = bump_spectrum(&[(20.0, 1.0), (-50.0, 0.4)], false);
+        let peaks = s.find_peaks(3.0, 8);
+        assert_eq!(peaks.len(), 2, "peaks: {:?}", peaks);
+        assert_eq!(peaks[0].angle_deg, 20.0);
+        assert_eq!(peaks[1].angle_deg, -50.0);
+        assert!(peaks[0].value > peaks[1].value);
+        assert!(peaks[1].prominence_db > 3.0);
+    }
+
+    #[test]
+    fn min_prominence_filters_ripples() {
+        // A ripple only 2 dB above its local floor should be rejected at
+        // a 20 dB prominence threshold but kept at 0.5 dB. (Prominence is
+        // measured in dB, so "small" means small *relative to the local
+        // floor*, not in absolute linear units.)
+        let mut s = bump_spectrum(&[(0.0, 1.0)], false);
+        let idx = s.angles_deg.iter().position(|&a| a == 60.0).unwrap();
+        s.values[idx] *= 1.6; // ≈ 2 dB over the floor
+        let strict = s.find_peaks(20.0, 8);
+        assert_eq!(strict.len(), 1);
+        let lax = s.find_peaks(0.5, 8);
+        assert!(lax.len() >= 2);
+    }
+
+    #[test]
+    fn wrapped_peak_across_zero() {
+        // Peak centred at 0° on a circular domain: samples near 359° and
+        // 1° form one peak, not two.
+        let s = bump_spectrum(&[(0.0, 1.0)], true);
+        let peaks = s.find_peaks(3.0, 8);
+        assert_eq!(peaks.len(), 1, "peaks: {:?}", peaks);
+        assert_eq!(peaks[0].angle_deg, 0.0);
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let s = Pseudospectrum::new(vec![0.0, 10.0, 20.0], vec![0.0, 1.0, 0.0], false);
+        assert!((s.value_at(5.0) - 0.5).abs() < 1e-12);
+        assert!((s.value_at(10.0) - 1.0).abs() < 1e-12);
+        // Clamped outside.
+        assert!((s.value_at(-5.0) - 0.0).abs() < 1e-12);
+        assert!((s.value_at(25.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_wraps_circular() {
+        let angles: Vec<f64> = (0..360).map(|i| i as f64).collect();
+        let mut values = vec![0.0; 360];
+        values[0] = 1.0;
+        values[359] = 0.5;
+        let s = Pseudospectrum::new(angles, values, true);
+        // Halfway between 359° and 360°(=0°): interpolate 0.5 → 1.0.
+        assert!((s.value_at(359.5) - 0.75).abs() < 1e-12);
+        // Wrap-around query.
+        assert!((s.value_at(720.0) - 1.0).abs() < 1e-12);
+        assert!((s.value_at(-0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_diff_wrapping() {
+        assert_eq!(angle_diff_deg(10.0, 350.0, true), 20.0);
+        assert_eq!(angle_diff_deg(10.0, 350.0, false), 340.0);
+        assert_eq!(angle_diff_deg(-80.0, 80.0, false), 160.0);
+        assert_eq!(angle_diff_deg(0.0, 180.0, true), 180.0);
+    }
+
+    #[test]
+    fn ascii_render_has_requested_width() {
+        let s = bump_spectrum(&[(0.0, 1.0)], false);
+        let a = s.ascii(64);
+        assert_eq!(a.chars().count(), 64);
+        assert!(a.contains('@') || a.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_angles() {
+        let _ = Pseudospectrum::new(vec![0.0, -1.0], vec![1.0, 1.0], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = Pseudospectrum::new(vec![0.0, 1.0], vec![1.0], false);
+    }
+}

@@ -1,0 +1,169 @@
+//! Signal-subspace dimension estimation (how many paths arrived).
+//!
+//! MUSIC needs to know where the signal subspace ends and the noise
+//! subspace begins. The classical information-theoretic estimators of Wax
+//! & Kailath operate on the ordered eigenvalues `λ_1 ≥ … ≥ λ_M` of the
+//! sample covariance from `N` snapshots: for each candidate count `k`
+//! they score the likelihood that the trailing `M − k` eigenvalues are
+//! equal (pure noise), plus a model-complexity penalty:
+//!
+//! ```text
+//! AIC(k) = −2·N·(M−k)·ln(GM_k/AM_k) + 2·k·(2M−k)
+//! MDL(k) = −N·(M−k)·ln(GM_k/AM_k) + ½·k·(2M−k)·ln N
+//! ```
+//!
+//! where `GM_k`/`AM_k` are the geometric/arithmetic means of the trailing
+//! eigenvalues. MDL is consistent (its penalty grows with `N`); AIC tends
+//! to overestimate at high SNR — both behaviours are measured in ablation
+//! experiment E8c.
+
+/// Strategy for choosing the signal-subspace dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceCount {
+    /// Use a fixed number of sources (clamped to `M − 1`).
+    Fixed(usize),
+    /// Akaike information criterion.
+    Aic,
+    /// Minimum description length (Rissanen); the default.
+    Mdl,
+}
+
+impl Default for SourceCount {
+    fn default() -> Self {
+        Self::Mdl
+    }
+}
+
+impl SourceCount {
+    /// Estimate the source count from ascending-sorted eigenvalues (the
+    /// order [`sa_linalg::eigen::eigh`] produces) and the number of
+    /// snapshots that formed the covariance.
+    ///
+    /// Returns a value in `1 ..= M − 1` (MUSIC needs at least a
+    /// one-dimensional noise subspace; zero sources would mean no packet,
+    /// which packet detection has already excluded).
+    pub fn estimate(&self, eigenvalues_ascending: &[f64], n_snapshots: usize) -> usize {
+        let m = eigenvalues_ascending.len();
+        assert!(m >= 2, "source count needs at least a 2x2 covariance");
+        match *self {
+            SourceCount::Fixed(k) => k.clamp(1, m - 1),
+            SourceCount::Aic => criterion_argmin(eigenvalues_ascending, n_snapshots, false),
+            SourceCount::Mdl => criterion_argmin(eigenvalues_ascending, n_snapshots, true),
+        }
+    }
+}
+
+fn criterion_argmin(eigs_ascending: &[f64], n: usize, mdl: bool) -> usize {
+    let m = eigs_ascending.len();
+    let n = n.max(2) as f64;
+    // Descending order, clamped away from zero for the log.
+    let lmax = eigs_ascending
+        .iter()
+        .cloned()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let floor = 1e-12 * lmax;
+    let desc: Vec<f64> = eigs_ascending.iter().rev().map(|&l| l.max(floor)).collect();
+
+    let mut best_k = 1usize;
+    let mut best_score = f64::INFINITY;
+    for k in 0..m {
+        let tail = &desc[k..];
+        let p = tail.len() as f64;
+        let am = tail.iter().sum::<f64>() / p;
+        let gm_ln = tail.iter().map(|l| l.ln()).sum::<f64>() / p;
+        let ratio_ln = gm_ln - am.ln(); // ln(GM/AM) ≤ 0
+        let fit = -n * p * ratio_ln;
+        let kf = k as f64;
+        let penalty = if mdl {
+            0.5 * kf * (2.0 * m as f64 - kf) * n.ln()
+        } else {
+            2.0 * kf * (2.0 * m as f64 - kf)
+        };
+        let score = if mdl { fit + penalty } else { 2.0 * fit + penalty };
+        if score < best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    best_k.clamp(1, m - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Eigenvalues for `k` strong sources over a noise floor, ascending.
+    fn eigs(m: usize, k: usize, snr_lin: f64) -> Vec<f64> {
+        let mut v = vec![1.0; m]; // noise floor
+        for i in 0..k {
+            v[m - 1 - i] = 1.0 + snr_lin * (1.0 + i as f64 * 0.3);
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn fixed_is_clamped() {
+        assert_eq!(SourceCount::Fixed(3).estimate(&eigs(8, 1, 100.0), 64), 3);
+        assert_eq!(SourceCount::Fixed(0).estimate(&eigs(8, 1, 100.0), 64), 1);
+        assert_eq!(SourceCount::Fixed(99).estimate(&eigs(8, 1, 100.0), 64), 7);
+    }
+
+    #[test]
+    fn mdl_detects_clear_source_counts() {
+        for k in 1..=4usize {
+            let e = eigs(8, k, 200.0);
+            assert_eq!(
+                SourceCount::Mdl.estimate(&e, 256),
+                k,
+                "MDL failed for k = {} (eigs {:?})",
+                k,
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn aic_detects_clear_source_counts() {
+        for k in 1..=4usize {
+            let e = eigs(8, k, 200.0);
+            assert_eq!(SourceCount::Aic.estimate(&e, 256), k, "AIC failed k={}", k);
+        }
+    }
+
+    #[test]
+    fn equal_eigenvalues_give_minimum_count() {
+        // Pure noise: all eigenvalues equal; clamped to 1 for MUSIC.
+        let e = vec![1.0; 6];
+        assert_eq!(SourceCount::Mdl.estimate(&e, 128), 1);
+    }
+
+    #[test]
+    fn weak_source_needs_more_snapshots() {
+        // At SNR ~1.5x a single weak source among 8 antennas: with very
+        // few snapshots MDL underestimates (choosing 1 because of the
+        // clamp); with many snapshots it still finds it — the classic
+        // consistency property.
+        let e = eigs(8, 2, 1.5);
+        let many = SourceCount::Mdl.estimate(&e, 100_000);
+        assert_eq!(many, 2, "MDL with many snapshots should find both");
+    }
+
+    #[test]
+    fn never_exceeds_m_minus_one() {
+        // All eigenvalues wildly different — estimators must stay < M.
+        let e: Vec<f64> = (1..=6).map(|i| (i * i) as f64).collect();
+        for sc in [SourceCount::Aic, SourceCount::Mdl] {
+            let k = sc.estimate(&e, 1000);
+            assert!(k <= 5, "{:?} returned {}", sc, k);
+            assert!(k >= 1);
+        }
+    }
+
+    #[test]
+    fn handles_tiny_eigenvalues_without_nan() {
+        let e = vec![0.0, 0.0, 1e-18, 5.0];
+        let k = SourceCount::Mdl.estimate(&e, 64);
+        assert!((1..=3).contains(&k));
+    }
+}

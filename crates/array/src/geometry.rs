@@ -1,0 +1,368 @@
+//! Antenna array geometries and steering vectors.
+//!
+//! The paper's prototype attaches eight antennas to two WARP boards "in
+//! linear or circular arrangements. In the linear arrangement, they are
+//! spaced at a half wavelength distance (6.13 cm). The circular
+//! arrangement is actually an octagon with 4.7 cm sides and an antenna at
+//! each corner." (§3). Both are modelled here as 2-D element position
+//! sets; a steering vector evaluates the relative carrier phases a plane
+//! wave from a given azimuth produces across the elements.
+//!
+//! Conventions (used consistently across the workspace):
+//! * azimuth `φ` is measured counter-clockwise from the +x axis of the
+//!   array's local frame, in radians, and denotes the direction *from
+//!   which* the wave arrives;
+//! * a linear array lies along the +x axis; its *broadside angle*
+//!   `θ ∈ [−90°, 90°]` (the paper's Fig-1(c) bearing) relates to azimuth
+//!   by `φ = 90° − θ`, and the array cannot distinguish `φ` from `−φ`
+//!   (paper footnote 1 — clients on the two sides of the antenna line are
+//!   not differentiable);
+//! * a circular array resolves the full `[0°, 360°)`.
+
+use sa_linalg::complex::C64;
+
+/// Speed of light, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Default carrier frequency, Hz. Chosen so that half a wavelength is the
+/// paper's quoted 6.13 cm linear spacing (the prototype's "2.4 GHz"
+/// oscillators sit in the 2.4 GHz ISM band; 6.13 cm ⇒ 2.445 GHz).
+pub const DEFAULT_CARRIER_HZ: f64 = 2.445e9;
+
+/// The paper's WARP capture sample rate: 20 MHz of signal bandwidth.
+pub const SAMPLE_RATE_HZ: f64 = 20.0e6;
+
+/// Wavelength for a carrier frequency.
+pub fn wavelength(carrier_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / carrier_hz
+}
+
+/// Shape classification of an array layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// Elements on a line; ±sign ambiguity, scan range `[−90°, 90°]`
+    /// broadside.
+    Linear,
+    /// Elements on a circle; full `[0°, 360°)` coverage.
+    Circular,
+}
+
+/// An antenna array: element positions (meters, local frame) plus the
+/// carrier the RF chains are tuned to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Array {
+    elements: Vec<(f64, f64)>,
+    kind: ArrayKind,
+    carrier_hz: f64,
+}
+
+impl Array {
+    /// Uniform linear array of `n` elements along +x with the given
+    /// spacing in meters, first element at the origin.
+    pub fn ula(n: usize, spacing_m: f64, carrier_hz: f64) -> Self {
+        assert!(n >= 1, "ula: need at least one element");
+        Self {
+            elements: (0..n).map(|m| (m as f64 * spacing_m, 0.0)).collect(),
+            kind: ArrayKind::Linear,
+            carrier_hz,
+        }
+    }
+
+    /// The paper's linear arrangement: `n` elements at λ/2 spacing on the
+    /// default carrier (6.13 cm).
+    pub fn paper_linear(n: usize) -> Self {
+        let lam = wavelength(DEFAULT_CARRIER_HZ);
+        Self::ula(n, lam / 2.0, DEFAULT_CARRIER_HZ)
+    }
+
+    /// Uniform circular array of `n` elements with the given radius,
+    /// element `k` at angle `2πk/n`.
+    pub fn uca(n: usize, radius_m: f64, carrier_hz: f64) -> Self {
+        assert!(n >= 2, "uca: need at least two elements");
+        let elements = (0..n)
+            .map(|k| {
+                let g = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                (radius_m * g.cos(), radius_m * g.sin())
+            })
+            .collect();
+        Self {
+            elements,
+            kind: ArrayKind::Circular,
+            carrier_hz,
+        }
+    }
+
+    /// The paper's circular arrangement: a regular octagon with 4.7 cm
+    /// sides and an antenna at each corner (circumradius
+    /// `s / (2·sin(π/8)) ≈ 6.14 cm`).
+    pub fn paper_octagon() -> Self {
+        let side = 0.047;
+        let radius = side / (2.0 * (std::f64::consts::PI / 8.0).sin());
+        Self::uca(8, radius, DEFAULT_CARRIER_HZ)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the array has no elements (never constructed that way, but
+    /// required by the `len` convention).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Element positions in the local frame, meters.
+    pub fn elements(&self) -> &[(f64, f64)] {
+        &self.elements
+    }
+
+    /// Layout kind.
+    pub fn kind(&self) -> ArrayKind {
+        self.kind
+    }
+
+    /// Carrier frequency, Hz.
+    pub fn carrier_hz(&self) -> f64 {
+        self.carrier_hz
+    }
+
+    /// Carrier wavelength, meters.
+    pub fn wavelength(&self) -> f64 {
+        wavelength(self.carrier_hz)
+    }
+
+    /// Circumradius (0 for a single-element array).
+    pub fn radius(&self) -> f64 {
+        self.elements
+            .iter()
+            .map(|&(x, y)| x.hypot(y))
+            .fold(0.0, f64::max)
+    }
+
+    /// Keep only the first `k` elements — the Fig-7 antenna-count
+    /// experiment truncates the 8-antenna linear array to 2/4/6 elements.
+    pub fn truncated(&self, k: usize) -> Self {
+        assert!(k >= 1 && k <= self.len());
+        Self {
+            elements: self.elements[..k].to_vec(),
+            kind: self.kind,
+            carrier_hz: self.carrier_hz,
+        }
+    }
+
+    /// Steering vector for a plane wave arriving from azimuth `az`
+    /// (radians, local frame): element `m` gets phase
+    /// `e^{+j·k·(p_m · u(az))}` where `u` is the unit vector pointing from
+    /// the array toward the source and `k = 2π/λ`.
+    ///
+    /// Element 0 of a ULA sits at the origin so its phase is 1; all
+    /// measured AoA phases are relative, matching the calibration
+    /// convention (offsets measured "relative to antenna one", §2.2).
+    pub fn steering(&self, az: f64) -> Vec<C64> {
+        let k = 2.0 * std::f64::consts::PI / self.wavelength();
+        let (ux, uy) = (az.cos(), az.sin());
+        self.elements
+            .iter()
+            .map(|&(x, y)| C64::cis(k * (x * ux + y * uy)))
+            .collect()
+    }
+
+    /// Steering vector in the paper's broadside convention for linear
+    /// arrays: `θ ∈ [−π/2, π/2]`, `a_m = e^{jπ·m·sinθ}` at λ/2 spacing.
+    pub fn steering_broadside(&self, theta: f64) -> Vec<C64> {
+        self.steering(std::f64::consts::FRAC_PI_2 - theta)
+    }
+
+    /// Scan grid (azimuths in radians) appropriate for this geometry at
+    /// the given step (degrees): linear arrays sweep broadside
+    /// `[−90°, 90°]` mapped to azimuth; circular arrays sweep
+    /// `[0°, 360°)`.
+    pub fn scan_grid(&self, step_deg: f64) -> Vec<f64> {
+        assert!(step_deg > 0.0);
+        let step = step_deg.to_radians();
+        match self.kind {
+            ArrayKind::Linear => {
+                // Broadside −90..=90 ⇒ azimuth 180..=0 (decreasing); emit
+                // in increasing broadside order for presentation.
+                let n = (std::f64::consts::PI / step).round() as usize;
+                (0..=n)
+                    .map(|i| {
+                        let theta = -std::f64::consts::FRAC_PI_2 + i as f64 * step;
+                        std::f64::consts::FRAC_PI_2 - theta
+                    })
+                    .collect()
+            }
+            ArrayKind::Circular => {
+                let n = (2.0 * std::f64::consts::PI / step).round() as usize;
+                (0..n).map(|i| i as f64 * step).collect()
+            }
+        }
+    }
+}
+
+/// Convert a linear-array azimuth back to the paper's broadside angle in
+/// degrees (`θ = 90° − az`).
+pub fn azimuth_to_broadside_deg(az: f64) -> f64 {
+    90.0 - az.to_degrees()
+}
+
+/// Convert a broadside angle in degrees to local-frame azimuth radians.
+pub fn broadside_deg_to_azimuth(theta_deg: f64) -> f64 {
+    (90.0 - theta_deg).to_radians()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn paper_constants() {
+        let lam = wavelength(DEFAULT_CARRIER_HZ);
+        assert!(
+            (lam / 2.0 - 0.0613).abs() < 2e-4,
+            "half wavelength {} should be ≈6.13 cm",
+            lam / 2.0
+        );
+        let oct = Array::paper_octagon();
+        assert_eq!(oct.len(), 8);
+        assert!(
+            (oct.radius() - 0.0614).abs() < 2e-4,
+            "octagon circumradius {} should be ≈6.14 cm",
+            oct.radius()
+        );
+        // kr ≈ 3.15 — drives the mode-space order h = 3.
+        let kr = 2.0 * PI / oct.wavelength() * oct.radius();
+        assert!((kr - 3.147).abs() < 0.01, "kr = {}", kr);
+    }
+
+    #[test]
+    fn ula_positions() {
+        let a = Array::ula(4, 0.05, 2.4e9);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.elements()[0], (0.0, 0.0));
+        assert!((a.elements()[3].0 - 0.15).abs() < 1e-12);
+        assert_eq!(a.kind(), ArrayKind::Linear);
+    }
+
+    #[test]
+    fn octagon_side_lengths() {
+        let oct = Array::paper_octagon();
+        for k in 0..8 {
+            let (x1, y1) = oct.elements()[k];
+            let (x2, y2) = oct.elements()[(k + 1) % 8];
+            let side = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
+            assert!((side - 0.047).abs() < 1e-6, "side {} = {}", k, side);
+        }
+    }
+
+    #[test]
+    fn steering_is_unit_modulus() {
+        let a = Array::paper_octagon();
+        for i in 0..16 {
+            let az = 2.0 * PI * i as f64 / 16.0;
+            for z in a.steering(az) {
+                assert!((z.abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_antenna_phase_matches_equation_one() {
+        // Paper Fig 1(c)/Eq 1: at λ/2 spacing the inter-antenna phase
+        // difference is π·sinθ for broadside bearing θ.
+        let a = Array::paper_linear(2);
+        for &theta in &[-1.2, -0.5, 0.0, 0.3, 1.0f64] {
+            let s = a.steering_broadside(theta);
+            let dphi = (s[1] * s[0].conj()).arg();
+            let expect = PI * theta.sin();
+            // Compare as wrapped phases.
+            let diff = (dphi - expect + PI).rem_euclid(2.0 * PI) - PI;
+            assert!(
+                diff.abs() < 1e-10,
+                "θ={}: Δφ={} expected {}",
+                theta,
+                dphi,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn broadside_azimuth_roundtrip() {
+        for &t in &[-80.0, -30.0, 0.0, 45.0, 89.0] {
+            let az = broadside_deg_to_azimuth(t);
+            assert!((azimuth_to_broadside_deg(az) - t).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn broadside_zero_is_plus_y() {
+        let a = Array::paper_linear(3);
+        let s = a.steering_broadside(0.0);
+        // Wave from broadside hits all elements in phase.
+        for z in &s {
+            assert!(z.approx_eq(s[0], 1e-12));
+        }
+        // And that is azimuth 90°.
+        let s2 = a.steering(FRAC_PI_2);
+        for (x, y) in s.iter().zip(s2.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn ula_front_back_ambiguity() {
+        // Azimuth φ and −φ are indistinguishable for a linear array.
+        let a = Array::paper_linear(8);
+        let s1 = a.steering(0.7);
+        let s2 = a.steering(-0.7);
+        for (x, y) in s1.iter().zip(s2.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn uca_has_no_front_back_ambiguity() {
+        let a = Array::paper_octagon();
+        let s1 = a.steering(0.7);
+        let s2 = a.steering(-0.7);
+        let dist: f64 = s1
+            .iter()
+            .zip(s2.iter())
+            .map(|(x, y)| (*x - *y).norm_sqr())
+            .sum();
+        assert!(dist > 0.1, "UCA steering must differ front/back");
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let a = Array::paper_linear(8);
+        let t = a.truncated(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.elements(), &a.elements()[..4]);
+        assert_eq!(t.kind(), ArrayKind::Linear);
+    }
+
+    #[test]
+    fn scan_grids() {
+        let lin = Array::paper_linear(8);
+        let g = lin.scan_grid(1.0);
+        assert_eq!(g.len(), 181);
+        // First entry is broadside −90°, i.e. azimuth 180°.
+        assert!((g[0] - PI).abs() < 1e-9);
+        let circ = Array::paper_octagon();
+        let g = circ.scan_grid(1.0);
+        assert_eq!(g.len(), 360);
+        assert!((g[0] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steering_relative_to_element_zero() {
+        let a = Array::paper_linear(4);
+        for &az in &[0.3, 1.0, 2.0] {
+            assert!(a.steering(az)[0].approx_eq(sa_linalg::c64(1.0, 0.0), 1e-12));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # sa-array — antenna arrays, RF front ends and calibration
+//!
+//! The software substitute for the paper's WARP + USRP2 hardware
+//! (DESIGN.md §2):
+//!
+//! * [`geometry`] — the paper's two layouts (λ/2-spaced linear array and
+//!   the 4.7 cm-side octagon), steering vectors, scan grids;
+//! * [`rf`] — per-chain unknown phase offsets, gain imbalance and thermal
+//!   noise: the impairments that make calibration necessary;
+//! * [`calib`] — reference-tone calibration reproducing §2.2/Figure 2;
+//! * [`modespace`] — Davies phase-mode transform mapping the circular
+//!   array onto a virtual ULA so spatial smoothing can decorrelate
+//!   multipath.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod geometry;
+pub mod modespace;
+pub mod rf;
+
+pub use calib::Calibration;
+pub use geometry::{Array, ArrayKind, DEFAULT_CARRIER_HZ, SAMPLE_RATE_HZ};
+pub use modespace::ModeSpace;
+pub use rf::{FrontEnd, RfChain};

@@ -1,0 +1,242 @@
+//! RF front-end model: the part of the WARP hardware that breaks naive
+//! AoA and makes calibration necessary.
+//!
+//! Paper §2.2: "each radio receiver incorporates a 2.4 GHz oscillator
+//! whose purpose is to convert the incoming radio frequency signal to its
+//! representation in I-Q space … the downconverters of even phase-locked
+//! systems introduce an unknown but constant phase difference to each
+//! receiver". We model exactly that: the chains share one LO frequency
+//! (phase-locked, so no inter-chain frequency drift) but each chain `m`
+//! applies an unknown constant rotation `e^{jψ_m}` plus a small gain
+//! error, then adds thermal noise. A shared client↔AP carrier frequency
+//! offset (CFO) — identical on every chain because the sampling clocks
+//! are shared ("the two WARP boards are also modified to share the same
+//! sampling clocks", §3) — is applied upstream by the channel model.
+
+use rand::Rng;
+use sa_linalg::complex::C64;
+use sa_linalg::matrix::CMat;
+use sa_sigproc::noise::cn_sample;
+
+/// One receive chain's constant impairments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfChain {
+    /// Downconverter phase offset ψ, radians. Unknown to the AP until
+    /// calibration.
+    pub phase_offset: f64,
+    /// Linear amplitude gain (1.0 nominal).
+    pub gain: f64,
+}
+
+impl RfChain {
+    /// The complex gain this chain multiplies onto every sample.
+    pub fn complex_gain(&self) -> C64 {
+        C64::from_polar(self.gain, self.phase_offset)
+    }
+}
+
+/// A bank of receive chains with per-chain thermal noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontEnd {
+    chains: Vec<RfChain>,
+    /// Per-sample complex noise variance added by each chain.
+    pub noise_var: f64,
+}
+
+impl FrontEnd {
+    /// An ideal front end: zero phase offsets, unit gains, noiseless.
+    /// Useful in tests to isolate other effects.
+    pub fn ideal(n: usize) -> Self {
+        Self {
+            chains: vec![
+                RfChain {
+                    phase_offset: 0.0,
+                    gain: 1.0
+                };
+                n
+            ],
+            noise_var: 0.0,
+        }
+    }
+
+    /// A realistic front end: phase offsets uniform in `[0, 2π)` (the
+    /// "unknown but constant phase difference"), gains within ±0.5 dB,
+    /// and the given noise variance.
+    pub fn random<R: Rng + ?Sized>(n: usize, noise_var: f64, rng: &mut R) -> Self {
+        let chains = (0..n)
+            .map(|_| RfChain {
+                phase_offset: rng.gen::<f64>() * 2.0 * std::f64::consts::PI,
+                // ±0.5 dB → gain factor in [10^(−0.025), 10^(0.025)].
+                gain: 10f64.powf((rng.gen::<f64>() - 0.5) * 0.05),
+            })
+            .collect();
+        Self { chains, noise_var }
+    }
+
+    /// Construct from explicit chains.
+    pub fn from_chains(chains: Vec<RfChain>, noise_var: f64) -> Self {
+        Self { chains, noise_var }
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// True if there are no chains.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Chain parameters.
+    pub fn chains(&self) -> &[RfChain] {
+        &self.chains
+    }
+
+    /// Pass clean per-antenna samples (rows = antennas) through the
+    /// front end: apply each chain's complex gain and add noise.
+    pub fn receive<R: Rng + ?Sized>(&self, clean: &CMat, rng: &mut R) -> CMat {
+        assert_eq!(
+            clean.rows(),
+            self.chains.len(),
+            "FrontEnd::receive: {} rows for {} chains",
+            clean.rows(),
+            self.chains.len()
+        );
+        let mut out = clean.clone();
+        for (m, chain) in self.chains.iter().enumerate() {
+            let g = chain.complex_gain();
+            for t in 0..out.cols() {
+                let mut z = out[(m, t)] * g;
+                if self.noise_var > 0.0 {
+                    z += cn_sample(rng, self.noise_var);
+                }
+                out[(m, t)] = z;
+            }
+        }
+        out
+    }
+
+    /// Feed the *same* reference tone into every chain — the cabled
+    /// USRP2-through-equal-length-splitter path of Figure 2 with the
+    /// switches in the calibration position. Returns per-chain samples of
+    /// the tone as each chain sees it (with its offset and noise applied).
+    ///
+    /// `tone_power` is the per-sample power after the 36 dB attenuator;
+    /// what matters for calibration quality is `tone_power / noise_var`.
+    pub fn receive_calibration_tone<R: Rng + ?Sized>(
+        &self,
+        n_samples: usize,
+        tone_power: f64,
+        rng: &mut R,
+    ) -> CMat {
+        let amp = tone_power.sqrt();
+        let tone: Vec<C64> = (0..n_samples)
+            .map(|t| C64::from_polar(amp, 0.1 * t as f64)) // any steady CW tone
+            .collect();
+        let clean = CMat::from_fn(self.chains.len(), n_samples, |_, t| tone[t]);
+        self.receive(&clean, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sa_linalg::c64;
+
+    #[test]
+    fn ideal_front_end_is_transparent() {
+        let fe = FrontEnd::ideal(3);
+        let x = CMat::from_fn(3, 5, |i, t| c64(i as f64, t as f64));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let y = fe.receive(&x, &mut rng);
+        assert!(y.approx_eq(&x, 1e-14));
+    }
+
+    #[test]
+    fn phase_offsets_rotate_each_row() {
+        let chains = vec![
+            RfChain { phase_offset: 0.0, gain: 1.0 },
+            RfChain { phase_offset: 1.0, gain: 1.0 },
+        ];
+        let fe = FrontEnd::from_chains(chains, 0.0);
+        let x = CMat::from_fn(2, 4, |_, _| c64(1.0, 0.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let y = fe.receive(&x, &mut rng);
+        assert!((y[(0, 0)].arg()).abs() < 1e-12);
+        assert!((y[(1, 0)].arg() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_scale_amplitude() {
+        let chains = vec![RfChain { phase_offset: 0.0, gain: 2.0 }];
+        let fe = FrontEnd::from_chains(chains, 0.0);
+        let x = CMat::from_fn(1, 3, |_, _| c64(1.0, 1.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let y = fe.receive(&x, &mut rng);
+        assert!((y[(0, 1)].abs() - 2.0 * 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_front_end_offsets_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let fe = FrontEnd::random(8, 0.01, &mut rng);
+        assert_eq!(fe.len(), 8);
+        for c in fe.chains() {
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&c.phase_offset));
+            assert!((c.gain - 1.0).abs() < 0.07, "gain {} outside ±0.5 dB", c.gain);
+        }
+    }
+
+    #[test]
+    fn noise_raises_received_power() {
+        let fe = FrontEnd::from_chains(
+            vec![RfChain { phase_offset: 0.0, gain: 1.0 }],
+            0.5,
+        );
+        let x = CMat::from_fn(1, 50_000, |_, _| c64(1.0, 0.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let y = fe.receive(&x, &mut rng);
+        let p: f64 =
+            (0..y.cols()).map(|t| y[(0, t)].norm_sqr()).sum::<f64>() / y.cols() as f64;
+        assert!((p - 1.5).abs() < 0.03, "power {}", p);
+    }
+
+    #[test]
+    fn calibration_tone_identical_across_chains_when_ideal() {
+        let fe = FrontEnd::ideal(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let y = fe.receive_calibration_tone(16, 1.0, &mut rng);
+        for t in 0..16 {
+            for m in 1..4 {
+                assert!(y[(m, t)].approx_eq(y[(0, t)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_tone_reveals_relative_offsets() {
+        let chains = vec![
+            RfChain { phase_offset: 0.3, gain: 1.0 },
+            RfChain { phase_offset: 1.7, gain: 1.0 },
+        ];
+        let fe = FrontEnd::from_chains(chains, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let y = fe.receive_calibration_tone(8, 1.0, &mut rng);
+        for t in 0..8 {
+            let rel = (y[(1, t)] * y[(0, t)].conj()).arg();
+            assert!((rel - 1.4).abs() < 1e-12, "relative phase {}", rel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows for")]
+    fn receive_checks_chain_count() {
+        let fe = FrontEnd::ideal(2);
+        let x = CMat::zeros(3, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = fe.receive(&x, &mut rng);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for array geometry, RF impairments and
+//! calibration.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_array::calib::Calibration;
+use sa_array::geometry::{azimuth_to_broadside_deg, broadside_deg_to_azimuth, Array};
+use sa_array::modespace::ModeSpace;
+use sa_array::rf::{FrontEnd, RfChain};
+use sa_linalg::matrix::{vdot, vnorm};
+use sa_linalg::CMat;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn steering_element_zero_is_unity_for_ula(az in -7.0f64..7.0, n in 1usize..12) {
+        let a = Array::paper_linear(n);
+        let s = a.steering(az);
+        prop_assert!(s[0].approx_eq(sa_linalg::c64(1.0, 0.0), 1e-12));
+        prop_assert_eq!(s.len(), n);
+    }
+
+    #[test]
+    fn broadside_conversion_roundtrip(theta in -89.0f64..89.0) {
+        let az = broadside_deg_to_azimuth(theta);
+        prop_assert!((azimuth_to_broadside_deg(az) - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_is_steering_prefix(az in -7.0f64..7.0, n in 2usize..10, k in 1usize..9) {
+        prop_assume!(k <= n);
+        let a = Array::paper_linear(n);
+        let t = a.truncated(k);
+        let full = a.steering(az);
+        let trunc = t.steering(az);
+        for i in 0..k {
+            prop_assert!(full[i].approx_eq(trunc[i], 1e-12));
+        }
+    }
+
+    #[test]
+    fn uca_steering_is_rotation_equivariant(az in 0.0f64..6.28, k_rot in 0usize..8) {
+        // Rotating the arrival by one element spacing permutes the
+        // octagon's steering entries.
+        let a = Array::paper_octagon();
+        let step = 2.0 * std::f64::consts::PI / 8.0;
+        let s0 = a.steering(az);
+        let s1 = a.steering(az + k_rot as f64 * step);
+        for i in 0..8 {
+            let j = (i + 8 - k_rot % 8) % 8;
+            prop_assert!(s1[i].approx_eq(s0[j], 1e-9), "i={} j={}", i, j);
+        }
+    }
+
+    #[test]
+    fn calibration_cancels_any_front_end(seed in 0u64..2000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fe = FrontEnd::random(6, 0.0, &mut rng); // noiseless tone
+        let capture = fe.receive_calibration_tone(64, 1.0, &mut rng);
+        let cal = Calibration::from_tone_capture(&capture);
+        for r in cal.residual_phases(&fe) {
+            prop_assert!(r.abs() < 1e-9, "residual {}", r);
+        }
+    }
+
+    #[test]
+    fn calibrated_front_end_preserves_relative_phases(
+        seed in 0u64..500,
+        az in -7.0f64..7.0,
+    ) {
+        let array = Array::paper_octagon();
+        let steer = array.steering(az);
+        let clean = CMat::from_fn(8, 4, |m, t| steer[m] * sa_linalg::C64::cis(0.4 * t as f64));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fe = FrontEnd::random(8, 0.0, &mut rng);
+        let cal = Calibration::from_tone_capture(&fe.receive_calibration_tone(64, 1.0, &mut rng));
+        let mut rx = fe.receive(&clean, &mut rng);
+        cal.apply(&mut rx);
+        for t in 0..4 {
+            for m in 1..8 {
+                let got = (rx[(m, t)] * rx[(0, t)].conj()).arg();
+                let want = (clean[(m, t)] * clean[(0, t)].conj()).arg();
+                let d = (got - want + std::f64::consts::PI)
+                    .rem_euclid(2.0 * std::f64::consts::PI)
+                    - std::f64::consts::PI;
+                prop_assert!(d.abs() < 1e-6, "m={} t={} d={}", m, t, d);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_gain_is_polar_decomposition(phase in -7.0f64..7.0, gain in 0.1f64..3.0) {
+        let c = RfChain { phase_offset: phase, gain };
+        let g = c.complex_gain();
+        prop_assert!((g.abs() - gain).abs() < 1e-12);
+        // Phase compared modulo 2π.
+        let d = (g.arg() - phase).rem_euclid(2.0 * std::f64::consts::PI);
+        prop_assert!(d < 1e-9 || (2.0 * std::f64::consts::PI - d) < 1e-9);
+    }
+
+    #[test]
+    fn modespace_transform_is_linear(az1 in 0.0f64..6.28, az2 in 0.0f64..6.28) {
+        let array = Array::paper_octagon();
+        let ms = ModeSpace::for_array(&array);
+        let a = CMat::col_vector(&array.steering(az1));
+        let b = CMat::col_vector(&array.steering(az2));
+        let sum = &a + &b;
+        let ta = ms.transform(&a);
+        let tb = ms.transform(&b);
+        let tsum = ms.transform(&sum);
+        let expect = &ta + &tb;
+        prop_assert!(tsum.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn virtual_steering_correlates_with_transformed_physical(az in 0.0f64..6.28) {
+        let array = Array::paper_octagon();
+        let ms = ModeSpace::for_array(&array);
+        let ta = ms.transform(&CMat::col_vector(&array.steering(az)));
+        let ta: Vec<_> = (0..ta.rows()).map(|r| ta[(r, 0)]).collect();
+        let v = ms.steering(az);
+        let corr = vdot(&v, &ta).abs() / (vnorm(&v) * vnorm(&ta));
+        prop_assert!(corr > 0.95, "correlation {} at az {}", corr, az);
+    }
+}

@@ -1,0 +1,53 @@
+//! Bench for experiment E1 (Figure 5): the per-packet cost of producing
+//! a bearing + signature on the circular-array AP, for the client
+//! classes the paper calls out (near, far, through-wall, pillar-blocked).
+//!
+//! This is the latency that determines whether SecureAngle can keep up
+//! with live traffic: one observation = detection + decode + calibration
+//! + correlation + MUSIC.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sa_bench::capture_circular;
+
+fn bench_fig5_observation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_bearing_per_packet");
+    for (label, client) in [
+        ("near_client_5", 5usize),
+        ("far_client_6", 6),
+        ("other_room_client_2", 2),
+        ("pillar_blocked_client_11", 11),
+    ] {
+        let cap = capture_circular(client, 0xF165);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || cap.buffer.clone(),
+                |buf| cap.testbed.nodes[0].ap.observe(&buf).expect("observe"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5_full_sweep(c: &mut Criterion) {
+    // One complete Fig-5 data point: a client's packet from channel to
+    // bearing, including waveform synthesis — the experiment's unit of
+    // work.
+    let mut group = c.benchmark_group("fig5_end_to_end");
+    group.sample_size(20);
+    group.bench_function("capture_plus_observe", |b| {
+        use rand::SeedableRng;
+        let tb = sa_testbed::Testbed::single_ap(sa_testbed::ApArray::Circular, 77);
+        let mut seq = 0u16;
+        b.iter(|| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seq as u64);
+            seq = seq.wrapping_add(1);
+            let buf = tb.client_capture(0, 5, seq, 0.0, &mut rng);
+            tb.nodes[0].ap.observe(&buf).expect("observe")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_observation, bench_fig5_full_sweep);
+criterion_main!(benches);

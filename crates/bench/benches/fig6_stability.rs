@@ -1,0 +1,62 @@
+//! Bench for experiment E3 (Figure 6): signature comparison and temporal
+//! channel evolution — the operations an AP performs per uplink frame to
+//! track `S_cl` over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_bench::capture_linear;
+use secureangle::signature::{AoaSignature, MatchConfig, SignatureTracker};
+
+fn signatures() -> (AoaSignature, AoaSignature) {
+    let cap0 = capture_linear(5, 8, 0xF166);
+    let obs0 = cap0.testbed.nodes[0].ap.observe(&cap0.buffer).expect("observe");
+    let cap1 = capture_linear(5, 8, 0xF167);
+    let obs1 = cap1.testbed.nodes[0].ap.observe(&cap1.buffer).expect("observe");
+    (obs0.signature, obs1.signature)
+}
+
+fn bench_signature_compare(c: &mut Criterion) {
+    let (a, b) = signatures();
+    let cfg = MatchConfig::default();
+    c.bench_function("fig6_signature_compare", |bch| {
+        bch.iter(|| a.compare(&b, &cfg))
+    });
+}
+
+fn bench_tracker_update(c: &mut Criterion) {
+    let (a, b) = signatures();
+    c.bench_function("fig6_tracker_update", |bch| {
+        let mut tracker = SignatureTracker::new(a.clone(), 0.15);
+        bch.iter(|| tracker.update(&b))
+    });
+}
+
+fn bench_temporal_evolution(c: &mut Criterion) {
+    use sa_channel::temporal::TemporalModel;
+    use sa_channel::trace::{trace_paths, TraceConfig};
+    let office = sa_testbed::Office::paper_figure4();
+    let paths = trace_paths(
+        &office.plan,
+        office.client(10).position,
+        office.ap_position,
+        &TraceConfig::default(),
+    );
+    let model = TemporalModel::default();
+    let mut group = c.benchmark_group("fig6_channel_evolution");
+    for dt in [1.0, 1000.0, 86_400.0] {
+        group.bench_function(format!("dt_{dt}s"), |bch| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            bch.iter(|| model.evolve(&paths, dt, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signature_compare,
+    bench_tracker_update,
+    bench_temporal_evolution
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench for experiment E4 (Figure 7): MUSIC cost versus antenna count —
+//! the paper's scaling argument ("the trend favors our design") has a
+//! compute dimension too, since the eigendecomposition is O(M³) and the
+//! scan is O(M·G).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sa_bench::capture_linear;
+
+fn bench_observe_by_antenna_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_observe_by_antennas");
+    for k in [2usize, 4, 6, 8] {
+        let cap = capture_linear(12, k, 0xF167);
+        group.bench_function(format!("{k}_antennas"), |b| {
+            b.iter_batched(
+                || cap.buffer.clone(),
+                |buf| cap.testbed.nodes[0].ap.observe(&buf).expect("observe"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_music_scan_only(c: &mut Criterion) {
+    use sa_aoa::manifold::ScanSpace;
+    use sa_aoa::music::music_spectrum;
+    use sa_array::geometry::Array;
+    use sa_linalg::CMat;
+    use sa_sigproc::covariance::sample_covariance;
+
+    let mut group = c.benchmark_group("fig7_music_scan");
+    for k in [2usize, 4, 6, 8] {
+        let array = Array::paper_linear(k);
+        let steer = array.steering(1.0);
+        let x = CMat::from_fn(k, 256, |m, t| {
+            steer[m] * sa_linalg::C64::cis(0.7 * t as f64)
+        });
+        let r = sample_covariance(&x);
+        let space = ScanSpace::physical(&array);
+        group.bench_function(format!("{k}_antennas_1deg_grid"), |b| {
+            b.iter(|| music_spectrum(&r, &space, 1, 1.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_by_antenna_count, bench_music_scan_only);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Regenerate every table and figure of the SecureAngle evaluation.
+//!
+//! ```text
+//! experiments [--seed N] [--quick] <which>
+//!   which ∈ fig5 | claim-accuracy | fig6 | fig7 | spoofing | fence |
+//!           rss-baseline | ablations | snr-sweep | mobility | downlink | all
+//! ```
+//!
+//! Each experiment prints its table to stdout and writes two artifacts
+//! under `target/experiments/`: `<name>.txt` (the rendered table) and
+//! `<name>.json` (the full dataset for plotting). Runs are deterministic
+//! in the seed.
+
+use sa_testbed::experiments as exp;
+use std::fs;
+use std::path::PathBuf;
+
+struct Opts {
+    seed: u64,
+    quick: bool,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut seed = 2010; // the paper's year; any u64 works
+    let mut quick = false;
+    let mut which = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--seed N] [--quick] \
+                     <fig5|claim-accuracy|fig6|fig7|spoofing|fence|rss-baseline|ablations|snr-sweep|mobility|downlink|all>"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    Opts { seed, quick, which }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    std::process::exit(2);
+}
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+fn emit<T: serde::Serialize>(name: &str, text: &str, data: &T) {
+    println!("{}", text);
+    let dir = out_dir();
+    fs::write(dir.join(format!("{name}.txt")), text).expect("write txt artifact");
+    let json = serde_json::to_string_pretty(data).expect("serialize");
+    fs::write(dir.join(format!("{name}.json")), json).expect("write json artifact");
+    eprintln!("[artifacts: target/experiments/{name}.{{txt,json}}]");
+}
+
+fn main() {
+    let opts = parse_args();
+    let all = opts.which.iter().any(|w| w == "all");
+    let want = |name: &str| all || opts.which.iter().any(|w| w == name);
+    let mut ran = false;
+
+    if want("fig5") || want("claim-accuracy") {
+        ran = true;
+        let packets = if opts.quick { 5 } else { 20 };
+        let r = exp::fig5::run(opts.seed, packets);
+        emit("fig5", &exp::fig5::render(&r), &r);
+    }
+    if want("fig6") {
+        ran = true;
+        let r = exp::fig6::run(opts.seed);
+        emit("fig6", &exp::fig6::render(&r), &r);
+    }
+    if want("fig7") {
+        ran = true;
+        let r = exp::fig7::run(opts.seed, 12);
+        emit("fig7", &exp::fig7::render(&r), &r);
+    }
+    if want("spoofing") {
+        ran = true;
+        let (victims, legit): (Vec<usize>, usize) = if opts.quick {
+            (vec![5, 9, 16], 5)
+        } else {
+            ((1..=20).collect(), 10)
+        };
+        let r = exp::spoofing::run(opts.seed, &victims, legit);
+        emit("spoofing", &exp::spoofing::render(&r), &r);
+    }
+    if want("fence") {
+        ran = true;
+        let packets = if opts.quick { 2 } else { 5 };
+        let r = exp::fence::run(opts.seed, packets);
+        emit("fence", &exp::fence::render(&r), &r);
+    }
+    if want("rss-baseline") {
+        ran = true;
+        let r = exp::rss_baseline::run(opts.seed, 5);
+        emit("rss_baseline", &exp::rss_baseline::render(&r), &r);
+    }
+    if want("ablations") {
+        ran = true;
+        let packets = if opts.quick { 2 } else { 6 };
+        let r = exp::ablations::run(opts.seed, packets);
+        emit("ablations", &exp::ablations::render(&r), &r);
+    }
+    if want("mobility") {
+        ran = true;
+        let r = exp::mobility::run(opts.seed, 1.3, if opts.quick { 2.0 } else { 0.5 });
+        emit("mobility", &exp::mobility::render(&r), &r);
+    }
+    if want("downlink") {
+        ran = true;
+        let r = exp::downlink::run(opts.seed);
+        emit("downlink", &exp::downlink::render(&r), &r);
+    }
+    if want("snr-sweep") {
+        ran = true;
+        let trials = if opts.quick { 6 } else { 20 };
+        let r = exp::snr::run(opts.seed, 5, trials);
+        emit("snr_sweep", &exp::snr::render(&r), &r);
+    }
+
+    if !ran {
+        die(&format!("unknown experiment(s): {:?}", opts.which));
+    }
+}

@@ -1,0 +1,52 @@
+//! # sa-bench — benchmarks and figure regeneration
+//!
+//! * the `experiments` binary regenerates every evaluation figure/table
+//!   (run `cargo run -p sa-bench --release --bin experiments -- all`);
+//! * Criterion benches (`cargo bench`) measure the per-stage costs of
+//!   the pipeline, one bench file per paper figure plus microbenches.
+//!
+//! Shared helpers for the benches live here.
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_linalg::CMat;
+use sa_testbed::{ApArray, Testbed};
+
+/// A ready-made capture for pipeline benches: the testbed plus one
+/// multi-antenna buffer holding a client packet.
+pub struct BenchCapture {
+    /// The testbed (AP node 0 calibrated).
+    pub testbed: Testbed,
+    /// The captured multi-antenna buffer.
+    pub buffer: CMat,
+    /// The client id that transmitted.
+    pub client: usize,
+}
+
+/// Build a deterministic capture from a given client on the circular
+/// testbed.
+pub fn capture_circular(client: usize, seed: u64) -> BenchCapture {
+    let testbed = Testbed::single_ap(ApArray::Circular, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbe9c4);
+    let buffer = testbed.client_capture(0, client, 1, 0.0, &mut rng);
+    BenchCapture {
+        testbed,
+        buffer,
+        client,
+    }
+}
+
+/// Build a deterministic capture on the linear testbed with `antennas`
+/// elements.
+pub fn capture_linear(client: usize, antennas: usize, seed: u64) -> BenchCapture {
+    let testbed = Testbed::single_ap(ApArray::Linear(antennas), seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbe9c4);
+    let buffer = testbed.client_capture(0, client, 1, 0.0, &mut rng);
+    BenchCapture {
+        testbed,
+        buffer,
+        client,
+    }
+}

@@ -1,0 +1,362 @@
+//! Channel application: traced paths × antenna array × waveform →
+//! per-antenna IQ snapshots.
+//!
+//! The narrowband-per-path decomposition standard in array processing:
+//! each path contributes `g_p · a(az_p) · s(t − τ_p)` where `a` is the
+//! array steering vector at the path's arrival azimuth (the inter-antenna
+//! delays within the ~12 cm array are ≪ one 20 MHz sample, so they appear
+//! as carrier phases — the steering vector — not envelope shifts, exactly
+//! the geometry of the paper's Figure 1(c)). Envelope delays *between*
+//! paths can span multiple samples and are applied by fractional-delay
+//! interpolation, which is what makes the OFDM cyclic prefix and the
+//! frequency-selective channel real in this simulator.
+
+use crate::pattern::TxAntenna;
+use crate::trace::Path;
+use sa_array::geometry::Array;
+use sa_linalg::matrix::CMat;
+use sa_sigproc::iq::{apply_cfo, delay_signal};
+
+/// Everything the channel hands the receiver for one transmission.
+#[derive(Debug, Clone)]
+pub struct ChannelOutput {
+    /// Clean per-antenna samples (rows = antennas), before the RF front
+    /// end adds its impairments and noise.
+    pub snapshots: CMat,
+    /// The paths that formed the signal (ground truth for experiments).
+    pub paths: Vec<Path>,
+    /// Mean received power across antennas and samples (for RSS and SNR
+    /// bookkeeping).
+    pub rx_power: f64,
+}
+
+/// Channel application parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyConfig {
+    /// Baseband sample rate, Hz (the paper's 20 MHz).
+    pub sample_rate: f64,
+    /// Linear transmit power scaling (waveform is scaled by its square
+    /// root). `1.0` = the waveform's own power.
+    pub tx_power: f64,
+    /// Client↔AP carrier frequency offset, radians per sample (identical
+    /// on all AP chains — the boards share sampling clocks, paper §3).
+    pub cfo_rad_per_sample: f64,
+    /// Rotation of the array's local frame relative to the global floor
+    /// plan frame, radians (array broadside orientation).
+    pub array_orientation: f64,
+}
+
+impl Default for ApplyConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: sa_array::geometry::SAMPLE_RATE_HZ,
+            tx_power: 1.0,
+            cfo_rad_per_sample: 0.0,
+            array_orientation: 0.0,
+        }
+    }
+}
+
+/// Drive `waveform` through `paths` into `array`.
+///
+/// Path delays are applied relative to the earliest path so the packet
+/// stays near the start of the output buffer; the *absolute* common
+/// delay is irrelevant to every receiver stage (detection re-times, AoA
+/// uses inter-antenna phase only).
+pub fn apply_channel(
+    paths: &[Path],
+    tx_antenna: &TxAntenna,
+    array: &Array,
+    waveform: &[sa_linalg::C64],
+    cfg: &ApplyConfig,
+) -> ChannelOutput {
+    assert!(!paths.is_empty(), "apply_channel: no paths");
+    assert!(!waveform.is_empty(), "apply_channel: empty waveform");
+    let m = array.len();
+    let n = waveform.len();
+    let min_delay = paths.iter().map(|p| p.delay_s).fold(f64::INFINITY, f64::min);
+    let amp_tx = cfg.tx_power.sqrt();
+
+    let mut x = CMat::zeros(m, n);
+    for p in paths {
+        let pat = tx_antenna.amplitude_gain(p.departure_az);
+        if pat == 0.0 {
+            continue;
+        }
+        let g = p.gain.scale(amp_tx * pat);
+        let rel_delay = (p.delay_s - min_delay) * cfg.sample_rate;
+        let delayed = delay_signal(waveform, rel_delay);
+        let local_az = p.arrival_az - cfg.array_orientation;
+        let steer = array.steering(local_az);
+        for (mi, s_m) in steer.iter().enumerate() {
+            let coef = *s_m * g;
+            for t in 0..n {
+                x[(mi, t)] += coef * delayed[t];
+            }
+        }
+    }
+
+    if cfg.cfo_rad_per_sample != 0.0 {
+        for mi in 0..m {
+            let mut row = x.row(mi);
+            apply_cfo(&mut row, cfg.cfo_rad_per_sample);
+            for t in 0..n {
+                x[(mi, t)] = row[t];
+            }
+        }
+    }
+
+    let rx_power = (0..m)
+        .map(|mi| sa_sigproc::iq::mean_power(&x.row(mi)))
+        .sum::<f64>()
+        / m as f64;
+
+    ChannelOutput {
+        snapshots: x,
+        paths: paths.to_vec(),
+        rx_power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::pt;
+    use crate::plan::FloorPlan;
+    use crate::trace::{trace_paths, TraceConfig};
+    use sa_linalg::complex::C64;
+
+    fn tone(n: usize) -> Vec<C64> {
+        (0..n).map(|t| C64::cis(0.21 * t as f64)).collect()
+    }
+
+    fn los_paths(dist: f64) -> Vec<Path> {
+        trace_paths(
+            &FloorPlan::new(),
+            pt(dist, 0.0),
+            pt(0.0, 0.0),
+            &TraceConfig::default(),
+        )
+    }
+
+    #[test]
+    fn single_path_reproduces_steering_phases() {
+        let array = Array::paper_octagon();
+        let paths = los_paths(4.0);
+        let out = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        // Every antenna pair's phase difference equals the steering
+        // vector's (single path ⇒ pure plane wave).
+        let steer = array.steering(paths[0].arrival_az);
+        for t in 0..64 {
+            for mi in 1..array.len() {
+                let got = (out.snapshots[(mi, t)] * out.snapshots[(0, t)].conj()).arg();
+                let want = (steer[mi] * steer[0].conj()).arg();
+                let d = (got - want + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+                    - std::f64::consts::PI;
+                assert!(d.abs() < 1e-9, "t={} m={} Δ={}", t, mi, d);
+            }
+        }
+    }
+
+    #[test]
+    fn rx_power_follows_path_loss() {
+        let array = Array::paper_linear(4);
+        let near = apply_channel(
+            &los_paths(2.0),
+            &TxAntenna::Omni,
+            &array,
+            &tone(128),
+            &ApplyConfig::default(),
+        );
+        let far = apply_channel(
+            &los_paths(8.0),
+            &TxAntenna::Omni,
+            &array,
+            &tone(128),
+            &ApplyConfig::default(),
+        );
+        let ratio_db = 10.0 * (near.rx_power / far.rx_power).log10();
+        // 4× distance = 12 dB.
+        assert!((ratio_db - 12.04).abs() < 0.2, "ratio {}", ratio_db);
+    }
+
+    #[test]
+    fn tx_power_scales_linearly() {
+        let array = Array::paper_linear(2);
+        let paths = los_paths(3.0);
+        let base = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        let boosted = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(64),
+            &ApplyConfig {
+                tx_power: 4.0,
+                ..Default::default()
+            },
+        );
+        assert!((boosted.rx_power / base.rx_power - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cfo_adds_progressive_rotation() {
+        let array = Array::paper_linear(2);
+        let paths = los_paths(3.0);
+        let still = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(32),
+            &ApplyConfig::default(),
+        );
+        let offset = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(32),
+            &ApplyConfig {
+                cfo_rad_per_sample: 0.05,
+                ..Default::default()
+            },
+        );
+        for t in 0..32 {
+            let d = (offset.snapshots[(0, t)] * still.snapshots[(0, t)].conj()).arg();
+            let want =
+                (0.05 * t as f64 + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+                    - std::f64::consts::PI;
+            assert!((d - want).abs() < 1e-9, "t={}", t);
+        }
+    }
+
+    #[test]
+    fn array_orientation_rotates_apparent_aoa() {
+        // Rotating the array must rotate the steering accordingly.
+        let array = Array::paper_octagon();
+        let paths = los_paths(5.0); // arrival azimuth 0 (from +x)
+        let rotated = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(16),
+            &ApplyConfig {
+                array_orientation: 0.7,
+                ..Default::default()
+            },
+        );
+        let steer = array.steering(-0.7); // local frame sees az − orientation
+        for mi in 1..array.len() {
+            let got = (rotated.snapshots[(mi, 0)] * rotated.snapshots[(0, 0)].conj()).arg();
+            let want = (steer[mi] * steer[0].conj()).arg();
+            let d = (got - want + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+                - std::f64::consts::PI;
+            assert!(d.abs() < 1e-9, "m={}", mi);
+        }
+    }
+
+    #[test]
+    fn directional_tx_starves_off_axis_paths() {
+        // Two manual paths, TX antenna aimed at the first's departure.
+        let p1 = los_paths(4.0)[0];
+        let mut p2 = p1;
+        p2.departure_az = p1.departure_az + std::f64::consts::PI; // behind
+        p2.arrival_az = p1.arrival_az + 1.0;
+        let array = Array::paper_linear(4);
+        let aimed = TxAntenna::directional_dbi(p1.departure_az, 12.0, 4.0);
+        let out = apply_channel(
+            &[p1, p2],
+            &aimed,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        // Compare with p1 alone, boosted: the back-lobe path contributes
+        // nothing measurable.
+        let solo = apply_channel(
+            &[p1],
+            &aimed,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        assert!(
+            (out.rx_power / solo.rx_power - 1.0).abs() < 1e-9,
+            "back-lobe leak: {} vs {}",
+            out.rx_power,
+            solo.rx_power
+        );
+    }
+
+    #[test]
+    fn multipath_sum_is_superposition() {
+        let array = Array::paper_linear(3);
+        // Same delay on both paths so each sub-call's min-delay reference
+        // is identical (the common-delay normalisation is per call).
+        let paths = {
+            let mut v = los_paths(4.0);
+            let mut echo = v[0];
+            echo.arrival_az += 0.8;
+            echo.gain = echo.gain.scale(0.5);
+            v.push(echo);
+            v
+        };
+        let both = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        let a = apply_channel(
+            &paths[..1],
+            &TxAntenna::Omni,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        let b = apply_channel(
+            &paths[1..],
+            &TxAntenna::Omni,
+            &array,
+            &tone(64),
+            &ApplyConfig::default(),
+        );
+        // Linearity: both == a + b, but watch the per-call min-delay
+        // reference: path 0 is earliest in all three calls here.
+        for t in 0..64 {
+            for mi in 0..3 {
+                let sum = a.snapshots[(mi, t)] + b.snapshots[(mi, t)];
+                assert!(
+                    both.snapshots[(mi, t)].approx_eq(sum, 1e-9),
+                    "t={} m={}",
+                    t,
+                    mi
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no paths")]
+    fn empty_paths_panics() {
+        let array = Array::paper_linear(2);
+        let _ = apply_channel(
+            &[],
+            &TxAntenna::Omni,
+            &array,
+            &tone(8),
+            &ApplyConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # sa-channel — geometric indoor multipath simulation
+//!
+//! The software substitute for the paper's office testbed (DESIGN.md §2):
+//!
+//! * [`geom`] — 2-D points/segments/polygons, mirror images;
+//! * [`plan`] — floor plans: walls with reflection/transmission materials;
+//! * [`trace`] — image-method ray tracing (direct + 1st/2nd-order
+//!   specular reflections, through-wall attenuation, Friis spreading,
+//!   carrier phase);
+//! * [`pattern`] — transmit antenna patterns (omni / directional — the
+//!   paper's attacker equipment);
+//! * [`temporal`] — Gauss–Markov evolution of path gains between captures
+//!   (Fig 6's "direct peak stable, reflections wander");
+//! * [`apply`] — paths × array × waveform → per-antenna IQ snapshots.
+//!
+//! All randomness flows through caller-provided RNGs; a seed fully
+//! determines every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod geom;
+pub mod pattern;
+pub mod plan;
+pub mod temporal;
+pub mod trace;
+
+pub use apply::{apply_channel, ApplyConfig, ChannelOutput};
+pub use geom::{pt, Point, Rect, Segment};
+pub use pattern::TxAntenna;
+pub use plan::{FloorPlan, Material, Wall, CONCRETE, DRYWALL, GLASS, METAL};
+pub use temporal::TemporalModel;
+pub use trace::{trace_paths, Path, PathKind, TraceConfig};

@@ -1,0 +1,118 @@
+//! Transmit antenna patterns.
+//!
+//! The paper's threat model (§1) equips attackers with "an
+//! omnidirectional antenna, directional antenna (as the attackers were
+//! equipped in the TJ Maxx attacks of 2006), or antenna array". The
+//! pattern weights each traced path by its *departure* azimuth, which is
+//! how a directional antenna reshapes the multipath profile (it boosts
+//! paths it points at and starves the rest) — the mechanism by which
+//! such an attacker defeats RSS signalprints but not AoA signatures.
+
+/// A transmit antenna's azimuthal pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TxAntenna {
+    /// Ideal omnidirectional pattern (unit gain everywhere).
+    Omni,
+    /// A cardioid-family directional pattern aimed at `aim_az`:
+    /// power gain `boost · ((1 + cos(Δ))/2)^order`, where `Δ` is the
+    /// angle off boresight. Higher `order` ⇒ narrower beam.
+    Directional {
+        /// Boresight azimuth, radians (global frame).
+        aim_az: f64,
+        /// Beam sharpness exponent (1 = classic cardioid, 4 ≈ 14 dBi
+        /// patch/yagi-class beam).
+        order: f64,
+        /// Boresight power gain, linear (e.g. `10^(14/10)` for 14 dBi).
+        boost: f64,
+    },
+}
+
+impl TxAntenna {
+    /// A directional antenna from boresight gain in dBi and an order.
+    pub fn directional_dbi(aim_az: f64, gain_dbi: f64, order: f64) -> Self {
+        TxAntenna::Directional {
+            aim_az,
+            order,
+            boost: 10f64.powf(gain_dbi / 10.0),
+        }
+    }
+
+    /// Amplitude gain toward a departure azimuth.
+    pub fn amplitude_gain(&self, departure_az: f64) -> f64 {
+        self.power_gain(departure_az).sqrt()
+    }
+
+    /// Power gain toward a departure azimuth.
+    pub fn power_gain(&self, departure_az: f64) -> f64 {
+        match *self {
+            TxAntenna::Omni => 1.0,
+            TxAntenna::Directional { aim_az, order, boost } => {
+                let delta = departure_az - aim_az;
+                let c = (1.0 + delta.cos()) / 2.0; // 1 at boresight, 0 behind
+                boost * c.powf(order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn omni_is_flat() {
+        for i in 0..12 {
+            let az = 2.0 * PI * i as f64 / 12.0;
+            assert_eq!(TxAntenna::Omni.power_gain(az), 1.0);
+        }
+    }
+
+    #[test]
+    fn boresight_gets_full_boost() {
+        let a = TxAntenna::directional_dbi(1.0, 14.0, 4.0);
+        assert!((a.power_gain(1.0) - 10f64.powf(1.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_lobe_is_null() {
+        let a = TxAntenna::directional_dbi(0.0, 14.0, 4.0);
+        assert!(a.power_gain(PI) < 1e-12);
+    }
+
+    #[test]
+    fn monotone_rolloff_within_half_plane() {
+        let a = TxAntenna::directional_dbi(0.0, 10.0, 2.0);
+        let g: Vec<f64> = (0..=9)
+            .map(|i| a.power_gain(i as f64 * PI / 9.0))
+            .collect();
+        for w in g.windows(2) {
+            assert!(w[0] >= w[1], "pattern must roll off: {:?}", g);
+        }
+    }
+
+    #[test]
+    fn higher_order_is_narrower() {
+        let wide = TxAntenna::directional_dbi(0.0, 10.0, 1.0);
+        let narrow = TxAntenna::directional_dbi(0.0, 10.0, 6.0);
+        let off = 1.0; // ~57° off boresight
+        assert!(
+            narrow.power_gain(off) / narrow.power_gain(0.0)
+                < wide.power_gain(off) / wide.power_gain(0.0)
+        );
+    }
+
+    #[test]
+    fn amplitude_is_sqrt_of_power() {
+        let a = TxAntenna::directional_dbi(0.3, 8.0, 3.0);
+        for az in [0.0, 0.5, 1.0, 2.0] {
+            assert!((a.amplitude_gain(az).powi(2) - a.power_gain(az)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pattern_wraps_around() {
+        let a = TxAntenna::directional_dbi(0.1, 10.0, 2.0);
+        assert!((a.power_gain(0.1 + 2.0 * PI) - a.power_gain(0.1)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the geometric channel layer.
+
+use proptest::prelude::*;
+use sa_channel::geom::{point_in_polygon, pt, seg, Point, Rect, Segment};
+use sa_channel::pattern::TxAntenna;
+use sa_channel::plan::{FloorPlan, CONCRETE, DRYWALL};
+use sa_channel::trace::{trace_paths, PathKind, TraceConfig};
+
+fn any_point() -> impl Strategy<Value = Point> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| pt(x, y))
+}
+
+fn any_segment() -> impl Strategy<Value = Segment> {
+    (any_point(), any_point())
+        .prop_filter("non-degenerate", |(a, b)| a.dist(*b) > 0.1)
+        .prop_map(|(a, b)| seg(a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- geometry ----------------
+
+    #[test]
+    fn mirror_is_involutive_and_isometric(w in any_segment(), p in any_point(), q in any_point()) {
+        let mm = w.mirror(w.mirror(p));
+        prop_assert!(mm.dist(p) < 1e-6);
+        // Mirroring preserves pairwise distances.
+        let d0 = p.dist(q);
+        let d1 = w.mirror(p).dist(w.mirror(q));
+        prop_assert!((d0 - d1).abs() < 1e-6 * d0.max(1.0));
+    }
+
+    #[test]
+    fn intersection_is_symmetric(a in any_segment(), b in any_segment()) {
+        let ab = a.intersect(&b, false);
+        let ba = b.intersect(&a, false);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(i), Some(j)) = (ab, ba) {
+            prop_assert!(i.point.dist(j.point) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rect_contains_its_centre_and_not_far_points(
+        x0 in -20.0f64..20.0, y0 in -20.0f64..20.0,
+        w in 0.5f64..20.0, h in 0.5f64..20.0,
+    ) {
+        let r = Rect::new(x0, y0, x0 + w, y0 + h);
+        prop_assert!(r.contains(pt(x0 + w / 2.0, y0 + h / 2.0)));
+        prop_assert!(!r.contains(pt(x0 - 1.0, y0)));
+        prop_assert!(!r.contains(pt(x0, y0 + h + 1.0)));
+        // Edges form a closed loop of total length 2(w+h).
+        let perim: f64 = r.edges().iter().map(|e| e.len()).sum();
+        prop_assert!((perim - 2.0 * (w + h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convex_polygon_contains_centroid(
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0, r in 1.0f64..10.0, n in 3usize..10,
+    ) {
+        // A regular n-gon contains its centre.
+        let poly: Vec<Point> = (0..n)
+            .map(|k| {
+                let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                pt(cx + r * th.cos(), cy + r * th.sin())
+            })
+            .collect();
+        prop_assert!(point_in_polygon(pt(cx, cy), &poly));
+        prop_assert!(!point_in_polygon(pt(cx + 2.0 * r, cy), &poly));
+    }
+
+    // ---------------- patterns ----------------
+
+    #[test]
+    fn directional_pattern_bounded_by_boost(aim in -3.0f64..3.0, az in -7.0f64..7.0, dbi in 0.0f64..20.0, order in 0.5f64..8.0) {
+        let a = TxAntenna::directional_dbi(aim, dbi, order);
+        let g = a.power_gain(az);
+        prop_assert!(g >= 0.0);
+        prop_assert!(g <= 10f64.powf(dbi / 10.0) * (1.0 + 1e-9));
+        // Boresight is the max.
+        prop_assert!(g <= a.power_gain(aim) + 1e-9);
+    }
+
+    // ---------------- ray tracing ----------------
+
+    #[test]
+    fn paths_sorted_strongest_first(tx in any_point(), rx in any_point(), wy in -30.0f64..30.0) {
+        prop_assume!(tx.dist(rx) > 0.5);
+        let mut plan = FloorPlan::new();
+        plan.add_wall(seg(pt(-60.0, wy), pt(60.0, wy)), CONCRETE);
+        plan.add_wall(seg(pt(-60.0, wy + 8.0), pt(60.0, wy + 8.0)), DRYWALL);
+        let paths = trace_paths(&plan, tx, rx, &TraceConfig::default());
+        // First entry strongest (kept sorted).
+        for w in paths.windows(2) {
+            // Direct is force-kept, so only require sortedness among
+            // equal kinds when direct isn't involved.
+            if w[0].kind != PathKind::Direct && w[1].kind != PathKind::Direct {
+                prop_assert!(w[0].gain.norm_sqr() >= w[1].gain.norm_sqr() - 1e-18);
+            }
+        }
+        // Exactly one direct path.
+        prop_assert_eq!(paths.iter().filter(|p| p.kind == PathKind::Direct).count(), 1);
+    }
+
+    #[test]
+    fn arrival_azimuths_are_finite_and_delays_positive(tx in any_point(), rx in any_point()) {
+        prop_assume!(tx.dist(rx) > 0.5);
+        let mut plan = FloorPlan::new();
+        plan.add_rect(Rect::new(-40.0, -40.0, 40.0, 40.0), CONCRETE);
+        let paths = trace_paths(&plan, tx, rx, &TraceConfig::default());
+        for p in &paths {
+            prop_assert!(p.arrival_az.is_finite());
+            prop_assert!(p.departure_az.is_finite());
+            prop_assert!(p.delay_s > 0.0);
+            prop_assert!(p.gain.is_finite());
+            prop_assert!(p.gain.abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn reciprocity_of_direct_path(tx in any_point(), rx in any_point()) {
+        prop_assume!(tx.dist(rx) > 0.5);
+        let plan = FloorPlan::new();
+        let ab = trace_paths(&plan, tx, rx, &TraceConfig::default());
+        let ba = trace_paths(&plan, rx, tx, &TraceConfig::default());
+        // Same gain magnitude and length both ways.
+        prop_assert!((ab[0].gain.abs() - ba[0].gain.abs()).abs() < 1e-12);
+        prop_assert!((ab[0].length - ba[0].length).abs() < 1e-12);
+        // Arrival azimuth one way is departure azimuth the other way.
+        let d = (ab[0].arrival_az - ba[0].departure_az).rem_euclid(2.0 * std::f64::consts::PI);
+        prop_assert!(d < 1e-9 || (2.0 * std::f64::consts::PI - d) < 1e-9);
+    }
+
+    // ---------------- temporal model ----------------
+
+    #[test]
+    fn evolution_is_deterministic_and_direct_survives(dt in 0.0f64..1e6, seed in 0u64..500) {
+        use rand::SeedableRng;
+        use sa_channel::temporal::TemporalModel;
+        let plan = {
+            let mut p = FloorPlan::new();
+            p.add_rect(Rect::new(-10.0, -10.0, 10.0, 10.0), CONCRETE);
+            p
+        };
+        let paths = trace_paths(&plan, pt(3.0, 2.0), pt(-4.0, -1.0), &TraceConfig::default());
+        let model = TemporalModel::default();
+        let a = model.evolve(&paths, dt, &mut rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        let b = model.evolve(&paths, dt, &mut rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.iter().filter(|p| p.kind == PathKind::Direct).count(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Attacker models (paper §1 threat model).
+//!
+//! "Our threat model consists of an attacker equipped with an
+//! omnidirectional antenna, directional antenna (as the attackers were
+//! equipped in the TJ Maxx attacks of 2006), or antenna array, and who
+//! has successfully penetrated the protocol-based security in use at the
+//! access point." The attacker transmits frames with a spoofed source
+//! MAC from its own position; what it controls is its equipment
+//! (pattern), aim, and transmit power. What it *cannot* control is the
+//! geometry between its position and the AP — which is exactly what the
+//! AoA signature measures.
+
+use sa_channel::geom::Point;
+use sa_channel::pattern::TxAntenna;
+use sa_mac::MacAddr;
+
+/// Attacker radio equipment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackerGear {
+    /// Standard omnidirectional dongle.
+    Omni,
+    /// High-gain directional antenna (TJ-Maxx-style): aimed at the AP,
+    /// with transmit power control.
+    Directional {
+        /// Boresight gain, dBi.
+        gain_dbi: f64,
+        /// Beam sharpness (cardioid exponent).
+        order: f64,
+    },
+    /// A transmit antenna array: modelled as an even sharper steerable
+    /// beam with sidelobe control; can also aim *off* the AP, e.g. at a
+    /// known reflector, to inject energy from a reflected direction.
+    Array {
+        /// Number of elements (sets gain ≈ 10·log10(n) dBi).
+        n_elements: usize,
+    },
+}
+
+/// An attacker instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attacker {
+    /// Physical position in the floor plan.
+    pub position: Point,
+    /// Equipment.
+    pub gear: AttackerGear,
+    /// The victim MAC it spoofs.
+    pub spoofed_mac: MacAddr,
+    /// Linear transmit power (1.0 = the reference client power).
+    pub tx_power: f64,
+}
+
+impl Attacker {
+    /// New attacker at a position, spoofing a MAC, default power.
+    pub fn new(position: Point, gear: AttackerGear, spoofed_mac: MacAddr) -> Self {
+        Self {
+            position,
+            gear,
+            spoofed_mac,
+            tx_power: 1.0,
+        }
+    }
+
+    /// The transmit pattern when aiming at `target` (usually the AP; an
+    /// array attacker may aim at a reflector instead).
+    pub fn antenna_toward(&self, target: Point) -> TxAntenna {
+        let aim = self.position.azimuth_to(target);
+        self.antenna_at_azimuth(aim)
+    }
+
+    /// The transmit pattern aimed at an explicit azimuth.
+    pub fn antenna_at_azimuth(&self, aim_az: f64) -> TxAntenna {
+        match self.gear {
+            AttackerGear::Omni => TxAntenna::Omni,
+            AttackerGear::Directional { gain_dbi, order } => {
+                TxAntenna::directional_dbi(aim_az, gain_dbi, order)
+            }
+            AttackerGear::Array { n_elements } => {
+                let gain_dbi = 10.0 * (n_elements as f64).log10();
+                // Array beams are sharper than a single directional
+                // element; order scales with element count.
+                TxAntenna::directional_dbi(aim_az, gain_dbi, n_elements as f64)
+            }
+        }
+    }
+
+    /// Set transmit power so the AP receives the same mean power it
+    /// receives from the victim — the RSS-matching attack of §4.
+    ///
+    /// * `victim_rx_power` — AP's measured power from the victim;
+    /// * `own_unit_rx_power` — AP's measured power from this attacker at
+    ///   `tx_power = 1.0` (the attacker can probe this with throwaway
+    ///   frames under its own MAC).
+    pub fn match_rss(&mut self, victim_rx_power: f64, own_unit_rx_power: f64) {
+        assert!(
+            own_unit_rx_power > 0.0,
+            "attacker signal does not reach the AP"
+        );
+        self.tx_power = victim_rx_power / own_unit_rx_power;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_channel::geom::pt;
+
+    fn mac() -> MacAddr {
+        MacAddr::local_from_index(7)
+    }
+
+    #[test]
+    fn omni_gear_gives_omni_pattern() {
+        let a = Attacker::new(pt(0.0, 0.0), AttackerGear::Omni, mac());
+        assert_eq!(a.antenna_toward(pt(5.0, 5.0)), TxAntenna::Omni);
+    }
+
+    #[test]
+    fn directional_gear_aims_at_target() {
+        let a = Attacker::new(
+            pt(0.0, 0.0),
+            AttackerGear::Directional { gain_dbi: 14.0, order: 4.0 },
+            mac(),
+        );
+        let ant = a.antenna_toward(pt(0.0, 5.0)); // due north
+        // Boresight gain toward north ≫ gain toward east.
+        let north = ant.power_gain(std::f64::consts::FRAC_PI_2);
+        let east = ant.power_gain(0.0);
+        assert!(north / east > 10.0, "north {} east {}", north, east);
+        assert!((north - 10f64.powf(1.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_gear_is_sharper_than_directional() {
+        let dir = Attacker::new(
+            pt(0.0, 0.0),
+            AttackerGear::Directional { gain_dbi: 9.0, order: 4.0 },
+            mac(),
+        )
+        .antenna_toward(pt(1.0, 0.0));
+        let arr = Attacker::new(
+            pt(0.0, 0.0),
+            AttackerGear::Array { n_elements: 8 },
+            mac(),
+        )
+        .antenna_toward(pt(1.0, 0.0));
+        let off = 0.6; // rad off boresight
+        let rel_dir = dir.power_gain(off) / dir.power_gain(0.0);
+        let rel_arr = arr.power_gain(off) / arr.power_gain(0.0);
+        assert!(rel_arr < rel_dir, "array {} dir {}", rel_arr, rel_dir);
+    }
+
+    #[test]
+    fn rss_matching_sets_power_ratio() {
+        let mut a = Attacker::new(pt(0.0, 0.0), AttackerGear::Omni, mac());
+        a.match_rss(4e-7, 1e-6);
+        assert!((a.tx_power - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not reach")]
+    fn rss_matching_requires_reachability() {
+        let mut a = Attacker::new(pt(0.0, 0.0), AttackerGear::Omni, mac());
+        a.match_rss(1e-6, 0.0);
+    }
+
+    #[test]
+    fn array_can_aim_off_axis() {
+        // Aiming at a reflector instead of the AP: pattern boresight is
+        // the given azimuth, not the AP direction.
+        let a = Attacker::new(pt(0.0, 0.0), AttackerGear::Array { n_elements: 8 }, mac());
+        let ant = a.antenna_at_azimuth(1.0);
+        assert!(ant.power_gain(1.0) > ant.power_gain(0.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Downlink directional transmission from uplink AoA (paper §5).
+//!
+//! "With AoA information obtained, high efficiency downlink directional
+//! transmission will also be feasible resulting in higher throughput and
+//! better reliability." The mechanism: transmit with per-antenna weights
+//! equal to the conjugated steering vector of the client's measured
+//! bearing (maximum-ratio transmission toward a direction). A perfect
+//! bearing concentrates the array's `M`-fold coherent gain on the
+//! client; a bearing error decollimates the beam. This module computes
+//! the realized beamforming gain so experiments can translate Fig-5
+//! bearing accuracy into downlink dB.
+
+use sa_array::geometry::Array;
+
+/// Transmit weights steering the array's beam toward an azimuth:
+/// the conjugated, power-normalised steering vector (`‖w‖² = 1`, so the
+/// comparison against a single omni antenna at equal total power is
+/// fair).
+pub fn mrt_weights(array: &Array, az: f64) -> Vec<sa_linalg::C64> {
+    let mut w: Vec<sa_linalg::C64> = array.steering(az).iter().map(|z| z.conj()).collect();
+    let norm = (w.len() as f64).sqrt();
+    for z in w.iter_mut() {
+        *z = z.scale(1.0 / norm);
+    }
+    w
+}
+
+/// Realized power gain (linear, relative to a single omni antenna at
+/// the same total transmit power) of beamforming toward `steer_az` for
+/// a client actually at `true_az`:
+/// `G = |w^H a(true)|²` with `w = a*(steer)/√M`, giving `M` when the
+/// bearing is exact.
+pub fn beamforming_gain(array: &Array, steer_az: f64, true_az: f64) -> f64 {
+    let w = mrt_weights(array, steer_az);
+    let a = array.steering(true_az);
+    // w^H applied on transmit: received amplitude = Σ w_m·a_m.
+    let amp: sa_linalg::C64 = w
+        .iter()
+        .zip(a.iter())
+        .map(|(wm, am)| *wm * *am)
+        .fold(sa_linalg::complex::ZERO, |acc, z| acc + z);
+    amp.norm_sqr()
+}
+
+/// [`beamforming_gain`] in dB.
+pub fn beamforming_gain_db(array: &Array, steer_az: f64, true_az: f64) -> f64 {
+    10.0 * beamforming_gain(array, steer_az, true_az).max(1e-30).log10()
+}
+
+/// The bearing error (degrees) at which the realized gain first drops
+/// `loss_db` below the perfect-steering gain — the "beam tolerance" that
+/// says how accurate the uplink AoA must be for downlink beamforming to
+/// pay off.
+pub fn bearing_tolerance_deg(array: &Array, true_az: f64, loss_db: f64) -> f64 {
+    let perfect = beamforming_gain_db(array, true_az, true_az);
+    let mut err = 0.0f64;
+    while err < 180.0 {
+        err += 0.1;
+        let g = beamforming_gain_db(array, true_az + err.to_radians(), true_az);
+        if g < perfect - loss_db {
+            return err;
+        }
+    }
+    180.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_steering_gives_m_fold_gain() {
+        for array in [Array::paper_octagon(), Array::paper_linear(8)] {
+            let g = beamforming_gain(&array, 1.0, 1.0);
+            assert!(
+                (g - array.len() as f64).abs() < 1e-9,
+                "gain {} for {} antennas",
+                g,
+                array.len()
+            );
+            // 8 antennas = 9.03 dB.
+            assert!((beamforming_gain_db(&array, 1.0, 1.0) - 9.03).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn weights_are_unit_power() {
+        let array = Array::paper_octagon();
+        let w = mrt_weights(&array, 0.7);
+        let p: f64 = w.iter().map(|z| z.norm_sqr()).sum();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_degrades_with_bearing_error() {
+        let array = Array::paper_octagon();
+        let truth = 2.0;
+        let g0 = beamforming_gain(&array, truth, truth);
+        let g5 = beamforming_gain(&array, truth + 5f64.to_radians(), truth);
+        let g30 = beamforming_gain(&array, truth + 30f64.to_radians(), truth);
+        assert!(g0 > g5, "{} vs {}", g0, g5);
+        assert!(g5 > g30, "{} vs {}", g5, g30);
+        // A 5° error costs little; Fig-5 accuracy is good enough.
+        assert!(
+            10.0 * (g0 / g5).log10() < 1.5,
+            "5 deg error costs {:.2} dB",
+            10.0 * (g0 / g5).log10()
+        );
+    }
+
+    #[test]
+    fn completely_wrong_bearing_is_worse_than_omni_somewhere() {
+        // Steering at a reflection instead of the client can *lose*
+        // signal versus a single omni antenna — the false-positive AoA
+        // costs real throughput downstream. The array factor has deep
+        // nulls (gain < 1) and the entire back half-plane is far below
+        // the M-fold main-beam gain.
+        let array = Array::paper_octagon();
+        let m = array.len() as f64;
+        let mut min_gain = f64::INFINITY;
+        let mut max_back = 0.0f64;
+        for e in 10..350 {
+            let err = (e as f64).to_radians();
+            let g = beamforming_gain(&array, err, 0.0);
+            min_gain = min_gain.min(g);
+            if (90..270).contains(&e) {
+                max_back = max_back.max(g);
+            }
+        }
+        assert!(min_gain < 1.0, "no null below omni: min {}", min_gain);
+        assert!(
+            max_back < m / 2.0,
+            "back half-plane gain {} too close to main beam {}",
+            max_back,
+            m
+        );
+    }
+
+    #[test]
+    fn tolerance_matches_beamwidth_intuition() {
+        // An 8-element array at kr≈3.1 has a main lobe of a few tens of
+        // degrees; the 3 dB bearing tolerance should be 10–40°.
+        let array = Array::paper_octagon();
+        let tol = bearing_tolerance_deg(&array, 1.0, 3.0);
+        assert!(
+            (5.0..60.0).contains(&tol),
+            "3 dB tolerance {} deg",
+            tol
+        );
+        // And the 1 dB tolerance is tighter.
+        let tol1 = bearing_tolerance_deg(&array, 1.0, 1.0);
+        assert!(tol1 < tol);
+    }
+
+    #[test]
+    fn more_antennas_mean_more_gain_and_tighter_beams() {
+        let a4 = Array::paper_linear(4);
+        let a8 = Array::paper_linear(8);
+        assert!(
+            beamforming_gain(&a8, 1.2, 1.2) > beamforming_gain(&a4, 1.2, 1.2)
+        );
+        let t4 = bearing_tolerance_deg(&a4, 1.2, 3.0);
+        let t8 = bearing_tolerance_deg(&a8, 1.2, 3.0);
+        assert!(t8 < t4, "8-ant tolerance {} vs 4-ant {}", t8, t4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Indoor localization from multi-AP bearings (paper §2.3.1).
+//!
+//! "In an environment where more than two access points are computing
+//! this bearing information, the intersection point of the direct path
+//! AoA is identified as the location of client." Each AP contributes a
+//! bearing ray; the client position is the least-squares point minimising
+//! the sum of squared perpendicular distances to all bearing lines
+//! (exact intersection for two non-parallel bearings).
+
+use sa_channel::geom::{pt, Point};
+
+/// One AP's bearing observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BearingObservation {
+    /// AP position in the floor-plan frame, meters.
+    pub ap_position: Point,
+    /// Measured direct-path azimuth (radians, global frame): the
+    /// direction from the AP *toward* the client.
+    pub azimuth: f64,
+}
+
+/// A localization fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fix {
+    /// Estimated client position.
+    pub position: Point,
+    /// RMS perpendicular distance from the fix to the bearing lines,
+    /// meters — a confidence proxy.
+    pub residual_m: f64,
+    /// How many bearings point *away* from the fix (the fix lies behind
+    /// the AP). Nonzero values indicate an inconsistent solution, e.g.
+    /// from a false-positive direct-path AoA; "those false positive AoAs
+    /// obtained from different APs may not intersect with each other"
+    /// (§3.1).
+    pub behind_count: usize,
+}
+
+/// Localization failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalizeError {
+    /// Fewer than two bearings.
+    NotEnoughBearings,
+    /// All bearing lines are (numerically) parallel.
+    DegenerateGeometry,
+}
+
+impl std::fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalizeError::NotEnoughBearings => write!(f, "need at least two AP bearings"),
+            LocalizeError::DegenerateGeometry => write!(f, "bearing lines are parallel"),
+        }
+    }
+}
+
+impl std::error::Error for LocalizeError {}
+
+/// Least-squares intersection of bearing lines.
+///
+/// Solves `(Σ (I − uᵢuᵢᵀ)) x = Σ (I − uᵢuᵢᵀ) pᵢ` where `uᵢ` is the unit
+/// bearing vector of AP `i` at position `pᵢ`.
+pub fn localize(bearings: &[BearingObservation]) -> Result<Fix, LocalizeError> {
+    if bearings.len() < 2 {
+        return Err(LocalizeError::NotEnoughBearings);
+    }
+    // Accumulate A (2×2 symmetric) and b (2-vector).
+    let (mut a11, mut a12, mut a22) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut b1, mut b2) = (0.0f64, 0.0f64);
+    for obs in bearings {
+        let (ux, uy) = (obs.azimuth.cos(), obs.azimuth.sin());
+        // I − uuᵀ
+        let m11 = 1.0 - ux * ux;
+        let m12 = -ux * uy;
+        let m22 = 1.0 - uy * uy;
+        a11 += m11;
+        a12 += m12;
+        a22 += m22;
+        b1 += m11 * obs.ap_position.x + m12 * obs.ap_position.y;
+        b2 += m12 * obs.ap_position.x + m22 * obs.ap_position.y;
+    }
+    let det = a11 * a22 - a12 * a12;
+    if det.abs() < 1e-9 {
+        return Err(LocalizeError::DegenerateGeometry);
+    }
+    let x = (b1 * a22 - b2 * a12) / det;
+    let y = (a11 * b2 - a12 * b1) / det;
+    let position = pt(x, y);
+
+    // Residual and front/back consistency.
+    let mut ssq = 0.0;
+    let mut behind = 0usize;
+    for obs in bearings {
+        let (ux, uy) = (obs.azimuth.cos(), obs.azimuth.sin());
+        let dx = position.x - obs.ap_position.x;
+        let dy = position.y - obs.ap_position.y;
+        let along = dx * ux + dy * uy;
+        let perp = -dx * uy + dy * ux;
+        ssq += perp * perp;
+        if along < 0.0 {
+            behind += 1;
+        }
+    }
+    Ok(Fix {
+        position,
+        residual_m: (ssq / bearings.len() as f64).sqrt(),
+        behind_count: behind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(x: f64, y: f64, az_deg: f64) -> BearingObservation {
+        BearingObservation {
+            ap_position: pt(x, y),
+            azimuth: az_deg.to_radians(),
+        }
+    }
+
+    #[test]
+    fn two_perpendicular_bearings_intersect_exactly() {
+        // AP1 at origin sees the client due east; AP2 at (4, −3) sees it
+        // due north: client at (4, 0).
+        let fix = localize(&[obs(0.0, 0.0, 0.0), obs(4.0, -3.0, 90.0)]).unwrap();
+        assert!(fix.position.dist(pt(4.0, 0.0)) < 1e-9);
+        assert!(fix.residual_m < 1e-9);
+        assert_eq!(fix.behind_count, 0);
+    }
+
+    #[test]
+    fn three_consistent_bearings() {
+        let target = pt(2.0, 3.0);
+        let aps = [pt(0.0, 0.0), pt(6.0, 0.0), pt(0.0, 6.0)];
+        let bearings: Vec<_> = aps
+            .iter()
+            .map(|&p| BearingObservation {
+                ap_position: p,
+                azimuth: p.azimuth_to(target),
+            })
+            .collect();
+        let fix = localize(&bearings).unwrap();
+        assert!(fix.position.dist(target) < 1e-9);
+        assert_eq!(fix.behind_count, 0);
+    }
+
+    #[test]
+    fn noisy_bearings_small_residual_small_error() {
+        let target = pt(5.0, 2.0);
+        let aps = [pt(0.0, 0.0), pt(10.0, 0.0), pt(5.0, 8.0)];
+        let bearings: Vec<_> = aps
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| BearingObservation {
+                ap_position: p,
+                azimuth: p.azimuth_to(target) + [0.02, -0.015, 0.01][i],
+            })
+            .collect();
+        let fix = localize(&bearings).unwrap();
+        assert!(
+            fix.position.dist(target) < 0.3,
+            "error {} m",
+            fix.position.dist(target)
+        );
+        assert!(fix.residual_m < 0.3);
+    }
+
+    #[test]
+    fn parallel_bearings_are_degenerate() {
+        let e = localize(&[obs(0.0, 0.0, 45.0), obs(1.0, 0.0, 45.0)]).unwrap_err();
+        assert_eq!(e, LocalizeError::DegenerateGeometry);
+    }
+
+    #[test]
+    fn single_bearing_rejected() {
+        assert_eq!(
+            localize(&[obs(0.0, 0.0, 10.0)]).unwrap_err(),
+            LocalizeError::NotEnoughBearings
+        );
+    }
+
+    #[test]
+    fn inconsistent_bearing_shows_behind_count() {
+        // AP2's bearing points away from the true client: the LS point
+        // lands behind it — the false-positive detection signal.
+        let fix = localize(&[obs(0.0, 0.0, 0.0), obs(4.0, -3.0, -90.0)]).unwrap();
+        assert!(fix.behind_count > 0);
+    }
+
+    #[test]
+    fn residual_reflects_disagreement() {
+        let tight = localize(&[obs(0.0, 0.0, 0.0), obs(4.0, -3.0, 90.0)])
+            .unwrap()
+            .residual_m;
+        let loose = localize(&[
+            obs(0.0, 0.0, 5.0),
+            obs(4.0, -3.0, 95.0),
+            obs(-2.0, 4.0, -40.0),
+        ])
+        .unwrap()
+        .residual_m;
+        assert!(loose > tight);
+    }
+}

@@ -1,0 +1,757 @@
+//! The SecureAngle access-point pipeline (paper §2.3, Figure 2).
+//!
+//! From a raw multi-antenna sample buffer to an application verdict:
+//!
+//! 1. **Packet detection + decode** on the reference chain (Schmidl–Cox
+//!    → CFO → OFDM receive), recovering the MAC frame and the packet's
+//!    sample extent;
+//! 2. **Calibration** — apply the stored per-chain corrections (§2.2);
+//! 3. **Correlation** — "compute the correlation matrix to obtain mean
+//!    phase differences with each entire packet" (§3);
+//! 4. **AoA estimation** — the configured MUSIC pipeline from `sa-aoa`;
+//! 5. **Signature** + per-frame RSS;
+//! 6. **Enforcement** — ACL, then signature check against the trained
+//!    profile of the claimed source MAC.
+//!
+//! A common carrier offset is deliberately *not* corrected before the
+//! correlation step: a CFO multiplies every antenna's sample `x[n]` by
+//! the same unit phasor, which cancels in `x·x^H` — one of the quiet
+//! reasons the correlation-matrix approach is robust on real hardware.
+
+use crate::signature::AoaSignature;
+use crate::spoof::{SpoofConfig, SpoofDetector, SpoofVerdict};
+use sa_aoa::estimator::{estimate_from_covariance, AoaConfig, AoaEstimate};
+use sa_array::calib::Calibration;
+use sa_array::geometry::{Array, ArrayKind};
+use sa_array::rf::FrontEnd;
+use sa_channel::geom::Point;
+use sa_linalg::CMat;
+use sa_mac::{AccessControlList, Frame, MacAddr};
+use sa_phy::ppdu::{PhyError, Receiver, Transmitter};
+use sa_phy::Modulation;
+use sa_sigproc::covariance::sample_covariance;
+use sa_sigproc::iq::to_db;
+
+/// Static AP configuration.
+#[derive(Debug, Clone)]
+pub struct ApConfig {
+    /// The AP's antenna array.
+    pub array: Array,
+    /// AP position in the floor-plan frame (meters).
+    pub position: Point,
+    /// Rotation of the array's local frame in the global frame, radians.
+    pub orientation: f64,
+    /// AoA estimator configuration.
+    pub aoa: AoaConfig,
+    /// Modulation the clients use.
+    pub modulation: Modulation,
+    /// Spoof-detector configuration.
+    pub spoof: SpoofConfig,
+    /// Containment: once a MAC accumulates this many spoof flags, the
+    /// identity is quarantined — all frames claiming it are dropped
+    /// until an administrator retrains it. (Like 802.11 deauth
+    /// containment, this takes the *claimed identity* offline: the
+    /// legitimate owner must re-authenticate too. That is the intended
+    /// fail-closed tradeoff under an active injection attack.)
+    /// `0` disables containment.
+    pub quarantine_after_flags: usize,
+}
+
+impl ApConfig {
+    /// The paper's prototype at a position: 8-antenna octagon, MUSIC with
+    /// mode-space smoothing, QPSK clients.
+    ///
+    /// The source count is *fixed* at the maximum the smoothed aperture
+    /// supports rather than estimated per packet: two captures of the
+    /// same client whose MDL estimates differ (K=2 vs K=3) produce
+    /// structurally different pseudospectra, which would make signature
+    /// self-comparison jumpy. A constant K keeps signatures comparable
+    /// across frames; the estimator still clamps it to leave a ≥2-dim
+    /// noise subspace.
+    pub fn paper_prototype(position: Point) -> Self {
+        let aoa = AoaConfig {
+            source_count: sa_aoa::SourceCount::Fixed(3),
+            ..AoaConfig::default()
+        };
+        Self {
+            array: Array::paper_octagon(),
+            position,
+            orientation: 0.0,
+            aoa,
+            modulation: Modulation::Qpsk,
+            spoof: SpoofConfig::default(),
+            quarantine_after_flags: 10,
+        }
+    }
+}
+
+/// One processed packet: everything the applications consume.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The AoA signature (normalised pseudospectrum).
+    pub signature: AoaSignature,
+    /// Bearing in the array's presentation convention, degrees.
+    pub bearing_deg: f64,
+    /// Direct-path azimuth in the *global* frame, radians — available
+    /// only for circular arrays (linear arrays have the ±ambiguity of
+    /// paper footnote 1). This feeds multi-AP localization.
+    pub global_azimuth: Option<f64>,
+    /// Received signal strength over the packet, dB.
+    pub rss_db: f64,
+    /// The decoded MAC frame, if the payload parsed.
+    pub frame: Option<Frame>,
+    /// Sample index of the packet start in the buffer.
+    pub start: usize,
+    /// Number of samples (from `start`) the correlation window covered.
+    pub extent: usize,
+    /// Estimated CFO, radians/sample.
+    pub cfo: f64,
+    /// Full estimator output (spectrum, source count, eigenvalues).
+    pub estimate: AoaEstimate,
+}
+
+/// Why an observation could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveError {
+    /// Nothing detected in the buffer.
+    NoPacket,
+    /// Buffer shape does not match the array.
+    BadBuffer,
+}
+
+impl std::fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObserveError::NoPacket => write!(f, "no packet in capture"),
+            ObserveError::BadBuffer => write!(f, "capture shape does not match array"),
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
+/// Enforcement outcome for one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameVerdict {
+    /// Frame admitted (spoof check result attached).
+    Admit {
+        /// The signature check outcome.
+        spoof: SpoofVerdict,
+    },
+    /// Frame dropped.
+    Drop(DropReason),
+}
+
+impl FrameVerdict {
+    /// True if the frame was admitted.
+    pub fn admitted(&self) -> bool {
+        matches!(self, FrameVerdict::Admit { .. })
+    }
+}
+
+/// Why a frame was dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DropReason {
+    /// Payload did not parse as a MAC frame.
+    DecodeFailed,
+    /// Source MAC not admitted by the ACL.
+    AclDenied,
+    /// Signature check flagged a probable spoof.
+    SpoofSuspected {
+        /// The failing match score.
+        score: f64,
+    },
+    /// The claimed identity is quarantined after repeated spoof flags.
+    Quarantined,
+}
+
+/// A SecureAngle access point.
+#[derive(Debug)]
+pub struct AccessPoint {
+    cfg: ApConfig,
+    calibration: Calibration,
+    /// Address ACL ("the only method of wireless security is an
+    /// address-based access control list", §2.3.2) — SecureAngle wraps
+    /// it with the signature check.
+    pub acl: AccessControlList,
+    /// The signature-based spoofing detector.
+    pub spoof: SpoofDetector,
+    quarantined: std::collections::HashSet<MacAddr>,
+}
+
+impl AccessPoint {
+    /// New AP with identity calibration (run
+    /// [`AccessPoint::calibrate`] before first use on a real front end).
+    pub fn new(cfg: ApConfig, acl: AccessControlList) -> Self {
+        let n = cfg.array.len();
+        let spoof = SpoofDetector::new(cfg.spoof);
+        Self {
+            cfg,
+            calibration: Calibration::identity(n),
+            acl,
+            spoof,
+            quarantined: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Is a MAC currently quarantined?
+    pub fn is_quarantined(&self, mac: &MacAddr) -> bool {
+        self.quarantined.contains(mac)
+    }
+
+    /// Administrative release: lift the quarantine and retrain the
+    /// profile from a fresh, authenticated observation.
+    pub fn release_and_retrain(&mut self, mac: MacAddr, obs: &Observation) {
+        self.quarantined.remove(&mac);
+        self.spoof.train(mac, obs.signature.clone());
+    }
+
+    /// The deauthentication/containment frame an AP would transmit for a
+    /// quarantined identity.
+    pub fn deauth_frame(&self, mac: MacAddr, bssid: MacAddr, seq: u16) -> Frame {
+        Frame {
+            frame_type: sa_mac::FrameType::Deauth,
+            dst: mac,
+            src: bssid,
+            bssid,
+            seq,
+            payload: b"secureangle: signature mismatch containment".to_vec(),
+        }
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &ApConfig {
+        &self.cfg
+    }
+
+    /// The current calibration.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Replace the calibration (e.g. with
+    /// [`Calibration::identity`] for the no-calibration ablation).
+    pub fn set_calibration(&mut self, cal: Calibration) {
+        assert_eq!(cal.len(), self.cfg.array.len());
+        self.calibration = cal;
+    }
+
+    /// Run the §2.2 calibration procedure against a front end: capture
+    /// the shared reference tone and store the measured corrections.
+    pub fn calibrate<R: rand::Rng + ?Sized>(&mut self, front_end: &FrontEnd, rng: &mut R) {
+        assert_eq!(front_end.len(), self.cfg.array.len());
+        let capture = front_end.receive_calibration_tone(1024, 1.0, rng);
+        self.calibration = Calibration::from_tone_capture(&capture);
+    }
+
+    /// Process one multi-antenna capture (rows = antennas) into an
+    /// [`Observation`].
+    pub fn observe(&self, buffer: &CMat) -> Result<Observation, ObserveError> {
+        if buffer.rows() != self.cfg.array.len() || buffer.cols() == 0 {
+            return Err(ObserveError::BadBuffer);
+        }
+
+        // 1. Detect + decode on the reference chain.
+        let ref_chain = buffer.row(0);
+        let rx = Receiver::new(self.cfg.modulation);
+        let (frame, start, cfo, pkt_len) = match rx.decode(&ref_chain) {
+            Ok(pkt) => {
+                let tx = Transmitter::new(self.cfg.modulation);
+                let len = tx.packet_len(pkt.payload.len());
+                let frame = Frame::decode(&pkt.payload).ok();
+                (frame, pkt.start, pkt.cfo, len)
+            }
+            Err(PhyError::NoPacket) => return Err(ObserveError::NoPacket),
+            Err(_) => {
+                // Header or tail corrupted: still usable for AoA. Fall
+                // back to the raw detector for the extent.
+                let sc = sa_sigproc::schmidl_cox::SchmidlCox::new(
+                    sa_phy::preamble::SC_HALF_LEN,
+                );
+                let det = sc
+                    .detect(&ref_chain)
+                    .into_iter()
+                    .next()
+                    .ok_or(ObserveError::NoPacket)?;
+                let start = det.start.saturating_sub(sa_phy::params::N_CP);
+                (None, start, det.cfo, 512)
+            }
+        };
+
+        // 2. Extract the packet window and calibrate.
+        let end = (start + pkt_len).min(buffer.cols());
+        let mut window = CMat::from_fn(buffer.rows(), end - start, |m, t| buffer[(m, start + t)]);
+        self.calibration.apply(&mut window);
+
+        // 3–4. Correlation matrix over the whole packet, then AoA.
+        let r = sample_covariance(&window);
+        let estimate = estimate_from_covariance(&r, window.cols(), &self.cfg.array, &self.cfg.aoa);
+
+        // 5. Signature + RSS. The signature is the full pseudospectrum
+        //    (paper §2.1); the scalar bearing is the power-ranked peak
+        //    (see `AoaEstimate::bearing_deg`), which is what keeps the
+        //    direct path on top "most of the time" (paper §3.1).
+        let signature = AoaSignature::from_spectrum(&estimate.spectrum);
+        let bearing_deg = estimate.bearing_deg();
+        let global_azimuth = match self.cfg.array.kind() {
+            ArrayKind::Circular => {
+                Some((bearing_deg.to_radians() + self.cfg.orientation)
+                    .rem_euclid(2.0 * std::f64::consts::PI))
+            }
+            ArrayKind::Linear => None,
+        };
+        let mean_pow = (0..window.rows())
+            .map(|m| sa_sigproc::iq::mean_power(&window.row(m)))
+            .sum::<f64>()
+            / window.rows() as f64;
+
+        Ok(Observation {
+            signature,
+            bearing_deg,
+            global_azimuth,
+            rss_db: to_db(mean_pow.max(1e-300)),
+            frame,
+            start,
+            extent: end - start,
+            cfo,
+            estimate,
+        })
+    }
+
+    /// Process every packet in a long capture (the paper's WARP buffers
+    /// 0.4 ms — 8000 samples — which can hold several frames). Returns
+    /// observations in arrival order; scanning resumes after each
+    /// packet's extent.
+    pub fn observe_all(&self, buffer: &CMat) -> Vec<Observation> {
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        while cursor + 2 * sa_phy::preamble::SC_HALF_LEN < buffer.cols() {
+            let slice = CMat::from_fn(buffer.rows(), buffer.cols() - cursor, |m, t| {
+                buffer[(m, cursor + t)]
+            });
+            match self.observe(&slice) {
+                Ok(mut obs) => {
+                    let advance = obs.start + obs.extent.max(1);
+                    obs.start += cursor;
+                    out.push(obs);
+                    cursor += advance;
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Train the spoof profile for a client from an authenticated
+    /// observation (the paper's "initial training stage").
+    pub fn train_client(&mut self, mac: MacAddr, obs: &Observation) {
+        self.spoof.train(mac, obs.signature.clone());
+    }
+
+    /// Enforce ACL + quarantine + signature policy on an observation.
+    pub fn enforce(&mut self, obs: &Observation) -> FrameVerdict {
+        let Some(frame) = &obs.frame else {
+            return FrameVerdict::Drop(DropReason::DecodeFailed);
+        };
+        if !self.acl.permits(&frame.src) {
+            return FrameVerdict::Drop(DropReason::AclDenied);
+        }
+        if self.quarantined.contains(&frame.src) {
+            return FrameVerdict::Drop(DropReason::Quarantined);
+        }
+        match self.spoof.check(frame.src, &obs.signature) {
+            SpoofVerdict::Spoof { score } => {
+                if self.cfg.quarantine_after_flags > 0
+                    && self.spoof.flag_count(&frame.src) >= self.cfg.quarantine_after_flags
+                {
+                    self.quarantined.insert(frame.src);
+                }
+                FrameVerdict::Drop(DropReason::SpoofSuspected { score })
+            }
+            v => FrameVerdict::Admit { spoof: v },
+        }
+    }
+
+    /// Convenience: observe then enforce.
+    pub fn receive(&mut self, buffer: &CMat) -> Result<(Observation, FrameVerdict), ObserveError> {
+        let obs = self.observe(buffer)?;
+        let verdict = self.enforce(&obs);
+        Ok((obs, verdict))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sa_aoa::pseudospectrum::angle_diff_deg;
+    use sa_channel::apply::{apply_channel, ApplyConfig};
+    use sa_channel::geom::{pt, Rect};
+    use sa_channel::pattern::TxAntenna;
+    use sa_channel::plan::{FloorPlan, CONCRETE};
+    use sa_channel::trace::{trace_paths, TraceConfig};
+    use sa_linalg::complex::ZERO;
+    use sa_mac::{AclPolicy, FrameType};
+
+    /// A small room with the AP in a corner area.
+    fn room() -> FloorPlan {
+        let mut plan = FloorPlan::new();
+        plan.add_rect(Rect::new(-8.0, -8.0, 8.0, 8.0), CONCRETE);
+        plan
+    }
+
+    fn make_ap() -> AccessPoint {
+        let mut acl = AccessControlList::new(AclPolicy::AllowListed);
+        acl.add(MacAddr::local_from_index(1));
+        acl.add(MacAddr::local_from_index(2));
+        AccessPoint::new(ApConfig::paper_prototype(pt(0.0, 0.0)), acl)
+    }
+
+    /// Build the capture an AP sees for a frame sent from `from`.
+    fn capture(
+        ap: &AccessPoint,
+        plan: &FloorPlan,
+        from: sa_channel::geom::Point,
+        frame: &Frame,
+        fe: &FrontEnd,
+        seed: u64,
+    ) -> CMat {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tx = Transmitter::new(ap.config().modulation);
+        let wave = tx.encode(&frame.encode());
+        // Lead-in idle samples so detection has a noise floor to start on.
+        let mut padded = vec![ZERO; 100];
+        padded.extend_from_slice(&wave);
+        padded.extend_from_slice(&vec![ZERO; 60]);
+        let paths = trace_paths(plan, from, ap.config().position, &TraceConfig::default());
+        let out = apply_channel(
+            &paths,
+            &TxAntenna::Omni,
+            &ap.config().array,
+            &padded,
+            &ApplyConfig {
+                tx_power: 1.0,
+                ..Default::default()
+            },
+        );
+        // Front end: SNR set via noise_var relative to rx power.
+        fe.receive(&out.snapshots, &mut rng)
+    }
+
+    fn quiet_front_end(ap: &AccessPoint, rx_power_hint: f64, snr_db: f64, seed: u64) -> FrontEnd {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        FrontEnd::random(
+            ap.config().array.len(),
+            rx_power_hint / sa_sigproc::iq::from_db(snr_db),
+            &mut rng,
+        )
+    }
+
+    fn rx_power_at(ap: &AccessPoint, plan: &FloorPlan, from: sa_channel::geom::Point) -> f64 {
+        let paths = trace_paths(plan, from, ap.config().position, &TraceConfig::default());
+        paths.iter().map(|p| p.gain.norm_sqr()).sum()
+    }
+
+    #[test]
+    fn end_to_end_bearing_and_frame() {
+        let plan = room();
+        let mut ap = make_ap();
+        let client_pos = pt(4.0, 3.0);
+        let rx_pow = rx_power_at(&ap, &plan, client_pos);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        ap.calibrate(&fe, &mut rng);
+
+        let frame = Frame::data(
+            MacAddr::local_from_index(1),
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"hello",
+        );
+        let buf = capture(&ap, &plan, client_pos, &frame, &fe, 3);
+        let obs = ap.observe(&buf).expect("observation");
+
+        // Ground-truth azimuth from AP to client.
+        let truth = ap.config().position.azimuth_to(client_pos).to_degrees();
+        assert!(
+            angle_diff_deg(obs.bearing_deg, truth, true) < 5.0,
+            "bearing {} truth {}",
+            obs.bearing_deg,
+            truth
+        );
+        assert!(obs.global_azimuth.is_some());
+        let f = obs.frame.as_ref().expect("frame decodes");
+        assert_eq!(f.src, MacAddr::local_from_index(1));
+        assert_eq!(f.frame_type, FrameType::Data);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn uncalibrated_ap_gets_wrong_bearing() {
+        // Ablation E8a in miniature: random per-chain phases, identity
+        // calibration ⇒ the bearing is garbage.
+        let plan = room();
+        let mut ap = make_ap();
+        let client_pos = pt(4.0, 3.0);
+        let rx_pow = rx_power_at(&ap, &plan, client_pos);
+        let fe = quiet_front_end(&ap, rx_pow, 30.0, 4);
+        // NO ap.calibrate(...) here.
+        let frame = Frame::data(
+            MacAddr::local_from_index(1),
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"x",
+        );
+        let buf = capture(&ap, &plan, client_pos, &frame, &fe, 5);
+        let obs = ap.observe(&buf).expect("observation");
+        let truth = ap.config().position.azimuth_to(client_pos).to_degrees();
+        assert!(
+            angle_diff_deg(obs.bearing_deg, truth, true) > 10.0,
+            "uncalibrated bearing {} suspiciously close to truth {}",
+            obs.bearing_deg,
+            truth
+        );
+        // Now calibrate and confirm recovery.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        ap.calibrate(&fe, &mut rng);
+        let obs2 = ap.observe(&buf).expect("observation");
+        assert!(
+            angle_diff_deg(obs2.bearing_deg, truth, true) < 5.0,
+            "calibrated bearing {} truth {}",
+            obs2.bearing_deg,
+            truth
+        );
+    }
+
+    #[test]
+    fn spoofer_at_other_position_is_dropped() {
+        let plan = room();
+        let mut ap = make_ap();
+        let victim_pos = pt(4.0, 3.0);
+        let attacker_pos = pt(-5.0, -2.0);
+        let rx_pow = rx_power_at(&ap, &plan, victim_pos);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        ap.calibrate(&fe, &mut rng);
+
+        let victim_mac = MacAddr::local_from_index(1);
+        let frame = Frame::data(
+            victim_mac,
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"legit",
+        );
+
+        // Train from the victim's position.
+        let buf = capture(&ap, &plan, victim_pos, &frame, &fe, 9);
+        let obs = ap.observe(&buf).expect("training observation");
+        ap.train_client(victim_mac, &obs);
+
+        // Victim keeps talking: admitted.
+        let buf2 = capture(&ap, &plan, victim_pos, &frame, &fe, 10);
+        let (_, verdict) = ap.receive(&buf2).expect("victim frame");
+        assert!(verdict.admitted(), "victim dropped: {:?}", verdict);
+
+        // Attacker with the same MAC from elsewhere: dropped.
+        let buf3 = capture(&ap, &plan, attacker_pos, &frame, &fe, 11);
+        let (_, verdict) = ap.receive(&buf3).expect("attacker frame");
+        assert!(
+            matches!(
+                verdict,
+                FrameVerdict::Drop(DropReason::SpoofSuspected { .. })
+            ),
+            "attacker admitted: {:?}",
+            verdict
+        );
+    }
+
+    #[test]
+    fn acl_denies_unlisted_mac() {
+        let plan = room();
+        let mut ap = make_ap();
+        let pos = pt(3.0, 1.0);
+        let rx_pow = rx_power_at(&ap, &plan, pos);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 12);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        ap.calibrate(&fe, &mut rng);
+        let frame = Frame::data(
+            MacAddr::local_from_index(99), // not on the ACL
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"?",
+        );
+        let buf = capture(&ap, &plan, pos, &frame, &fe, 14);
+        let (_, verdict) = ap.receive(&buf).expect("frame");
+        assert_eq!(verdict, FrameVerdict::Drop(DropReason::AclDenied));
+    }
+
+    #[test]
+    fn untrained_listed_mac_is_admitted_as_untrained() {
+        let plan = room();
+        let mut ap = make_ap();
+        let pos = pt(3.0, 1.0);
+        let rx_pow = rx_power_at(&ap, &plan, pos);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 15);
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        ap.calibrate(&fe, &mut rng);
+        let frame = Frame::data(
+            MacAddr::local_from_index(2),
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"new",
+        );
+        let buf = capture(&ap, &plan, pos, &frame, &fe, 17);
+        let (_, verdict) = ap.receive(&buf).expect("frame");
+        assert_eq!(
+            verdict,
+            FrameVerdict::Admit {
+                spoof: SpoofVerdict::Untrained
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_spoofing_triggers_quarantine() {
+        let plan = room();
+        let mut ap = make_ap();
+        let victim_pos = pt(4.0, 3.0);
+        let attacker_pos = pt(-5.0, -2.0);
+        let rx_pow = rx_power_at(&ap, &plan, victim_pos);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        ap.calibrate(&fe, &mut rng);
+
+        let victim_mac = MacAddr::local_from_index(1);
+        let frame = Frame::data(
+            victim_mac,
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"x",
+        );
+        let buf = capture(&ap, &plan, victim_pos, &frame, &fe, 32);
+        let obs = ap.observe(&buf).expect("training");
+        ap.train_client(victim_mac, &obs);
+
+        // Hammer with spoofed frames until quarantine engages.
+        let threshold = ap.config().quarantine_after_flags;
+        let mut saw_quarantine = false;
+        for i in 0..threshold + 3 {
+            let buf = capture(&ap, &plan, attacker_pos, &frame, &fe, 40 + i as u64);
+            let (_, verdict) = ap.receive(&buf).expect("attack frame");
+            match verdict {
+                FrameVerdict::Drop(DropReason::SpoofSuspected { .. }) => {}
+                FrameVerdict::Drop(DropReason::Quarantined) => {
+                    saw_quarantine = true;
+                    break;
+                }
+                other => panic!("unexpected verdict {:?}", other),
+            }
+        }
+        assert!(saw_quarantine, "quarantine never engaged");
+        assert!(ap.is_quarantined(&victim_mac));
+
+        // Even the *real* victim is now contained (deauth-containment
+        // semantics) until an admin retrains.
+        let buf = capture(&ap, &plan, victim_pos, &frame, &fe, 60);
+        let (obs, verdict) = ap.receive(&buf).expect("victim frame");
+        assert_eq!(verdict, FrameVerdict::Drop(DropReason::Quarantined));
+
+        // Release + retrain restores service.
+        ap.release_and_retrain(victim_mac, &obs);
+        assert!(!ap.is_quarantined(&victim_mac));
+        let buf = capture(&ap, &plan, victim_pos, &frame, &fe, 61);
+        let (_, verdict) = ap.receive(&buf).expect("victim frame after release");
+        assert!(verdict.admitted(), "victim still blocked: {:?}", verdict);
+
+        // And the containment frame is a well-formed deauth.
+        let d = ap.deauth_frame(victim_mac, MacAddr::local_from_index(0), 1);
+        assert_eq!(d.frame_type, sa_mac::FrameType::Deauth);
+        assert_eq!(d.dst, victim_mac);
+        assert!(sa_mac::Frame::decode(&d.encode()).is_ok());
+    }
+
+    #[test]
+    fn empty_buffer_is_bad() {
+        let ap = make_ap();
+        assert_eq!(
+            ap.observe(&CMat::zeros(8, 0)).unwrap_err(),
+            ObserveError::BadBuffer
+        );
+        assert_eq!(
+            ap.observe(&CMat::zeros(3, 100)).unwrap_err(),
+            ObserveError::BadBuffer
+        );
+    }
+
+    #[test]
+    fn observe_all_finds_every_packet_in_a_long_capture() {
+        // Two clients transmit back-to-back inside one WARP-sized
+        // buffer; observe_all must recover both frames with their own
+        // bearings.
+        let plan = room();
+        let mut ap = make_ap();
+        let pos_a = pt(4.0, 3.0);
+        let pos_b = pt(-3.0, 5.0);
+        let rx_pow = rx_power_at(&ap, &plan, pos_a);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 70);
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        ap.calibrate(&fe, &mut rng);
+
+        let make_capture = |ap: &AccessPoint, pos, mac_idx: u32, seed| {
+            let frame = Frame::data(
+                MacAddr::local_from_index(mac_idx),
+                MacAddr::BROADCAST,
+                MacAddr::local_from_index(0),
+                1,
+                b"pkt",
+            );
+            capture(ap, &plan, pos, &frame, &fe, seed)
+        };
+        let cap_a = make_capture(&ap, pos_a, 1, 72);
+        let cap_b = make_capture(&ap, pos_b, 2, 73);
+
+        // Concatenate the two captures into one long buffer.
+        let total = cap_a.cols() + cap_b.cols();
+        let buffer = CMat::from_fn(8, total, |m, t| {
+            if t < cap_a.cols() {
+                cap_a[(m, t)]
+            } else {
+                cap_b[(m, t - cap_a.cols())]
+            }
+        });
+
+        let all = ap.observe_all(&buffer);
+        assert_eq!(all.len(), 2, "found {} packets", all.len());
+        assert_eq!(
+            all[0].frame.as_ref().unwrap().src,
+            MacAddr::local_from_index(1)
+        );
+        assert_eq!(
+            all[1].frame.as_ref().unwrap().src,
+            MacAddr::local_from_index(2)
+        );
+        assert!(all[1].start > all[0].start);
+        // Each packet got its own bearing.
+        let t_a = ap.config().position.azimuth_to(pos_a).to_degrees();
+        let t_b = ap.config().position.azimuth_to(pos_b).to_degrees();
+        assert!(angle_diff_deg(all[0].bearing_deg, t_a, true) < 6.0);
+        assert!(angle_diff_deg(all[1].bearing_deg, t_b, true) < 6.0);
+    }
+
+    #[test]
+    fn noise_only_buffer_has_no_packet() {
+        let ap = make_ap();
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let buf = CMat::from_fn(8, 2000, |_, _| {
+            sa_sigproc::noise::cn_sample(&mut rng, 1.0)
+        });
+        assert_eq!(ap.observe(&buf).unwrap_err(), ObserveError::NoPacket);
+    }
+}

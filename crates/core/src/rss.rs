@@ -1,0 +1,188 @@
+//! RSS signalprint baseline (paper §4, Faria & Cheriton style).
+//!
+//! "The most widely used physical layer information is received signal
+//! strength (RSS) … RSS is very coarse compared to physical-layer
+//! information, so is prone to error if few packets are available.
+//! Furthermore, attackers with directional antennas can subvert
+//! RSS-based systems." We implement the baseline so experiment E7 can
+//! measure exactly that comparison: an RSS print is a vector of per-AP
+//! received powers (dB); matching thresholds a mean absolute dB
+//! difference. A directional attacker with transmit power control can
+//! place its RSS wherever it likes at a single AP — and aim the beam to
+//! shape multi-AP prints — while it cannot move its angle-of-arrival.
+
+use sa_mac::MacAddr;
+use std::collections::HashMap;
+
+/// An RSS signalprint: per-AP received signal strengths, dB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RssPrint {
+    /// RSS per AP, dB, in a fixed AP order.
+    pub per_ap_db: Vec<f64>,
+}
+
+impl RssPrint {
+    /// Print from a single AP's measurement.
+    pub fn single(rss_db: f64) -> Self {
+        Self {
+            per_ap_db: vec![rss_db],
+        }
+    }
+
+    /// Mean absolute per-AP difference, dB. Panics if AP counts differ.
+    pub fn distance_db(&self, other: &RssPrint) -> f64 {
+        assert_eq!(
+            self.per_ap_db.len(),
+            other.per_ap_db.len(),
+            "RSS prints cover different AP sets"
+        );
+        let n = self.per_ap_db.len() as f64;
+        self.per_ap_db
+            .iter()
+            .zip(&other.per_ap_db)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / n
+    }
+
+    /// EWMA update toward a new print.
+    pub fn ewma_update(&mut self, new: &RssPrint, alpha: f64) {
+        assert_eq!(self.per_ap_db.len(), new.per_ap_db.len());
+        for (o, n) in self.per_ap_db.iter_mut().zip(&new.per_ap_db) {
+            *o = (1.0 - alpha) * *o + alpha * n;
+        }
+    }
+}
+
+/// Verdict of the RSS matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RssVerdict {
+    /// Within tolerance of the trained print.
+    Match {
+        /// Mean absolute difference, dB.
+        distance_db: f64,
+    },
+    /// Outside tolerance.
+    Mismatch {
+        /// Mean absolute difference, dB.
+        distance_db: f64,
+    },
+    /// No trained print for this MAC.
+    Untrained,
+}
+
+impl RssVerdict {
+    /// True for the `Mismatch` variant.
+    pub fn is_mismatch(&self) -> bool {
+        matches!(self, RssVerdict::Mismatch { .. })
+    }
+}
+
+/// RSS-based spoofing detector (the baseline SecureAngle is compared
+/// against).
+#[derive(Debug)]
+pub struct RssDetector {
+    /// Match tolerance, dB. Typical indoor per-packet RSS jitter is a
+    /// few dB, so tolerances below ~4 dB false-flag legitimate clients.
+    pub tolerance_db: f64,
+    /// EWMA weight on matching updates.
+    pub alpha: f64,
+    profiles: HashMap<MacAddr, RssPrint>,
+}
+
+impl RssDetector {
+    /// New detector with the given tolerance.
+    pub fn new(tolerance_db: f64, alpha: f64) -> Self {
+        Self {
+            tolerance_db,
+            alpha,
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// Train the print for a MAC.
+    pub fn train(&mut self, mac: MacAddr, print: RssPrint) {
+        self.profiles.insert(mac, print);
+    }
+
+    /// The trained print, if any.
+    pub fn profile(&self, mac: &MacAddr) -> Option<&RssPrint> {
+        self.profiles.get(mac)
+    }
+
+    /// Check an observation; matching observations update the profile.
+    pub fn check(&mut self, mac: MacAddr, observed: &RssPrint) -> RssVerdict {
+        let Some(profile) = self.profiles.get_mut(&mac) else {
+            return RssVerdict::Untrained;
+        };
+        let d = profile.distance_db(observed);
+        if d <= self.tolerance_db {
+            profile.ewma_update(observed, self.alpha);
+            RssVerdict::Match { distance_db: d }
+        } else {
+            RssVerdict::Mismatch { distance_db: d }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::local_from_index(i)
+    }
+
+    #[test]
+    fn distance_is_mean_abs() {
+        let a = RssPrint { per_ap_db: vec![-50.0, -60.0, -70.0] };
+        let b = RssPrint { per_ap_db: vec![-52.0, -58.0, -70.0] };
+        assert!((a.distance_db(&b) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.distance_db(&a), 0.0);
+    }
+
+    #[test]
+    fn matcher_flow() {
+        let mut det = RssDetector::new(4.0, 0.2);
+        assert_eq!(det.check(mac(1), &RssPrint::single(-55.0)), RssVerdict::Untrained);
+        det.train(mac(1), RssPrint::single(-55.0));
+        assert!(matches!(
+            det.check(mac(1), &RssPrint::single(-56.5)),
+            RssVerdict::Match { .. }
+        ));
+        assert!(det.check(mac(1), &RssPrint::single(-70.0)).is_mismatch());
+    }
+
+    #[test]
+    fn matching_updates_profile() {
+        let mut det = RssDetector::new(4.0, 0.5);
+        det.train(mac(1), RssPrint::single(-60.0));
+        let _ = det.check(mac(1), &RssPrint::single(-58.0));
+        let p = det.profile(&mac(1)).unwrap().per_ap_db[0];
+        assert!((p - (-59.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_controlled_attacker_matches_single_ap_rss() {
+        // The subversion the paper warns about: one AP's RSS is a single
+        // scalar the attacker can dial in exactly with TX power control.
+        let mut det = RssDetector::new(4.0, 0.2);
+        let victim_rss = -62.0;
+        det.train(mac(1), RssPrint::single(victim_rss));
+        // Attacker measures the victim's RSS and sets its own EIRP so
+        // the AP sees the same power.
+        let attacker_achieved = victim_rss + 0.5; // residual control error
+        assert!(matches!(
+            det.check(mac(1), &RssPrint::single(attacker_achieved)),
+            RssVerdict::Match { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "different AP sets")]
+    fn mismatched_ap_sets_panic() {
+        let a = RssPrint { per_ap_db: vec![-50.0] };
+        let b = RssPrint { per_ap_db: vec![-50.0, -60.0] };
+        let _ = a.distance_db(&b);
+    }
+}

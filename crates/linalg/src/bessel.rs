@@ -1,0 +1,136 @@
+//! Bessel functions of the first kind, integer order.
+//!
+//! Needed by the Davies phase-mode transform (`sa-array::modespace`) that
+//! maps the paper's circular (octagonal) antenna array onto a virtual
+//! uniform linear array: mode `m` is scaled by `jᵐ·J_m(kr)` where `k` is
+//! the wavenumber and `r` the array radius. For the paper's geometry
+//! `kr ≈ 3.09` and `|m| ≤ 4`, comfortably inside the ascending series'
+//! fast-convergence region (`x ≲ 15`).
+
+/// `J_n(x)` for integer `n ≥ 0` via the ascending power series
+/// `Σ_m (−1)^m / (m!·(m+n)!) · (x/2)^{2m+n}`.
+///
+/// Accuracy is ~1e-14 for `|x| ≤ 15`; callers in this workspace never leave
+/// that range (debug builds assert it).
+pub fn bessel_j(n: u32, x: f64) -> f64 {
+    debug_assert!(
+        x.abs() <= 40.0,
+        "bessel_j: ascending series unsuitable for |x| = {}",
+        x.abs()
+    );
+    // J_n(-x) = (-1)^n J_n(x)
+    let sign = if x < 0.0 && n % 2 == 1 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    let half = x / 2.0;
+    // First term: (x/2)^n / n!
+    let mut term = 1.0;
+    for k in 1..=n {
+        term *= half / k as f64;
+    }
+    let mut sum = term;
+    // term_{m} = term_{m-1} * (−(x/2)²) / (m·(m+n))
+    let neg_q = -(half * half);
+    let mut m = 1.0f64;
+    loop {
+        term *= neg_q / (m * (m + n as f64));
+        sum += term;
+        if term.abs() < 1e-17 * sum.abs().max(1e-300) || m > 200.0 {
+            break;
+        }
+        m += 1.0;
+    }
+    sign * sum
+}
+
+/// `J_n(x)` for possibly-negative integer order, using
+/// `J_{−n}(x) = (−1)^n·J_n(x)`.
+pub fn bessel_j_int(n: i32, x: f64) -> f64 {
+    if n >= 0 {
+        bessel_j(n as u32, x)
+    } else {
+        let m = (-n) as u32;
+        let s = if m % 2 == 1 { -1.0 } else { 1.0 };
+        s * bessel_j(m, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values from Abramowitz & Stegun / DLMF tables.
+    #[test]
+    fn j0_known_values() {
+        assert!((bessel_j(0, 0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_j(0, 1.0) - 0.7651976865579666).abs() < 1e-12);
+        assert!((bessel_j(0, 2.0) - 0.22389077914123567).abs() < 1e-12);
+        assert!((bessel_j(0, 5.0) - (-0.17759677131433830)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn j1_known_values() {
+        assert!(bessel_j(1, 0.0).abs() < 1e-15);
+        assert!((bessel_j(1, 1.0) - 0.4400505857449335).abs() < 1e-12);
+        assert!((bessel_j(1, 2.0) - 0.5767248077568734).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_orders() {
+        assert!((bessel_j(2, 3.0) - 0.4860912605858911).abs() < 1e-12);
+        assert!((bessel_j(3, 3.0) - 0.30906272225525164).abs() < 1e-12);
+        assert!((bessel_j(4, 3.09) - 0.1442348030445296).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_zero_of_j0() {
+        // J0's first zero is at x ≈ 2.404825557695773.
+        assert!(bessel_j(0, 2.404825557695773).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_argument_parity() {
+        for n in 0..5u32 {
+            let x = 1.7;
+            let expect = if n % 2 == 1 { -1.0 } else { 1.0 } * bessel_j(n, x);
+            assert!((bessel_j_int(n as i32, -x) - expect).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn negative_order_identity() {
+        for n in 1..5i32 {
+            let x = 2.3;
+            let expect = if n % 2 == 1 { -1.0 } else { 1.0 } * bessel_j(n as u32, x);
+            assert!((bessel_j_int(-n, x) - expect).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        // J_{n−1}(x) + J_{n+1}(x) = (2n/x)·J_n(x)
+        let x = 3.09;
+        for n in 1..6i32 {
+            let lhs = bessel_j_int(n - 1, x) + bessel_j_int(n + 1, x);
+            let rhs = 2.0 * n as f64 / x * bessel_j_int(n, x);
+            assert!(
+                (lhs - rhs).abs() < 1e-11,
+                "recurrence failed at n={}: {} vs {}",
+                n,
+                lhs,
+                rhs
+            );
+        }
+    }
+
+    #[test]
+    fn sum_of_squares_identity() {
+        // J0² + 2·Σ_{n≥1} Jn² = 1
+        let x = 2.5;
+        let mut s = bessel_j(0, x).powi(2);
+        for n in 1..40 {
+            s += 2.0 * bessel_j(n, x).powi(2);
+        }
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

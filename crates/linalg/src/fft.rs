@@ -1,0 +1,236 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The OFDM modem in `sa-phy` builds 64-subcarrier symbols (the 802.11
+//! 20 MHz grid), so only power-of-two sizes are required. We implement the
+//! standard iterative in-place Cooley–Tukey algorithm with bit-reversal
+//! permutation; the naive `O(n²)` DFT is kept (non-`cfg(test)`, it is also
+//! useful for odd-sized diagnostics) as the reference implementation the
+//! tests compare against.
+//!
+//! Convention: `fft` computes `X[k] = Σ_n x[n]·e^{−j2πkn/N}` (no scaling);
+//! `ifft` applies the `1/N` factor so `ifft(fft(x)) == x`.
+
+use crate::complex::{C64, ZERO};
+use std::f64::consts::PI;
+
+/// In-place forward FFT. Panics unless `x.len()` is a power of two.
+pub fn fft(x: &mut [C64]) {
+    fft_dir(x, -1.0);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalisation).
+pub fn ifft(x: &mut [C64]) {
+    fft_dir(x, 1.0);
+    let n = x.len() as f64;
+    for z in x.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+/// Out-of-place convenience wrapper over [`fft`].
+pub fn fft_owned(x: &[C64]) -> Vec<C64> {
+    let mut y = x.to_vec();
+    fft(&mut y);
+    y
+}
+
+/// Out-of-place convenience wrapper over [`ifft`].
+pub fn ifft_owned(x: &[C64]) -> Vec<C64> {
+    let mut y = x.to_vec();
+    ifft(&mut y);
+    y
+}
+
+fn fft_dir(x: &mut [C64], sign: f64) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "fft: length {} is not a power of two", n);
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = C64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = C64::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = x[i + k];
+                let v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n²)` DFT, any length. Reference implementation for tests and
+/// odd-length diagnostics.
+pub fn dft_naive(x: &[C64]) -> Vec<C64> {
+    let n = x.len();
+    let mut out = vec![ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (i, &xi) in x.iter().enumerate() {
+            let ang = -2.0 * PI * (k * i) as f64 / n as f64;
+            *o += xi * C64::cis(ang);
+        }
+    }
+    out
+}
+
+/// Swap the two halves of a spectrum so DC moves to the centre — the usual
+/// presentation order for OFDM subcarrier grids.
+pub fn fftshift<T: Copy>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(
+                x.approx_eq(*y, tol),
+                "mismatch: {} vs {} (tol {})",
+                x,
+                y,
+                tol
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut x = vec![ZERO; 8];
+        x[0] = c64(1.0, 0.0);
+        fft(&mut x);
+        for z in &x {
+            assert!(z.approx_eq(c64(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn dc_transforms_to_impulse() {
+        let mut x = vec![c64(1.0, 0.0); 16];
+        fft(&mut x);
+        assert!(x[0].approx_eq(c64(16.0, 0.0), 1e-12));
+        for z in &x[1..] {
+            assert!(z.approx_eq(ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let y = fft_owned(&x);
+        for (k, z) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<C64> = (0..32)
+            .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        let fast = fft_owned(&x);
+        let slow = dft_naive(&x);
+        assert_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<C64> = (0..128)
+            .map(|i| c64((i as f64 * 1.1).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let y = ifft_owned(&fft_owned(&x));
+        assert_close(&x, &y, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<C64> = (0..64)
+            .map(|i| c64((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let y = fft_owned(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((ex - ey).abs() < 1e-9 * ex);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<C64> = (0..16).map(|i| c64(i as f64, -(i as f64))).collect();
+        let b: Vec<C64> = (0..16).map(|i| c64((i as f64).cos(), 0.5)).collect();
+        let sum: Vec<C64> = a.iter().zip(b.iter()).map(|(x, y)| *x + *y).collect();
+        let fa = fft_owned(&a);
+        let fb = fft_owned(&b);
+        let fsum = fft_owned(&sum);
+        let fa_fb: Vec<C64> = fa.iter().zip(fb.iter()).map(|(x, y)| *x + *y).collect();
+        assert_close(&fsum, &fa_fb, 1e-9);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        let mut x1 = vec![c64(2.5, -1.0)];
+        fft(&mut x1);
+        assert!(x1[0].approx_eq(c64(2.5, -1.0), 0.0));
+
+        let mut x2 = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        fft(&mut x2);
+        assert!(x2[0].approx_eq(c64(1.0, 1.0), 1e-14));
+        assert!(x2[1].approx_eq(c64(1.0, -1.0), 1e-14));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn fftshift_even_odd() {
+        assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fftshift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn naive_dft_handles_odd_lengths() {
+        let x: Vec<C64> = (0..7).map(|i| c64(i as f64, 0.0)).collect();
+        let y = dft_naive(&x);
+        // DC bin is the plain sum.
+        assert!((y[0].re - 21.0).abs() < 1e-9);
+        assert!(y[0].im.abs() < 1e-9);
+    }
+}

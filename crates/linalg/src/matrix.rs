@@ -1,0 +1,506 @@
+//! Dense complex matrices and vectors.
+//!
+//! Sizes in this codebase are tiny by linear-algebra standards — antenna
+//! counts are 2–16, so correlation matrices are at most 16×16 — which lets
+//! us favour clarity and robustness over blocking/SIMD tricks, per the
+//! "simplicity and robustness" design goal this project borrows from
+//! smoltcp. Storage is row-major `Vec<C64>`.
+
+use crate::complex::{c64, C64, ZERO};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = c64(1.0, 0.0);
+        }
+        m
+    }
+
+    /// Build from a row-major slice. Panics if `data.len() != rows*cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[C64]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "CMat::from_rows: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Build from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// A column vector (`n × 1`) from a slice.
+    pub fn col_vector(v: &[C64]) -> Self {
+        Self::from_rows(v.len(), 1, v)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Extract row `i` as a `Vec`.
+    pub fn row(&self, i: usize) -> Vec<C64> {
+        assert!(i < self.rows);
+        self.data[i * self.cols..(i + 1) * self.cols].to_vec()
+    }
+
+    /// Extract column `j` as a `Vec`.
+    pub fn col(&self, j: usize) -> Vec<C64> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Conjugate (Hermitian) transpose, `A^H`.
+    pub fn hermitian(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose without conjugation, `A^T`.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Element-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Multiply every element by a real scalar.
+    pub fn scale(&self, s: f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.scale(s)).collect(),
+        }
+    }
+
+    /// Multiply every element by a complex scalar.
+    pub fn scale_c(&self, s: C64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
+    }
+
+    /// Matrix product `self * rhs`. Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "CMat::matmul: inner dimensions {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "CMat::matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = ZERO;
+                for j in 0..self.cols {
+                    acc += self[(i, j)] * v[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Outer product `u * v^H`, an `len(u) × len(v)` rank-one matrix.
+    /// This is the building block of sample covariance estimation.
+    pub fn outer(u: &[C64], v: &[C64]) -> Self {
+        Self::from_fn(u.len(), v.len(), |i, j| u[i] * v[j].conj())
+    }
+
+    /// Sum of diagonal elements.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "CMat::trace: matrix must be square");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm, `sqrt(sum |a_ij|^2)`.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute value of any off-diagonal element — the convergence
+    /// measure of the Jacobi eigensolver.
+    pub fn max_offdiag(&self) -> f64 {
+        assert!(self.is_square());
+        let mut m = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    m = m.max(self[(i, j)].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// True if `‖A − A^H‖_max <= tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            if self[(i, i)].im.abs() > tol {
+                return false;
+            }
+            for j in (i + 1)..self.cols {
+                if !self[(i, j)].approx_eq(self[(j, i)].conj(), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Copy a contiguous block of rows `r0..r1` (half-open) into a new matrix.
+    pub fn row_block(&self, r0: usize, r1: usize) -> Self {
+        assert!(r0 <= r1 && r1 <= self.rows);
+        Self::from_rows(r1 - r0, self.cols, &self.data[r0 * self.cols..r1 * self.cols])
+    }
+
+    /// Submatrix of the given rows and columns (used to truncate an
+    /// 8-antenna covariance down to the first k antennas for the Fig-7
+    /// antenna-count experiment).
+    pub fn select(&self, rows: &[usize], cols: &[usize]) -> Self {
+        Self::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])])
+    }
+
+    /// Element-wise approximate equality.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Display for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Inner product with conjugation on the first argument: `u^H v`.
+pub fn vdot(u: &[C64], v: &[C64]) -> C64 {
+    assert_eq!(u.len(), v.len(), "vdot: length mismatch");
+    u.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum()
+}
+
+/// Euclidean norm of a complex vector.
+pub fn vnorm(v: &[C64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Normalise a vector to unit Euclidean norm (no-op on the zero vector).
+pub fn vnormalize(v: &mut [C64]) {
+    let n = vnorm(v);
+    if n > 0.0 {
+        for z in v.iter_mut() {
+            *z = z.scale(1.0 / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{J, ZERO};
+
+    fn sample() -> CMat {
+        CMat::from_rows(
+            2,
+            2,
+            &[c64(1.0, 0.0), c64(0.0, 1.0), c64(0.0, -1.0), c64(2.0, 0.0)],
+        )
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample();
+        let i = CMat::identity(2);
+        assert!(a.matmul(&i).approx_eq(&a, 1e-14));
+        assert!(i.matmul(&a).approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    fn hermitian_detection() {
+        assert!(sample().is_hermitian(1e-14));
+        let mut bad = sample();
+        bad[(0, 1)] = c64(0.5, 0.5);
+        assert!(!bad.is_hermitian(1e-14));
+    }
+
+    #[test]
+    fn hermitian_transpose_involution() {
+        let a = CMat::from_fn(3, 2, |i, j| c64(i as f64, j as f64 + 0.5));
+        assert!(a.hermitian().hermitian().approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [[1, j], [0, 2]] * [[1, 0], [1, 1]] = [[1+j, j], [2, 2]]
+        let a = CMat::from_rows(2, 2, &[c64(1.0, 0.0), J, ZERO, c64(2.0, 0.0)]);
+        let b = CMat::from_rows(
+            2,
+            2,
+            &[c64(1.0, 0.0), ZERO, c64(1.0, 0.0), c64(1.0, 0.0)],
+        );
+        let p = a.matmul(&b);
+        assert!(p[(0, 0)].approx_eq(c64(1.0, 1.0), 1e-14));
+        assert!(p[(0, 1)].approx_eq(J, 1e-14));
+        assert!(p[(1, 0)].approx_eq(c64(2.0, 0.0), 1e-14));
+        assert!(p[(1, 1)].approx_eq(c64(2.0, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = CMat::from_fn(3, 3, |i, j| c64((i + j) as f64, (i as f64) - (j as f64)));
+        let v = vec![c64(1.0, 1.0), c64(0.0, -1.0), c64(2.0, 0.5)];
+        let mv = a.matvec(&v);
+        let col = a.matmul(&CMat::col_vector(&v));
+        for i in 0..3 {
+            assert!(mv[i].approx_eq(col[(i, 0)], 1e-14));
+        }
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let u = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        let v = vec![c64(1.0, 1.0), c64(2.0, 0.0)];
+        let o = CMat::outer(&u, &v);
+        // o[i][j] = u[i] * conj(v[j])
+        assert!(o[(0, 0)].approx_eq(c64(1.0, -1.0), 1e-14));
+        assert!(o[(1, 1)].approx_eq(c64(0.0, 2.0), 1e-14));
+    }
+
+    #[test]
+    fn trace_and_fro() {
+        let a = sample();
+        assert!(a.trace().approx_eq(c64(3.0, 0.0), 1e-14));
+        assert!((a.fro_norm() - (1.0f64 + 1.0 + 1.0 + 4.0).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn vdot_conjugates_first_argument() {
+        let u = vec![J];
+        let v = vec![c64(1.0, 0.0)];
+        // conj(j) * 1 = -j
+        assert!(vdot(&u, &v).approx_eq(c64(0.0, -1.0), 1e-14));
+    }
+
+    #[test]
+    fn vdot_self_is_norm_sqr() {
+        let v = vec![c64(3.0, 4.0), c64(0.0, 2.0)];
+        let d = vdot(&v, &v);
+        assert!((d.re - 29.0).abs() < 1e-14);
+        assert!(d.im.abs() < 1e-14);
+        assert!((vnorm(&v) - 29f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![c64(3.0, 0.0), c64(0.0, 4.0)];
+        vnormalize(&mut v);
+        assert!((vnorm(&v) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![ZERO, ZERO];
+        vnormalize(&mut v);
+        assert_eq!(v, vec![ZERO, ZERO]);
+    }
+
+    #[test]
+    fn row_col_extraction() {
+        let a = CMat::from_fn(3, 4, |i, j| c64(i as f64, j as f64));
+        assert_eq!(a.row(1).len(), 4);
+        assert_eq!(a.col(2).len(), 3);
+        assert!(a.row(1)[3].approx_eq(c64(1.0, 3.0), 0.0));
+        assert!(a.col(2)[2].approx_eq(c64(2.0, 2.0), 0.0));
+    }
+
+    #[test]
+    fn select_submatrix() {
+        let a = CMat::from_fn(4, 4, |i, j| c64((10 * i + j) as f64, 0.0));
+        let s = a.select(&[0, 2], &[1, 3]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s[(1, 0)].re, 21.0);
+        assert_eq!(s[(1, 1)].re, 23.0);
+    }
+
+    #[test]
+    fn row_block_slices_rows() {
+        let a = CMat::from_fn(4, 2, |i, j| c64(i as f64, j as f64));
+        let b = a.row_block(1, 3);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b[(0, 0)].re, 1.0);
+        assert_eq!(b[(1, 0)].re, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = CMat::from_fn(2, 3, |i, j| c64(i as f64 + 1.0, j as f64 - 1.0));
+        let b = CMat::from_fn(2, 3, |i, j| c64(j as f64, i as f64));
+        let s = &(&a + &b) - &b;
+        assert!(s.approx_eq(&a, 1e-14));
+    }
+}

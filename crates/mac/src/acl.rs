@@ -1,0 +1,105 @@
+//! Address-based access control lists.
+//!
+//! The paper's spoofing application targets networks where "the only
+//! method of wireless security is an address-based access control list"
+//! — this is that ACL. On its own it admits any frame whose *claimed*
+//! source is allowed; SecureAngle's signature check is what binds the
+//! claim to a physical transmitter.
+
+use crate::addr::MacAddr;
+use std::collections::HashSet;
+
+/// ACL policy for unknown addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AclPolicy {
+    /// Only listed addresses are admitted (the common enterprise setup
+    /// the paper references).
+    #[default]
+    AllowListed,
+    /// Listed addresses are *blocked*, everything else admitted.
+    DenyListed,
+}
+
+/// A set of MAC addresses with an allow/deny interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct AccessControlList {
+    listed: HashSet<MacAddr>,
+    policy: AclPolicy,
+}
+
+impl AccessControlList {
+    /// Empty ACL with the given policy.
+    pub fn new(policy: AclPolicy) -> Self {
+        Self {
+            listed: HashSet::new(),
+            policy,
+        }
+    }
+
+    /// Add an address to the list. Returns `true` if newly added.
+    pub fn add(&mut self, addr: MacAddr) -> bool {
+        self.listed.insert(addr)
+    }
+
+    /// Remove an address. Returns `true` if it was present.
+    pub fn remove(&mut self, addr: &MacAddr) -> bool {
+        self.listed.remove(addr)
+    }
+
+    /// Number of listed addresses.
+    pub fn len(&self) -> usize {
+        self.listed.len()
+    }
+
+    /// True if nothing is listed.
+    pub fn is_empty(&self) -> bool {
+        self.listed.is_empty()
+    }
+
+    /// Is a frame from `src` admitted?
+    pub fn permits(&self, src: &MacAddr) -> bool {
+        match self.policy {
+            AclPolicy::AllowListed => self.listed.contains(src),
+            AclPolicy::DenyListed => !self.listed.contains(src),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_list_semantics() {
+        let mut acl = AccessControlList::new(AclPolicy::AllowListed);
+        let a = MacAddr::local_from_index(1);
+        let b = MacAddr::local_from_index(2);
+        assert!(!acl.permits(&a));
+        assert!(acl.add(a));
+        assert!(!acl.add(a), "second add is a no-op");
+        assert!(acl.permits(&a));
+        assert!(!acl.permits(&b));
+        assert!(acl.remove(&a));
+        assert!(!acl.permits(&a));
+    }
+
+    #[test]
+    fn deny_list_semantics() {
+        let mut acl = AccessControlList::new(AclPolicy::DenyListed);
+        let a = MacAddr::local_from_index(1);
+        assert!(acl.permits(&a));
+        acl.add(a);
+        assert!(!acl.permits(&a));
+    }
+
+    #[test]
+    fn spoofing_defeats_the_acl() {
+        // The weakness SecureAngle addresses: the ACL admits the spoofed
+        // address because it cannot see below the MAC layer.
+        let mut acl = AccessControlList::new(AclPolicy::AllowListed);
+        let victim = MacAddr::local_from_index(7);
+        acl.add(victim);
+        let attacker_claims = victim; // spoof
+        assert!(acl.permits(&attacker_claims));
+    }
+}

@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3) — the FCS at the end of every 802.11 frame.
+//!
+//! Reflected polynomial `0xEDB88320`, init `0xFFFFFFFF`, final XOR
+//! `0xFFFFFFFF`; table-driven, one table built at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+    }
+
+    #[test]
+    fn sensitive_to_any_bit_flip() {
+        let base = crc32(b"hello world");
+        let mut data = b"hello world".to_vec();
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at {}:{} undetected", i, bit);
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_equivalence_not_required_but_stable() {
+        let a = crc32(b"abcdef");
+        let b = crc32(b"abcdef");
+        assert_eq!(a, b);
+    }
+}

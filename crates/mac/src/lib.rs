@@ -1,0 +1,21 @@
+//! # sa-mac — an 802.11-like MAC layer
+//!
+//! The link layer above SecureAngle's physical-layer machinery:
+//! addresses ([`addr`]), CRC-32 FCS ([`crc`]), three-address frames
+//! ([`frame`]) and address-based ACLs ([`acl`]). Deliberately small: the
+//! paper's applications need frames with forgeable source addresses and
+//! an ACL to defeat, not a full 802.11 state machine (no
+//! association/QoS/aggregation — omitted features documented per the
+//! smoltcp convention).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod addr;
+pub mod crc;
+pub mod frame;
+
+pub use acl::{AccessControlList, AclPolicy};
+pub use addr::MacAddr;
+pub use frame::{Frame, FrameError, FrameType};

@@ -1,0 +1,90 @@
+//! Property-based tests for the MAC layer.
+
+use proptest::prelude::*;
+use sa_mac::{AccessControlList, AclPolicy, Frame, FrameType, MacAddr};
+
+fn any_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn any_frame_type() -> impl Strategy<Value = FrameType> {
+    prop_oneof![
+        Just(FrameType::Beacon),
+        Just(FrameType::Auth),
+        Just(FrameType::Data),
+        Just(FrameType::Deauth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn frame_roundtrip(
+        ftype in any_frame_type(),
+        dst in any_mac(),
+        src in any_mac(),
+        bssid in any_mac(),
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let f = Frame { frame_type: ftype, dst, src, bssid, seq, payload };
+        let wire = f.encode();
+        prop_assert_eq!(wire.len(), f.wire_len());
+        prop_assert_eq!(Frame::decode(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is acceptable; no panic allowed.
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_essentially_never_pass_fcs(bytes in proptest::collection::vec(any::<u8>(), 26..128)) {
+        // A 32-bit FCS accepts random input w.p. 2^-32; treat any pass
+        // in a 96-case run as a bug.
+        prop_assert!(Frame::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn mac_display_parse_roundtrip(mac in any_mac()) {
+        let s = mac.to_string();
+        prop_assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn acl_permit_matches_policy(
+        listed in proptest::collection::vec(any_mac(), 0..8),
+        probe in any_mac(),
+    ) {
+        let mut allow = AccessControlList::new(AclPolicy::AllowListed);
+        let mut deny = AccessControlList::new(AclPolicy::DenyListed);
+        for &m in &listed {
+            allow.add(m);
+            deny.add(m);
+        }
+        let is_listed = listed.contains(&probe);
+        prop_assert_eq!(allow.permits(&probe), is_listed);
+        prop_assert_eq!(deny.permits(&probe), !is_listed);
+    }
+
+    #[test]
+    fn crc_detects_any_single_bit_flip(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        pos_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let f = Frame::data(
+            MacAddr::local_from_index(1),
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            &payload,
+        );
+        let mut wire = f.encode().to_vec();
+        let pos = pos_seed % wire.len();
+        wire[pos] ^= 1 << bit;
+        prop_assert!(Frame::decode(&wire).is_err(), "flip at {}:{} undetected", pos, bit);
+    }
+}

@@ -1,0 +1,27 @@
+//! # sa-phy — a compact 802.11-style OFDM physical layer
+//!
+//! The transmit waveform of the paper's Soekris clients and the receive
+//! chain its WARPLab/Matlab prototype runs: 64-subcarrier OFDM on the
+//! 20 MHz grid with a Schmidl–Cox-detectable preamble.
+//!
+//! * [`params`] — numerology (64-FFT, 16-sample CP, 48+4 carriers);
+//! * [`modulation`] — BPSK/QPSK/16-QAM with Gray labelling;
+//! * [`preamble`] — Schmidl–Cox training symbol (two identical halves)
+//!   plus an LTF-style channel-estimation symbol;
+//! * [`ppdu`] — payload ↔ waveform framing with a full receiver
+//!   (detection, CFO, fine timing, channel estimation, pilot tracking).
+//!
+//! Omitted (not needed to reproduce the paper, documented per the
+//! smoltcp convention): convolutional coding/interleaving, rate
+//! adaptation, MIMO transmit modes, 40 MHz channels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod modulation;
+pub mod params;
+pub mod ppdu;
+pub mod preamble;
+
+pub use modulation::Modulation;
+pub use ppdu::{DecodedPacket, PhyError, Receiver, Transmitter};

@@ -1,0 +1,212 @@
+//! Subcarrier modulation: bit ↔ constellation-point mapping.
+//!
+//! BPSK, QPSK and 16-QAM with Gray labelling, all normalised to unit
+//! average symbol energy so SNR bookkeeping is modulation-independent.
+
+use sa_linalg::complex::{c64, C64};
+
+/// Supported constellations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modulation {
+    /// 1 bit/symbol.
+    Bpsk,
+    /// 2 bits/symbol (Gray).
+    Qpsk,
+    /// 4 bits/symbol (Gray per axis).
+    Qam16,
+}
+
+impl Modulation {
+    /// Bits carried per constellation symbol.
+    pub fn bits_per_symbol(&self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+        }
+    }
+
+    /// Map bits (each `0`/`1`, MSB first per symbol) to one constellation
+    /// point. Panics unless exactly `bits_per_symbol` bits are given.
+    pub fn map(&self, bits: &[u8]) -> C64 {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "map: wrong bit count");
+        match self {
+            Modulation::Bpsk => {
+                if bits[0] == 0 {
+                    c64(-1.0, 0.0)
+                } else {
+                    c64(1.0, 0.0)
+                }
+            }
+            Modulation::Qpsk => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                let i = if bits[0] == 0 { -s } else { s };
+                let q = if bits[1] == 0 { -s } else { s };
+                c64(i, q)
+            }
+            Modulation::Qam16 => {
+                // Gray per axis: 00→−3, 01→−1, 11→+1, 10→+3; scale 1/√10.
+                let level = |b1: u8, b0: u8| -> f64 {
+                    match (b1, b0) {
+                        (0, 0) => -3.0,
+                        (0, 1) => -1.0,
+                        (1, 1) => 1.0,
+                        (1, 0) => 3.0,
+                        _ => unreachable!("bits are 0/1"),
+                    }
+                };
+                let s = 1.0 / 10f64.sqrt();
+                c64(level(bits[0], bits[1]) * s, level(bits[2], bits[3]) * s)
+            }
+        }
+    }
+
+    /// Hard-decision demap of one received point back to bits.
+    pub fn demap(&self, z: C64) -> Vec<u8> {
+        match self {
+            Modulation::Bpsk => vec![u8::from(z.re >= 0.0)],
+            Modulation::Qpsk => vec![u8::from(z.re >= 0.0), u8::from(z.im >= 0.0)],
+            Modulation::Qam16 => {
+                let axis = |v: f64| -> (u8, u8) {
+                    let lvl = v * 10f64.sqrt();
+                    if lvl < -2.0 {
+                        (0, 0)
+                    } else if lvl < 0.0 {
+                        (0, 1)
+                    } else if lvl < 2.0 {
+                        (1, 1)
+                    } else {
+                        (1, 0)
+                    }
+                };
+                let (i1, i0) = axis(z.re);
+                let (q1, q0) = axis(z.im);
+                vec![i1, i0, q1, q0]
+            }
+        }
+    }
+
+    /// Map a full bit stream to symbols. The stream is zero-padded to a
+    /// whole number of symbols.
+    pub fn map_stream(&self, bits: &[u8]) -> Vec<C64> {
+        let bps = self.bits_per_symbol();
+        let mut out = Vec::with_capacity(bits.len().div_ceil(bps));
+        let mut chunk = Vec::with_capacity(bps);
+        for &b in bits {
+            chunk.push(b);
+            if chunk.len() == bps {
+                out.push(self.map(&chunk));
+                chunk.clear();
+            }
+        }
+        if !chunk.is_empty() {
+            while chunk.len() < bps {
+                chunk.push(0);
+            }
+            out.push(self.map(&chunk));
+        }
+        out
+    }
+
+    /// Demap a symbol stream back to bits.
+    pub fn demap_stream(&self, symbols: &[C64]) -> Vec<u8> {
+        symbols.iter().flat_map(|&z| self.demap(z)).collect()
+    }
+}
+
+/// Bytes → bits (MSB first).
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1))
+        .collect()
+}
+
+/// Bits → bytes (MSB first); the tail is zero-padded to a whole byte.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|c| {
+            let mut b = 0u8;
+            for (i, &bit) in c.iter().enumerate() {
+                b |= (bit & 1) << (7 - i);
+            }
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_bit_patterns(n: usize) -> Vec<Vec<u8>> {
+        (0..1usize << n)
+            .map(|v| (0..n).rev().map(|i| ((v >> i) & 1) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_constellation_points() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            for bits in all_bit_patterns(m.bits_per_symbol()) {
+                let z = m.map(&bits);
+                assert_eq!(m.demap(z), bits, "{:?} bits {:?}", m, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            let pats = all_bit_patterns(m.bits_per_symbol());
+            let e: f64 =
+                pats.iter().map(|b| m.map(b).norm_sqr()).sum::<f64>() / pats.len() as f64;
+            assert!((e - 1.0).abs() < 1e-12, "{:?} energy {}", m, e);
+        }
+    }
+
+    #[test]
+    fn gray_labelling_neighbours_differ_by_one_bit() {
+        // 16-QAM I-axis levels in ascending order: 00, 01, 11, 10.
+        let m = Modulation::Qam16;
+        let lvls = [(0u8, 0u8), (0, 1), (1, 1), (1, 0)];
+        for w in lvls.windows(2) {
+            let d = (w[0].0 ^ w[1].0).count_ones() + (w[0].1 ^ w[1].1).count_ones();
+            assert_eq!(d, 1);
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn stream_roundtrip_with_padding() {
+        let m = Modulation::Qam16;
+        let bits: Vec<u8> = vec![1, 0, 1, 1, 0, 1, 1]; // 7 bits → pads to 8
+        let syms = m.map_stream(&bits);
+        assert_eq!(syms.len(), 2);
+        let back = m.demap_stream(&syms);
+        assert_eq!(&back[..7], &bits[..]);
+        assert_eq!(back[7], 0);
+    }
+
+    #[test]
+    fn bytes_bits_roundtrip() {
+        let bytes = vec![0x00, 0xff, 0xa5, 0x3c, 0x01];
+        let bits = bytes_to_bits(&bytes);
+        assert_eq!(bits.len(), 40);
+        assert_eq!(bits_to_bytes(&bits), bytes);
+    }
+
+    #[test]
+    fn bits_msb_first() {
+        assert_eq!(bytes_to_bits(&[0x80])[0], 1);
+        assert_eq!(bytes_to_bits(&[0x01])[7], 1);
+        assert_eq!(bits_to_bytes(&[1, 0, 0, 0, 0, 0, 0, 0]), vec![0x80]);
+    }
+
+    #[test]
+    fn demap_noisy_points_snap_to_nearest() {
+        let m = Modulation::Qpsk;
+        let z = m.map(&[1, 0]) + c64(0.1, -0.05);
+        assert_eq!(m.demap(z), vec![1, 0]);
+    }
+}

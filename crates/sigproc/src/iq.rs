@@ -1,0 +1,184 @@
+//! IQ sample buffer utilities.
+//!
+//! Signals everywhere in this workspace are `&[C64]` baseband sample
+//! slices; this module holds the small shared vocabulary: power and dB
+//! conversions, phase application, fractional delay, and energy
+//! normalisation.
+
+use sa_linalg::complex::{C64, ZERO};
+
+/// Mean power (average `|x|²`) of a signal. Zero for an empty slice.
+pub fn mean_power(x: &[C64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64
+}
+
+/// Total energy (`Σ|x|²`).
+pub fn energy(x: &[C64]) -> f64 {
+    x.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Convert a linear power ratio to decibels. `0` maps to `-inf`.
+pub fn to_db(p: f64) -> f64 {
+    10.0 * p.log10()
+}
+
+/// Convert decibels to a linear power ratio.
+pub fn from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Scale a signal in place so its mean power equals `target`.
+/// A zero signal is left untouched.
+pub fn normalize_power(x: &mut [C64], target: f64) {
+    let p = mean_power(x);
+    if p > 0.0 {
+        let g = (target / p).sqrt();
+        for z in x.iter_mut() {
+            *z = z.scale(g);
+        }
+    }
+}
+
+/// Multiply every sample by `e^{j·phase}` — models a bulk phase offset such
+/// as a downconverter's unknown phase (paper §2.2).
+pub fn apply_phase(x: &mut [C64], phase: f64) {
+    let rot = C64::cis(phase);
+    for z in x.iter_mut() {
+        *z *= rot;
+    }
+}
+
+/// Apply a progressive per-sample phase ramp `e^{j·phi_per_sample·n}` —
+/// models carrier frequency offset between client and AP oscillators.
+pub fn apply_cfo(x: &mut [C64], phi_per_sample: f64) {
+    for (n, z) in x.iter_mut().enumerate() {
+        *z *= C64::cis(phi_per_sample * n as f64);
+    }
+}
+
+/// Delay a signal by a (possibly fractional) number of samples using
+/// linear interpolation, zero-padding at the head. The output has the same
+/// length as the input; samples shifted past the end are dropped.
+///
+/// Baseband delay models the *envelope* shift of a multipath component;
+/// the associated carrier phase `e^{−j2πf_c·τ}` is applied separately by
+/// the channel model, which is the standard narrowband-per-path
+/// decomposition.
+pub fn delay_signal(x: &[C64], delay: f64) -> Vec<C64> {
+    assert!(delay >= 0.0, "delay_signal: negative delay unsupported");
+    let n = x.len();
+    let whole = delay.floor() as usize;
+    let frac = delay - delay.floor();
+    let mut out = vec![ZERO; n];
+    for i in 0..n {
+        if i < whole {
+            continue;
+        }
+        let j = i - whole;
+        // x interpolated at (j − frac): combine x[j] and x[j−1].
+        let a = x[j];
+        let b = if j > 0 { x[j - 1] } else { ZERO };
+        out[i] = a.scale(1.0 - frac) + b.scale(frac);
+    }
+    out
+}
+
+/// Element-wise sum of two signals of equal length.
+pub fn add_into(acc: &mut [C64], x: &[C64]) {
+    assert_eq!(acc.len(), x.len(), "add_into: length mismatch");
+    for (a, b) in acc.iter_mut().zip(x.iter()) {
+        *a += *b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_linalg::c64;
+
+    #[test]
+    fn power_and_energy() {
+        let x = vec![c64(1.0, 0.0), c64(0.0, 2.0), c64(2.0, 1.0)];
+        assert!((energy(&x) - (1.0 + 4.0 + 5.0)).abs() < 1e-12);
+        assert!((mean_power(&x) - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for &p in &[0.001, 1.0, 42.0, 1e6] {
+            assert!((from_db(to_db(p)) - p).abs() < 1e-9 * p);
+        }
+        assert!((to_db(100.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_hits_target() {
+        let mut x = vec![c64(3.0, 0.0); 8];
+        normalize_power(&mut x, 2.0);
+        assert!((mean_power(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_signal_noop() {
+        let mut x = vec![c64(0.0, 0.0); 4];
+        normalize_power(&mut x, 1.0);
+        assert!(x.iter().all(|z| z.abs() == 0.0));
+    }
+
+    #[test]
+    fn phase_rotation_preserves_power_and_shifts_arg() {
+        let mut x = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        apply_phase(&mut x, 0.5);
+        assert!((x[0].arg() - 0.5).abs() < 1e-12);
+        assert!((mean_power(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfo_ramp_is_progressive() {
+        let mut x = vec![c64(1.0, 0.0); 4];
+        apply_cfo(&mut x, 0.1);
+        for (n, z) in x.iter().enumerate() {
+            assert!((z.arg() - 0.1 * n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn integer_delay_shifts() {
+        let x = vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)];
+        let y = delay_signal(&x, 2.0);
+        assert!(y[0].abs() < 1e-12);
+        assert!(y[1].abs() < 1e-12);
+        assert!((y[2].re - 1.0).abs() < 1e-12);
+        assert!((y[3].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_delay_interpolates() {
+        let x = vec![c64(0.0, 0.0), c64(1.0, 0.0), c64(0.0, 0.0), c64(0.0, 0.0)];
+        let y = delay_signal(&x, 0.5);
+        // Impulse at n=1 splits between n=1 and n=2.
+        assert!((y[1].re - 0.5).abs() < 1e-12);
+        assert!((y[2].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_delay_is_identity() {
+        let x = vec![c64(1.0, -1.0), c64(0.5, 2.0)];
+        let y = delay_signal(&x, 0.0);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn add_into_sums() {
+        let mut acc = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        add_into(&mut acc, &[c64(1.0, 1.0), c64(1.0, -1.0)]);
+        assert!(acc[0].approx_eq(c64(2.0, 1.0), 1e-12));
+        assert!(acc[1].approx_eq(c64(1.0, 0.0), 1e-12));
+    }
+}

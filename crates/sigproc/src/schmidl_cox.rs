@@ -1,0 +1,301 @@
+//! Schmidl–Cox OFDM packet detection and carrier-frequency-offset
+//! estimation.
+//!
+//! The prototype "realize\[s\] the Schmidl-Cox OFDM packet detection
+//! algorithm to locate packets in the raw samples" (paper §3). The
+//! preamble's first training symbol consists of two identical halves of
+//! length `L` in the time domain; the receiver slides the correlator
+//!
+//! ```text
+//! P(d)  = Σ_{m=0}^{L−1} r*[d+m]·r[d+m+L]      (half-symbol correlation)
+//! E1(d) = Σ_{m=0}^{L−1} |r[d+m]|²             (first-half energy)
+//! E2(d) = Σ_{m=0}^{L−1} |r[d+m+L]|²           (second-half energy)
+//! M(d)  = |P(d)|² / (E1(d)·E2(d))             (timing metric)
+//! ```
+//!
+//! and declares a packet where `M` exceeds a threshold. The symmetric
+//! normalisation is Minn's variant of Schmidl & Cox's original
+//! `|P|²/E2²`: by Cauchy–Schwarz it is bounded in `[0, 1]` and it
+//! suppresses the spurious plateaus the original metric exhibits at
+//! signal/idle boundaries where one window's energy collapses. Because
+//! the metric can still plateau over a cyclic prefix, the detector takes
+//! the *centre* of the region above 90% of the local maximum, per
+//! Schmidl & Cox's recommendation. The angle of `P` at the optimum gives
+//! the fractional CFO: `φ̂ = ∠P/L` radians/sample.
+
+use sa_linalg::complex::{C64, ZERO};
+
+/// One detected packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Sample index of the estimated start of the preamble's first
+    /// training symbol.
+    pub start: usize,
+    /// Peak value of the timing metric `M(d)` (close to 1 at high SNR).
+    pub metric: f64,
+    /// Estimated carrier frequency offset, radians per sample.
+    pub cfo: f64,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchmidlCox {
+    /// Half-symbol length `L` (number of samples in each identical half).
+    pub half_len: usize,
+    /// Detection threshold on `M(d)`; 0.5 is a robust default down to
+    /// ~0 dB SNR.
+    pub threshold: f64,
+    /// Samples to skip after a detection before searching again (set to
+    /// at least the packet length to avoid double-detecting one packet).
+    pub holdoff: usize,
+}
+
+impl SchmidlCox {
+    /// Detector for a preamble with the given half-symbol length.
+    pub fn new(half_len: usize) -> Self {
+        Self {
+            half_len,
+            threshold: 0.5,
+            holdoff: 4 * half_len,
+        }
+    }
+
+    /// Timing metric trace `M(d)` for `d` in
+    /// `0 ..= r.len() − 2·half_len` (empty if the buffer is too short).
+    ///
+    /// Computed with O(1) sliding updates per offset, so scanning a 0.4 ms
+    /// WARP buffer (8000 samples at 20 MHz) is cheap.
+    pub fn metric_trace(&self, r: &[C64]) -> Vec<f64> {
+        let l = self.half_len;
+        if r.len() < 2 * l {
+            return Vec::new();
+        }
+        let last = r.len() - 2 * l;
+        let mut out = Vec::with_capacity(last + 1);
+
+        // Initialise P(0), E1(0), E2(0).
+        let mut p = ZERO;
+        let mut e1 = 0.0f64;
+        let mut e2 = 0.0f64;
+        for m in 0..l {
+            p += r[m].conj() * r[m + l];
+            e1 += r[m].norm_sqr();
+            e2 += r[m + l].norm_sqr();
+        }
+        // Energy floor: windows whose product-energy is negligible relative
+        // to the buffer as a whole cannot contain a packet; report 0 there
+        // instead of amplifying numerical dust.
+        let floor = 1e-12 * crate::iq::mean_power(r) * (l as f64) * crate::iq::mean_power(r)
+            * (l as f64)
+            + 1e-300;
+        for d in 0..=last {
+            let denom = e1 * e2;
+            let metric = if denom > floor {
+                (p.norm_sqr() / denom).min(1.0)
+            } else {
+                0.0
+            };
+            out.push(metric);
+            if d < last {
+                // Slide both windows one sample to the right.
+                p -= r[d].conj() * r[d + l];
+                p += r[d + l].conj() * r[d + 2 * l];
+                e1 -= r[d].norm_sqr();
+                e1 += r[d + l].norm_sqr();
+                e2 -= r[d + l].norm_sqr();
+                e2 += r[d + 2 * l].norm_sqr();
+            }
+        }
+        out
+    }
+
+    /// Detect all packets in a sample buffer.
+    pub fn detect(&self, r: &[C64]) -> Vec<Detection> {
+        let l = self.half_len;
+        let trace = self.metric_trace(r);
+        let mut out = Vec::new();
+        let mut d = 0usize;
+        while d < trace.len() {
+            if trace[d] < self.threshold {
+                d += 1;
+                continue;
+            }
+            // Found a region above threshold: find its local maximum, then
+            // take the centre of the sub-region above 90% of that maximum
+            // (plateau handling).
+            let region_end = trace[d..]
+                .iter()
+                .position(|&m| m < self.threshold)
+                .map(|off| d + off)
+                .unwrap_or(trace.len());
+            let (peak_idx, peak) = trace[d..region_end]
+                .iter()
+                .enumerate()
+                .fold((0, 0.0), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+            let peak_idx = d + peak_idx;
+            let level = 0.9 * peak;
+            let mut lo = peak_idx;
+            while lo > d && trace[lo - 1] >= level {
+                lo -= 1;
+            }
+            let mut hi = peak_idx;
+            while hi + 1 < region_end && trace[hi + 1] >= level {
+                hi += 1;
+            }
+            let start = (lo + hi) / 2;
+
+            // CFO from the half-symbol correlation at the chosen offset.
+            let mut p = ZERO;
+            for m in 0..l {
+                p += r[start + m].conj() * r[start + m + l];
+            }
+            out.push(Detection {
+                start,
+                metric: peak,
+                cfo: p.arg() / l as f64,
+            });
+
+            d = start + self.holdoff.max(1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::{apply_cfo, mean_power};
+    use crate::noise::add_noise;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sa_linalg::complex::C64;
+
+    const L: usize = 32;
+
+    /// A Schmidl–Cox-style training symbol: two identical pseudo-random
+    /// halves, preceded and followed by noise-only regions.
+    fn preamble(seed: u64) -> Vec<C64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut half = crate::noise::cn_vector(&mut rng, L, 1.0);
+        crate::iq::normalize_power(&mut half, 1.0);
+        let mut sym = half.clone();
+        sym.extend_from_slice(&half);
+        sym
+    }
+
+    /// Preamble followed by 4L of payload-like samples at the same power —
+    /// as in a real packet. (With nothing after the training symbol, the
+    /// S&C metric has a long trailing plateau because `P` and `R` shrink
+    /// together; payload suppresses it, which is the realistic case.)
+    fn buffer_with_preamble_at(offset: usize, total: usize, seed: u64) -> Vec<C64> {
+        let mut buf = vec![ZERO; total];
+        let pre = preamble(seed);
+        buf[offset..offset + pre.len()].copy_from_slice(&pre);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead);
+        let payload = crate::noise::cn_vector(&mut rng, 4 * L, 1.0);
+        let p0 = offset + pre.len();
+        let pend = (p0 + payload.len()).min(total);
+        buf[p0..pend].copy_from_slice(&payload[..pend - p0]);
+        buf
+    }
+
+    #[test]
+    fn detects_clean_preamble_near_true_offset() {
+        let buf = buffer_with_preamble_at(100, 400, 1);
+        let det = SchmidlCox::new(L).detect(&buf);
+        assert_eq!(det.len(), 1, "detections: {:?}", det);
+        assert!(
+            (det[0].start as i64 - 100).unsigned_abs() <= 2,
+            "start {} (expected ≈100)",
+            det[0].start
+        );
+        assert!(det[0].metric > 0.9);
+    }
+
+    #[test]
+    fn detects_at_moderate_snr() {
+        let mut buf = buffer_with_preamble_at(150, 600, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        add_noise(&mut rng, &mut buf, 0.1); // 10 dB SNR inside the preamble
+        let det = SchmidlCox::new(L).detect(&buf);
+        assert_eq!(det.len(), 1);
+        assert!(
+            (det[0].start as i64 - 150).unsigned_abs() <= 4,
+            "start {}",
+            det[0].start
+        );
+    }
+
+    #[test]
+    fn no_detection_in_pure_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let buf = crate::noise::cn_vector(&mut rng, 2000, 1.0);
+        let det = SchmidlCox::new(L).detect(&buf);
+        assert!(
+            det.is_empty(),
+            "false positives in pure noise: {:?}",
+            det
+        );
+    }
+
+    #[test]
+    fn cfo_estimate_accurate() {
+        for &cfo in &[0.0, 0.01, -0.02, 0.05] {
+            let mut buf = buffer_with_preamble_at(80, 400, 3);
+            apply_cfo(&mut buf, cfo);
+            let det = SchmidlCox::new(L).detect(&buf);
+            assert_eq!(det.len(), 1);
+            assert!(
+                (det[0].cfo - cfo).abs() < 2e-3,
+                "cfo {} (expected {})",
+                det[0].cfo,
+                cfo
+            );
+        }
+    }
+
+    #[test]
+    fn detects_two_separated_packets() {
+        let mut buf = buffer_with_preamble_at(50, 1000, 7);
+        let pre2 = preamble(8);
+        buf[600..600 + pre2.len()].copy_from_slice(&pre2);
+        let det = SchmidlCox::new(L).detect(&buf);
+        assert_eq!(det.len(), 2, "detections: {:?}", det);
+        assert!((det[0].start as i64 - 50).unsigned_abs() <= 4);
+        assert!((det[1].start as i64 - 600).unsigned_abs() <= 4);
+    }
+
+    #[test]
+    fn metric_trace_bounded() {
+        let mut buf = buffer_with_preamble_at(64, 512, 11);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        add_noise(&mut rng, &mut buf, 0.05);
+        let trace = SchmidlCox::new(L).metric_trace(&buf);
+        assert_eq!(trace.len(), 512 - 2 * L + 1);
+        for &m in &trace {
+            assert!(m >= 0.0 && m <= 1.2, "metric out of range: {}", m);
+        }
+    }
+
+    #[test]
+    fn short_buffer_yields_nothing() {
+        let sc = SchmidlCox::new(L);
+        assert!(sc.metric_trace(&[ZERO; 10]).is_empty());
+        assert!(sc.detect(&[ZERO; 10]).is_empty());
+    }
+
+    #[test]
+    fn preamble_power_sanity() {
+        let p = preamble(1);
+        assert!((mean_power(&p) - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), 2 * L);
+    }
+
+    use sa_linalg::complex::ZERO;
+}

@@ -1,0 +1,151 @@
+//! Experiment E11 — downlink beamforming from uplink AoA (paper §5
+//! future work, implemented as a gain study).
+//!
+//! For every testbed client: measure the uplink bearing from one packet,
+//! steer a transmit beam at it, and compute the realized power gain at
+//! the client's true direction versus (a) a single omni antenna and
+//! (b) a perfectly-steered beam. Translates Fig-5 bearing accuracy into
+//! the "higher throughput and better reliability" the paper projects.
+
+use crate::sim::{ApArray, Testbed};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use secureangle::downlink::{beamforming_gain_db, bearing_tolerance_deg};
+use serde::Serialize;
+
+/// One client's downlink row.
+#[derive(Debug, Clone, Serialize)]
+pub struct DownlinkRow {
+    /// Client id.
+    pub client: usize,
+    /// Uplink bearing error, degrees.
+    pub bearing_error_deg: f64,
+    /// Realized beamforming gain over omni, dB.
+    pub realized_gain_db: f64,
+    /// Loss versus a perfectly-steered beam, dB.
+    pub loss_vs_perfect_db: f64,
+}
+
+/// The E11 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct DownlinkResult {
+    /// Per-client rows.
+    pub rows: Vec<DownlinkRow>,
+    /// Perfect-steering gain, dB (10·log10 M).
+    pub perfect_gain_db: f64,
+    /// Median realized gain, dB.
+    pub median_gain_db: f64,
+    /// Fraction of clients within 1 dB of the perfect beam.
+    pub frac_within_1db: f64,
+    /// The array's 3 dB bearing tolerance, degrees.
+    pub tolerance_3db_deg: f64,
+}
+
+/// Run E11 over all 20 clients.
+pub fn run(seed: u64) -> DownlinkResult {
+    let tb = Testbed::single_ap(ApArray::Circular, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xd01);
+    let array = tb.nodes[0].ap.config().array.clone();
+    let perfect = beamforming_gain_db(&array, 1.0, 1.0);
+
+    let mut rows = Vec::new();
+    for spec in tb.office.clients.clone() {
+        let truth_deg = tb.office.ground_truth_azimuth_deg(spec.id);
+        let buf = tb.client_capture(0, spec.id, 1, 0.0, &mut rng);
+        let Ok(obs) = tb.nodes[0].ap.observe(&buf) else {
+            continue;
+        };
+        let Some(az_hat) = obs.global_azimuth else {
+            continue;
+        };
+        let realized = beamforming_gain_db(&array, az_hat, truth_deg.to_radians());
+        rows.push(DownlinkRow {
+            client: spec.id,
+            bearing_error_deg: sa_aoa::pseudospectrum::angle_diff_deg(
+                az_hat.to_degrees(),
+                truth_deg,
+                true,
+            ),
+            realized_gain_db: realized,
+            loss_vs_perfect_db: perfect - realized,
+        });
+    }
+
+    let gains: Vec<f64> = rows.iter().map(|r| r.realized_gain_db).collect();
+    DownlinkResult {
+        perfect_gain_db: perfect,
+        median_gain_db: sa_linalg::stats::median(&gains),
+        frac_within_1db: rows
+            .iter()
+            .filter(|r| r.loss_vs_perfect_db <= 1.0)
+            .count() as f64
+            / rows.len().max(1) as f64,
+        tolerance_3db_deg: bearing_tolerance_deg(&array, 1.0, 3.0),
+        rows,
+    }
+}
+
+/// Render E11.
+pub fn render(r: &DownlinkResult) -> String {
+    let mut out = String::new();
+    out.push_str("E11 — downlink beamforming gain from uplink AoA (8-antenna octagon)\n");
+    out.push_str(&format!(
+        "perfect-steering gain: {:.2} dB; 3 dB bearing tolerance: ±{:.1} deg\n\n",
+        r.perfect_gain_db, r.tolerance_3db_deg
+    ));
+    out.push_str("client | brg err(deg) | gain(dB) | loss vs perfect(dB)\n");
+    out.push_str("-------+--------------+----------+--------------------\n");
+    for row in &r.rows {
+        out.push_str(&format!(
+            "{:6} | {:12.2} | {:8.2} | {:18.2}\n",
+            row.client, row.bearing_error_deg, row.realized_gain_db, row.loss_vs_perfect_db
+        ));
+    }
+    out.push_str(&format!(
+        "\nmedian realized gain: {:.2} dB over omni; {:.0}% of clients within 1 dB of perfect\n",
+        r.median_gain_db,
+        100.0 * r.frac_within_1db
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_clients_get_near_full_gain() {
+        let r = run(91);
+        assert!(r.rows.len() >= 18, "rows {}", r.rows.len());
+        assert!((r.perfect_gain_db - 9.03).abs() < 0.01);
+        assert!(
+            r.median_gain_db > r.perfect_gain_db - 1.5,
+            "median gain {:.2} vs perfect {:.2}",
+            r.median_gain_db,
+            r.perfect_gain_db
+        );
+        assert!(r.frac_within_1db > 0.6, "within 1 dB: {}", r.frac_within_1db);
+    }
+
+    #[test]
+    fn gain_correlates_with_bearing_error() {
+        let r = run(93);
+        // The worst-bearing client should lose the most gain.
+        let worst = r
+            .rows
+            .iter()
+            .max_by(|a, b| a.bearing_error_deg.partial_cmp(&b.bearing_error_deg).unwrap())
+            .unwrap();
+        let best = r
+            .rows
+            .iter()
+            .min_by(|a, b| a.bearing_error_deg.partial_cmp(&b.bearing_error_deg).unwrap())
+            .unwrap();
+        assert!(
+            worst.loss_vs_perfect_db >= best.loss_vs_perfect_db,
+            "worst {:?} best {:?}",
+            worst,
+            best
+        );
+    }
+}

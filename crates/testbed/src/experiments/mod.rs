@@ -1,0 +1,16 @@
+//! Experiment runners: one module per paper artifact (DESIGN.md §5).
+//!
+//! Each module exposes `run(...) -> SerializableResult` and
+//! `render(&Result) -> String`; the `sa-bench` crate's `experiments`
+//! binary drives them and writes text + JSON artifacts.
+
+pub mod ablations;
+pub mod downlink;
+pub mod fence;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod mobility;
+pub mod rss_baseline;
+pub mod snr;
+pub mod spoofing;

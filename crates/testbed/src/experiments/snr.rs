@@ -1,0 +1,185 @@
+//! Experiment E9 — robustness of the single-packet operating point.
+//!
+//! The paper's §2.3.1 accuracy claim is "after overhearing just one
+//! packet". This experiment maps where that holds: bearing error and
+//! packet-detection rate as functions of SNR, and the improvement from
+//! averaging bearings over multiple packets.
+
+use crate::sim::{ApArray, Testbed};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_aoa::pseudospectrum::angle_diff_deg;
+use serde::Serialize;
+
+/// One SNR operating point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnrPoint {
+    /// Nominal SNR at the AP for the probe client, dB.
+    pub snr_db: f64,
+    /// Fraction of packets detected.
+    pub detection_rate: f64,
+    /// Median absolute bearing error over detected packets, degrees.
+    pub median_error_deg: f64,
+    /// 90th-percentile absolute error, degrees.
+    pub p90_error_deg: f64,
+}
+
+/// One packet-averaging operating point.
+#[derive(Debug, Clone, Serialize)]
+pub struct AveragingPoint {
+    /// Packets averaged per bearing estimate.
+    pub packets: usize,
+    /// Median absolute error of the averaged bearing, degrees.
+    pub median_error_deg: f64,
+}
+
+/// The E9 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnrResult {
+    /// Probe client.
+    pub client: usize,
+    /// SNR sweep.
+    pub sweep: Vec<SnrPoint>,
+    /// Packet-averaging sweep at the default noise floor.
+    pub averaging: Vec<AveragingPoint>,
+}
+
+/// Run E9 on a mid-range client with `trials` packets per point.
+pub fn run(seed: u64, client: usize, trials: usize) -> SnrResult {
+    let base = Testbed::single_ap(ApArray::Circular, seed);
+    let truth = base.office.ground_truth_azimuth_deg(client);
+    // Reference received power for this client (sets SNR per noise floor).
+    let rx_pow = base.rx_power_from(0, base.office.client(client).position);
+
+    let mut sweep = Vec::new();
+    for &snr_db in &[-5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+        let mut tb = Testbed::single_ap(ApArray::Circular, seed);
+        // Rebuild the front end with the noise floor for this SNR and
+        // recalibrate.
+        let noise = rx_pow / sa_sigproc::iq::from_db(snr_db);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x539 ^ snr_db.to_bits());
+        let fe = sa_array::rf::FrontEnd::random(8, noise, &mut rng);
+        tb.nodes[0].ap.calibrate(&fe, &mut rng);
+        tb.nodes[0].front_end = fe;
+
+        let mut errors = Vec::new();
+        let mut detected = 0usize;
+        for p in 0..trials {
+            let buf = tb.client_capture(0, client, p as u16, 0.0, &mut rng);
+            if let Ok(obs) = tb.nodes[0].ap.observe(&buf) {
+                detected += 1;
+                errors.push(angle_diff_deg(obs.bearing_deg, truth, true));
+            }
+        }
+        sweep.push(SnrPoint {
+            snr_db,
+            detection_rate: detected as f64 / trials as f64,
+            median_error_deg: sa_linalg::stats::median(&errors),
+            p90_error_deg: sa_linalg::stats::percentile(&errors, 0.9),
+        });
+    }
+
+    // Packet averaging at the default floor.
+    let mut averaging = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xaea);
+    for &k in &[1usize, 2, 5, 10] {
+        let mut errs = Vec::new();
+        for trial in 0..trials.max(4) / 2 {
+            let mut sin_sum = 0.0;
+            let mut cos_sum = 0.0;
+            let mut got = 0;
+            for p in 0..k {
+                let buf =
+                    base.client_capture(0, client, (trial * 32 + p) as u16, 0.0, &mut rng);
+                if let Ok(obs) = base.nodes[0].ap.observe(&buf) {
+                    let az = obs.bearing_deg.to_radians();
+                    sin_sum += az.sin();
+                    cos_sum += az.cos();
+                    got += 1;
+                }
+            }
+            if got > 0 {
+                let mean_deg = sin_sum.atan2(cos_sum).to_degrees().rem_euclid(360.0);
+                errs.push(angle_diff_deg(mean_deg, truth, true));
+            }
+        }
+        averaging.push(AveragingPoint {
+            packets: k,
+            median_error_deg: sa_linalg::stats::median(&errs),
+        });
+    }
+
+    SnrResult {
+        client,
+        sweep,
+        averaging,
+    }
+}
+
+/// Render E9.
+pub fn render(r: &SnrResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E9 — SNR robustness of single-packet bearings (client {})\n",
+        r.client
+    ));
+    out.push_str("SNR(dB) | detect rate | median err(deg) | p90 err(deg)\n");
+    out.push_str("--------+-------------+-----------------+-------------\n");
+    for p in &r.sweep {
+        out.push_str(&format!(
+            "{:7.0} | {:11.2} | {:15.2} | {:11.2}\n",
+            p.snr_db, p.detection_rate, p.median_error_deg, p.p90_error_deg
+        ));
+    }
+    out.push_str("\npackets averaged | median err(deg)\n");
+    out.push_str("-----------------+----------------\n");
+    for a in &r.averaging {
+        out.push_str(&format!(
+            "{:16} | {:14.2}\n",
+            a.packets, a.median_error_deg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_improves_with_snr() {
+        let r = run(71, 5, 4);
+        let lo = r.sweep.first().unwrap();
+        let hi = r.sweep.last().unwrap();
+        assert!(hi.detection_rate >= lo.detection_rate);
+        assert!(
+            hi.detection_rate > 0.9,
+            "high-SNR detection {:.2}",
+            hi.detection_rate
+        );
+    }
+
+    #[test]
+    fn high_snr_bearings_are_accurate() {
+        let r = run(73, 5, 4);
+        let hi = r.sweep.last().unwrap();
+        assert!(
+            hi.median_error_deg < 5.0,
+            "30 dB median error {:.2}",
+            hi.median_error_deg
+        );
+    }
+
+    #[test]
+    fn averaging_never_hurts_much() {
+        let r = run(75, 5, 4);
+        let one = r.averaging.first().unwrap().median_error_deg;
+        let ten = r.averaging.last().unwrap().median_error_deg;
+        assert!(
+            ten <= one + 1.0,
+            "averaging made it worse: 1 pkt {:.2} vs 10 pkt {:.2}",
+            one,
+            ten
+        );
+    }
+}

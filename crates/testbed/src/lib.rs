@@ -1,0 +1,19 @@
+//! # sa-testbed — the Figure-4 office and the paper's experiments
+//!
+//! * [`office`] — a floor plan consistent with every statement the paper
+//!   makes about its testbed (20 clients, the cement pillar, near/far
+//!   and other-room clients);
+//! * [`sim`] — the wired-up simulation: clients → OFDM → geometric
+//!   channel → RF front ends → SecureAngle APs;
+//! * [`experiments`] — runners that regenerate every evaluation figure
+//!   and claim (E1–E9 in DESIGN.md §5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod office;
+pub mod sim;
+
+pub use office::{ClientSpec, Office};
+pub use sim::{ApArray, ApNode, SimConfig, Testbed};

@@ -1,0 +1,289 @@
+//! The paper's Figure-4 office testbed, as a floor plan.
+//!
+//! The paper's figure is a schematic: 20 numbered Soekris clients spread
+//! over an office floor around a WARP AP, with a large cement pillar
+//! near clients 11/12. The precise coordinates are not published, so
+//! this module encodes a floor plan *consistent with every statement the
+//! paper makes about it*:
+//!
+//! * client 5 is near the AP in the same room; client 10 is far away in
+//!   the same room; client 2 is in another room nearby (§3.2);
+//! * client 11 is completely blocked by the cement pillar; client 12 is
+//!   partially blocked (grazing line of sight past the pillar corner);
+//!   client 6 is far away with strong multipath (§3.1);
+//! * ground-truth bearings cover the full 0–360° range (Fig 5's x-axis);
+//! * the environment is multi-room with interior walls, so many clients
+//!   are heard through drywall.
+//!
+//! Geometry: a 30 m × 16 m floor, exterior concrete, interior drywall
+//! partitions with door gaps, the AP at (15, 8).
+
+use sa_channel::geom::{pt, Point, Rect, Segment};
+use sa_channel::plan::{FloorPlan, CONCRETE, DRYWALL};
+
+/// One testbed client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientSpec {
+    /// Paper's client number, 1–20.
+    pub id: usize,
+    /// Position on the floor plan, meters.
+    pub position: Point,
+    /// What the paper says about this client (empty for unremarkable
+    /// ones).
+    pub note: &'static str,
+}
+
+/// The office testbed: floor plan + AP + clients.
+#[derive(Debug, Clone)]
+pub struct Office {
+    /// Walls.
+    pub plan: FloorPlan,
+    /// Primary AP position (the "AP" marker of Fig 4).
+    pub ap_position: Point,
+    /// Secondary AP positions for multi-AP experiments (virtual fence /
+    /// localization, §2.3.1 — "more than two access points").
+    pub extra_ap_positions: Vec<Point>,
+    /// The 20 clients.
+    pub clients: Vec<ClientSpec>,
+    /// Building outline (the virtual-fence polygon).
+    pub outline: Vec<Point>,
+}
+
+impl Office {
+    /// Build the Figure-4 testbed.
+    pub fn paper_figure4() -> Self {
+        let mut plan = FloorPlan::new();
+
+        // Exterior: concrete shell, 30 × 16 m.
+        plan.add_rect(Rect::new(0.0, 0.0, 30.0, 16.0), CONCRETE);
+
+        // Interior drywall partitions with door gaps.
+        // Wall A: x = 8, gap at y ∈ (7, 9).
+        plan.add_wall(Segment { a: pt(8.0, 0.0), b: pt(8.0, 7.0) }, DRYWALL);
+        plan.add_wall(Segment { a: pt(8.0, 9.0), b: pt(8.0, 16.0) }, DRYWALL);
+        // Wall B: x = 22, gap at y ∈ (6.5, 9.5).
+        plan.add_wall(Segment { a: pt(22.0, 0.0), b: pt(22.0, 6.5) }, DRYWALL);
+        plan.add_wall(Segment { a: pt(22.0, 9.5), b: pt(22.0, 16.0) }, DRYWALL);
+        // Wall C: y = 12 across the middle block, gap at x ∈ (14, 16).
+        plan.add_wall(Segment { a: pt(8.0, 12.0), b: pt(14.0, 12.0) }, DRYWALL);
+        plan.add_wall(Segment { a: pt(16.0, 12.0), b: pt(22.0, 12.0) }, DRYWALL);
+
+        // The large cement pillar: a 0.9 m square straddling the AP→11
+        // line of sight (offset slightly off the ray's 45° diagonal so
+        // the ray crosses wall interiors, not exactly a corner), fully
+        // shadowing client 11 while client 12's line of sight grazes
+        // past its corner.
+        plan.add_rect(Rect::new(12.81, 9.49, 13.71, 10.39), CONCRETE);
+
+        let clients = vec![
+            ClientSpec { id: 1, position: pt(19.0, 10.5), note: "" },
+            ClientSpec { id: 2, position: pt(5.5, 9.5), note: "another room nearby the AP (Fig 6)" },
+            ClientSpec { id: 3, position: pt(20.5, 8.3), note: "" },
+            ClientSpec { id: 4, position: pt(18.0, 12.8), note: "office above wall C" },
+            ClientSpec { id: 5, position: pt(17.5, 6.5), note: "same room, near the AP (Fig 6)" },
+            ClientSpec { id: 6, position: pt(27.5, 2.0), note: "far away, strong multipath (Fig 5 outlier)" },
+            ClientSpec { id: 7, position: pt(13.0, 5.0), note: "" },
+            ClientSpec { id: 8, position: pt(16.5, 3.5), note: "" },
+            ClientSpec { id: 9, position: pt(10.5, 6.0), note: "" },
+            ClientSpec { id: 10, position: pt(21.0, 1.0), note: "same room, far from the AP (Fig 6)" },
+            ClientSpec { id: 11, position: pt(11.5, 11.5), note: "completely blocked by the pillar (Fig 5)" },
+            ClientSpec { id: 12, position: pt(10.2, 10.8), note: "partially blocked by the pillar (Figs 5, 7)" },
+            ClientSpec { id: 13, position: pt(8.6, 13.0), note: "" },
+            ClientSpec { id: 14, position: pt(25.0, 12.5), note: "" },
+            ClientSpec { id: 15, position: pt(27.0, 8.0), note: "through the wall-B doorway" },
+            ClientSpec { id: 16, position: pt(4.0, 4.0), note: "" },
+            ClientSpec { id: 17, position: pt(3.0, 13.0), note: "" },
+            ClientSpec { id: 18, position: pt(24.0, 6.8), note: "" },
+            ClientSpec { id: 19, position: pt(12.5, 2.0), note: "" },
+            ClientSpec { id: 20, position: pt(6.0, 1.5), note: "" },
+        ];
+
+        Self {
+            plan,
+            ap_position: pt(15.0, 8.0),
+            extra_ap_positions: vec![pt(25.0, 13.5), pt(5.0, 3.0)],
+            clients,
+            outline: vec![pt(0.0, 0.0), pt(30.0, 0.0), pt(30.0, 16.0), pt(0.0, 16.0)],
+        }
+    }
+
+    /// Client spec by paper id (1–20). Panics on unknown ids.
+    pub fn client(&self, id: usize) -> &ClientSpec {
+        self.clients
+            .iter()
+            .find(|c| c.id == id)
+            .unwrap_or_else(|| panic!("no client {}", id))
+    }
+
+    /// The virtual-fence polygon: the building outline inset by a safety
+    /// margin. Localization blurs positions by a meter or so, so fencing
+    /// the wall line itself would admit outside transmitters whose fixes
+    /// land fractionally inside; a deployment fences the usable interior
+    /// instead. All 20 clients sit inside this polygon.
+    pub fn fence_polygon(&self) -> Vec<Point> {
+        const MARGIN: f64 = 0.75;
+        vec![
+            pt(MARGIN, MARGIN),
+            pt(30.0 - MARGIN, MARGIN),
+            pt(30.0 - MARGIN, 16.0 - MARGIN),
+            pt(MARGIN, 16.0 - MARGIN),
+        ]
+    }
+
+    /// Ground-truth azimuth (degrees, `[0, 360)`, global frame) from the
+    /// primary AP to a client.
+    pub fn ground_truth_azimuth_deg(&self, id: usize) -> f64 {
+        self.ap_position
+            .azimuth_to(self.client(id).position)
+            .to_degrees()
+            .rem_euclid(360.0)
+    }
+
+    /// Ground-truth azimuth from an arbitrary AP position.
+    pub fn azimuth_from(&self, ap: Point, id: usize) -> f64 {
+        ap.azimuth_to(self.client(id).position)
+            .to_degrees()
+            .rem_euclid(360.0)
+    }
+
+    /// Distance from the primary AP to a client, meters.
+    pub fn distance_to(&self, id: usize) -> f64 {
+        self.ap_position.dist(self.client(id).position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_channel::geom::point_in_polygon;
+
+    #[test]
+    fn twenty_distinct_clients() {
+        let o = Office::paper_figure4();
+        assert_eq!(o.clients.len(), 20);
+        let ids: std::collections::HashSet<_> = o.clients.iter().map(|c| c.id).collect();
+        assert_eq!(ids.len(), 20);
+        for c in &o.clients {
+            assert!((1..=20).contains(&c.id));
+        }
+    }
+
+    #[test]
+    fn all_clients_inside_the_building() {
+        let o = Office::paper_figure4();
+        for c in &o.clients {
+            assert!(
+                point_in_polygon(c.position, &o.outline),
+                "client {} outside the building",
+                c.id
+            );
+        }
+        assert!(point_in_polygon(o.ap_position, &o.outline));
+        for &p in &o.extra_ap_positions {
+            assert!(point_in_polygon(p, &o.outline));
+        }
+    }
+
+    #[test]
+    fn all_clients_inside_the_fence_polygon() {
+        let o = Office::paper_figure4();
+        let fence = o.fence_polygon();
+        for c in &o.clients {
+            assert!(
+                point_in_polygon(c.position, &fence),
+                "client {} outside the fence margin",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_bearings_cover_the_circle() {
+        // Fig 5's x-axis spans 0–360°: at least one client per quadrant.
+        let o = Office::paper_figure4();
+        let mut quadrants = [false; 4];
+        for c in &o.clients {
+            let az = o.ground_truth_azimuth_deg(c.id);
+            quadrants[(az / 90.0) as usize % 4] = true;
+        }
+        assert_eq!(quadrants, [true; 4], "bearing coverage is incomplete");
+    }
+
+    #[test]
+    fn client_11_is_fully_blocked_by_the_pillar() {
+        let o = Office::paper_figure4();
+        let c11 = o.client(11).position;
+        let loss = o.plan.through_loss_db(o.ap_position, c11, &[]);
+        // Two pillar-wall crossings of concrete.
+        assert!(
+            loss >= 2.0 * CONCRETE.transmission_db - 1e-9,
+            "client 11 loss only {} dB",
+            loss
+        );
+    }
+
+    #[test]
+    fn client_12_grazes_the_pillar() {
+        // Partial blockage: the direct ray itself squeaks past (no
+        // pillar crossing), but it passes within half a metre of the
+        // pillar corner, so pillar reflections are strong and nearby.
+        let o = Office::paper_figure4();
+        let c12 = o.client(12).position;
+        let loss = o.plan.through_loss_db(o.ap_position, c12, &[]);
+        assert!(
+            loss < 2.0 * CONCRETE.transmission_db,
+            "client 12 should not be doubly blocked ({} dB)",
+            loss
+        );
+        // Distance from the LoS segment to the pillar corner < 0.5 m.
+        let corner = pt(12.81, 9.49);
+        let d = distance_point_segment(corner, o.ap_position, c12);
+        assert!(d < 0.5, "grazing distance {} m", d);
+    }
+
+    #[test]
+    fn near_and_far_clients_match_the_papers_text() {
+        let o = Office::paper_figure4();
+        assert!(o.distance_to(5) < 3.5, "client 5 should be near");
+        assert!(o.distance_to(10) > 8.0, "client 10 should be far");
+        assert!(o.distance_to(6) > 12.0, "client 6 should be farthest-ish");
+        // Client 2 is behind wall A.
+        let loss = o
+            .plan
+            .through_loss_db(o.ap_position, o.client(2).position, &[]);
+        assert!(loss > 0.0, "client 2 should be in another room");
+    }
+
+    #[test]
+    fn client_15_sees_the_ap_through_the_doorway() {
+        let o = Office::paper_figure4();
+        assert!(o
+            .plan
+            .has_clear_los(o.ap_position, o.client(15).position));
+    }
+
+    #[test]
+    fn ground_truth_values_snapshot() {
+        // Pin a few derived bearings so accidental geometry edits fail
+        // loudly (experiments depend on these).
+        let o = Office::paper_figure4();
+        assert!((o.ground_truth_azimuth_deg(3) - 3.1).abs() < 0.1);
+        assert!((o.ground_truth_azimuth_deg(11) - 135.0).abs() < 0.1);
+        assert!((o.ground_truth_azimuth_deg(15) - 0.0).abs() < 0.1);
+        assert!((o.ground_truth_azimuth_deg(7) - 236.3).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no client 21")]
+    fn unknown_client_panics() {
+        let o = Office::paper_figure4();
+        let _ = o.client(21);
+    }
+
+    fn distance_point_segment(p: Point, a: Point, b: Point) -> f64 {
+        let ab = b.sub(a);
+        let t = (p.sub(a).dot(ab) / ab.dot(ab)).clamp(0.0, 1.0);
+        let proj = pt(a.x + t * ab.x, a.y + t * ab.y);
+        p.dist(proj)
+    }
+}

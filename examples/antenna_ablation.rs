@@ -1,0 +1,54 @@
+//! Antenna-count ablation: the paper's Figure 7, as ASCII spectra.
+//!
+//! Client 12 (partially blocked by the cement pillar, heavy multipath)
+//! is measured with 2, 4, 6 and 8 antennas in the linear arrangement.
+//! Watch the pseudospectrum sharpen and the multipath structure resolve
+//! as antennas are added.
+//!
+//! ```text
+//! cargo run --release --example antenna_ablation [-- --seed 7 --client 12]
+//! ```
+
+use sa_testbed::experiments::fig7;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn main() {
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2010);
+    let client: usize = arg("--client").and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let r = fig7::run(seed, client);
+    println!(
+        "Figure 7 — client {} (truth {:.1} deg broadside), linear array\n",
+        r.client, r.ground_truth_broadside_deg
+    );
+
+    for row in &r.rows {
+        println!(
+            "{} antennas — peak {:.1} deg (err {:.1} deg), {} peaks ≥2 dB:",
+            row.antennas, row.peak_deg, row.error_deg, row.n_peaks
+        );
+        // Render the dB spectrum as a row of height glyphs.
+        const GLYPHS: [char; 9] = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+        let line: String = row
+            .db
+            .iter()
+            .step_by((row.db.len() / 72).max(1))
+            .map(|&v| {
+                let t = ((v + 30.0) / 30.0).clamp(0.0, 1.0);
+                GLYPHS[(t * (GLYPHS.len() - 1) as f64).round() as usize]
+            })
+            .collect();
+        println!("  [{}]", line);
+        println!("  -90 deg {: >63}", "+90 deg");
+    }
+
+    print!("{}", fig7::render(&r));
+    println!("\n(The paper's observation: 2 antennas → one ambiguous peak; 4 cannot split");
+    println!(" arrivals <45 deg apart; 6–8 antennas make direct + reflections visible.)");
+}

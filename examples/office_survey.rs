@@ -1,0 +1,64 @@
+//! Office survey: the paper's Figure-4 testbed end to end.
+//!
+//! Recreates the Fig-5 measurement campaign: every one of the 20 Soekris
+//! clients sends packets to the circular-array AP, and the survey prints
+//! ground truth vs estimated bearing with confidence intervals —
+//! including the paper's trouble spots (the pillar-blocked clients 11
+//! and 12, and far-away client 6).
+//!
+//! ```text
+//! cargo run --release --example office_survey [-- --seed 7 --packets 10]
+//! ```
+
+use sa_testbed::experiments::fig5;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn main() {
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2010);
+    let packets: usize = arg("--packets").and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    println!(
+        "Surveying the Figure-4 office: 20 clients x {} packets (seed {})\n",
+        packets, seed
+    );
+    let result = fig5::run(seed, packets);
+    print!("{}", fig5::render(&result));
+
+    // Sketch the floor plan with client positions, for orientation.
+    println!("\nfloor plan (AP = 'A', clients = hex ids, pillar = '#'):");
+    let office = sa_testbed::Office::paper_figure4();
+    let (w, h) = (60usize, 24usize);
+    let mut grid = vec![vec![' '; w]; h];
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let x = c as f64 / (w - 1) as f64 * 30.0;
+            let y = (h - 1 - r) as f64 / (h - 1) as f64 * 16.0;
+            if x < 0.3 || x > 29.7 || y < 0.3 || y > 15.7 {
+                *cell = '.';
+            }
+            if (12.81..=13.71).contains(&x) && (9.49..=10.39).contains(&y) {
+                *cell = '#';
+            }
+        }
+    }
+    let place = |grid: &mut Vec<Vec<char>>, x: f64, y: f64, ch: char| {
+        let c = ((x / 30.0) * (w - 1) as f64).round() as usize;
+        let r = h - 1 - ((y / 16.0) * (h - 1) as f64).round() as usize;
+        grid[r.min(h - 1)][c.min(w - 1)] = ch;
+    };
+    for cl in &office.clients {
+        let ch = std::char::from_digit(cl.id as u32 % 36, 36).unwrap_or('?');
+        place(&mut grid, cl.position.x, cl.position.y, ch);
+    }
+    place(&mut grid, office.ap_position.x, office.ap_position.y, 'A');
+    for row in grid {
+        println!("  {}", row.into_iter().collect::<String>());
+    }
+    println!("  (ids in base-36: clients 10..20 print as a..k)");
+}
