@@ -40,12 +40,7 @@ pub fn bartlett_spectrum(r: &CMat, space: &ScanSpace, step_deg: f64) -> Pseudosp
 /// Capon / MVDR spectrum, `P(θ) = 1 / (a^H R⁻¹ a)`, with relative
 /// diagonal loading `loading` (fraction of the mean eigenvalue; `1e-6`
 /// is a good default for packet-length sample support).
-pub fn capon_spectrum(
-    r: &CMat,
-    space: &ScanSpace,
-    step_deg: f64,
-    loading: f64,
-) -> Pseudospectrum {
+pub fn capon_spectrum(r: &CMat, space: &ScanSpace, step_deg: f64, loading: f64) -> Pseudospectrum {
     assert_eq!(r.rows(), space.len(), "capon: dimension mismatch");
     let ridge = loading * r.trace().re.abs() / r.rows() as f64;
     let rinv = hermitian_inverse(r, ridge.max(f64::MIN_POSITIVE));
@@ -75,9 +70,7 @@ mod tests {
         let az = broadside_deg_to_azimuth(theta_deg);
         let steer = array.steering(az);
         let n = 128;
-        let x = CMat::from_fn(array.len(), n, |m, t| {
-            steer[m] * C64::cis(0.9 * t as f64)
-        });
+        let x = CMat::from_fn(array.len(), n, |m, t| steer[m] * C64::cis(0.9 * t as f64));
         let r = sample_covariance(&x);
         // Add a noise floor on the diagonal deterministically.
         let eye = CMat::identity(array.len()).scale(noise);
@@ -112,16 +105,16 @@ mod tests {
         let r = one_source_cov(&array, 0.0, 0.01);
         let width = |spec: &Pseudospectrum| -> f64 {
             let db = spec.db(-60.0);
-            let (pi, _) = db
-                .iter()
-                .enumerate()
-                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                });
+            let (pi, _) =
+                db.iter()
+                    .enumerate()
+                    .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    });
             let mut lo = pi;
             while lo > 0 && db[lo] > -3.0 {
                 lo -= 1;
@@ -134,12 +127,7 @@ mod tests {
         };
         let wb = width(&bartlett_spectrum(&r, &space, 0.25));
         let wc = width(&capon_spectrum(&r, &space, 0.25, 1e-6));
-        assert!(
-            wc < wb,
-            "Capon width {} should beat Bartlett {}",
-            wc,
-            wb
-        );
+        assert!(wc < wb, "Capon width {} should beat Bartlett {}", wc, wb);
     }
 
     #[test]

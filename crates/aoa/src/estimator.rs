@@ -217,7 +217,9 @@ pub fn estimate_from_covariance(
 
     // 4. Spectrum.
     let spectrum = match cfg.method {
-        Method::Music => music_spectrum_from_eig(&eig, &space, n_sources.min(m - 1).max(1), cfg.grid_step_deg),
+        Method::Music => {
+            music_spectrum_from_eig(&eig, &space, n_sources.min(m - 1).max(1), cfg.grid_step_deg)
+        }
         Method::Bartlett => bartlett_spectrum(&ra, &space, cfg.grid_step_deg),
         Method::Capon => capon_spectrum(&ra, &space, cfg.grid_step_deg, cfg.capon_loading),
     };
@@ -380,7 +382,11 @@ mod tests {
         let peaks = est.spectrum.find_peaks(1.0, 4);
         let both = peaks.iter().any(|p| (p.angle_deg + 25.0).abs() < 3.0)
             && peaks.iter().any(|p| (p.angle_deg - 35.0).abs() < 3.0);
-        assert!(!both, "raw MUSIC should not resolve coherent pair: {:?}", peaks);
+        assert!(
+            !both,
+            "raw MUSIC should not resolve coherent pair: {:?}",
+            peaks
+        );
     }
 
     #[test]
@@ -487,7 +493,11 @@ mod tests {
         let est = estimate(&x, &array, &AoaConfig::default());
         assert!(!est.ranked_peaks.is_empty());
         for w in est.ranked_peaks.windows(2) {
-            assert!(w[0].power >= w[1].power, "not power-sorted: {:?}", est.ranked_peaks);
+            assert!(
+                w[0].power >= w[1].power,
+                "not power-sorted: {:?}",
+                est.ranked_peaks
+            );
         }
         assert!(
             angle_diff_deg(est.ranked_peaks[0].angle_deg, 40.0, true) < 4.0,

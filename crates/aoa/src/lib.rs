@@ -27,7 +27,9 @@ pub mod pseudospectrum;
 pub mod source_count;
 pub mod two_antenna;
 
-pub use estimator::{estimate, estimate_from_covariance, AoaConfig, AoaEstimate, Method, Smoothing};
+pub use estimator::{
+    estimate, estimate_from_covariance, AoaConfig, AoaEstimate, Method, Smoothing,
+};
 pub use manifold::ScanSpace;
 pub use music::music_spectrum;
 pub use pseudospectrum::{angle_diff_deg, Peak, Pseudospectrum};

@@ -145,9 +145,7 @@ impl ScanSpace {
     pub fn present_deg(&self, az: f64) -> f64 {
         match self {
             Self::Ula { .. } => azimuth_to_broadside_deg(az),
-            Self::Circular { .. } | Self::Virtual { .. } => {
-                az.to_degrees().rem_euclid(360.0)
-            }
+            Self::Circular { .. } | Self::Virtual { .. } => az.to_degrees().rem_euclid(360.0),
         }
     }
 

@@ -207,10 +207,7 @@ mod tests {
         let az2 = sa_array::geometry::broadside_deg_to_azimuth(30.0);
         let x = snapshots(
             &array,
-            &[
-                (az1, C64::new(1.0, 0.0)),
-                (az2, C64::from_polar(0.9, 2.0)),
-            ],
+            &[(az1, C64::new(1.0, 0.0)), (az2, C64::from_polar(0.9, 2.0))],
             256,
             true,
             1e-4,
@@ -236,10 +233,7 @@ mod tests {
         let az2 = sa_array::geometry::broadside_deg_to_azimuth(30.0);
         let x = snapshots(
             &array,
-            &[
-                (az1, C64::new(1.0, 0.0)),
-                (az2, C64::from_polar(0.9, 2.0)),
-            ],
+            &[(az1, C64::new(1.0, 0.0)), (az2, C64::from_polar(0.9, 2.0))],
             256,
             true,
             1e-4,
@@ -291,10 +285,7 @@ mod tests {
         let az2 = 170f64.to_radians();
         let x = snapshots(
             &array,
-            &[
-                (az1, C64::new(1.0, 0.0)),
-                (az2, C64::from_polar(0.8, 1.2)),
-            ],
+            &[(az1, C64::new(1.0, 0.0)), (az2, C64::from_polar(0.8, 1.2))],
             256,
             true,
             1e-4,

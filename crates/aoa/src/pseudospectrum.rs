@@ -43,7 +43,11 @@ impl Pseudospectrum {
     /// Build from parallel angle/value arrays. Panics if lengths differ,
     /// are empty, or angles are not strictly ascending.
     pub fn new(angles_deg: Vec<f64>, values: Vec<f64>, wraps: bool) -> Self {
-        assert_eq!(angles_deg.len(), values.len(), "Pseudospectrum: length mismatch");
+        assert_eq!(
+            angles_deg.len(),
+            values.len(),
+            "Pseudospectrum: length mismatch"
+        );
         assert!(!angles_deg.is_empty(), "Pseudospectrum: empty");
         assert!(
             angles_deg.windows(2).all(|w| w[0] < w[1]),
@@ -70,17 +74,17 @@ impl Pseudospectrum {
     /// "the bearing of each client as the angle corresponding to the
     /// maximum point on its pseudospectrum" (§3.1).
     pub fn peak(&self) -> (f64, f64) {
-        let (i, v) = self
-            .values
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (i, v) =
+            self.values
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
         (self.angles_deg[i], v)
     }
 
@@ -101,7 +105,11 @@ impl Pseudospectrum {
     /// Values in dB relative to the peak (peak = 0 dB), floored at
     /// `floor_db` — the presentation used by the paper's Figs 6 and 7.
     pub fn db(&self, floor_db: f64) -> Vec<f64> {
-        let m = self.values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+        let m = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::MIN_POSITIVE, f64::max);
         self.values
             .iter()
             .map(|&v| {

@@ -18,20 +18,15 @@
 //! experiment E8c.
 
 /// Strategy for choosing the signal-subspace dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SourceCount {
     /// Use a fixed number of sources (clamped to `M − 1`).
     Fixed(usize),
     /// Akaike information criterion.
     Aic,
     /// Minimum description length (Rissanen); the default.
+    #[default]
     Mdl,
-}
-
-impl Default for SourceCount {
-    fn default() -> Self {
-        Self::Mdl
-    }
 }
 
 impl SourceCount {
@@ -79,7 +74,11 @@ fn criterion_argmin(eigs_ascending: &[f64], n: usize, mdl: bool) -> usize {
         } else {
             2.0 * kf * (2.0 * m as f64 - kf)
         };
-        let score = if mdl { fit + penalty } else { 2.0 * fit + penalty };
+        let score = if mdl {
+            fit + penalty
+        } else {
+            2.0 * fit + penalty
+        };
         if score < best_score {
             best_score = score;
             best_k = k;

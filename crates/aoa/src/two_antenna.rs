@@ -112,10 +112,7 @@ mod tests {
         // somewhere in between — the breakdown the paper describes.
         let (x1, x2) = two_antenna_packet(
             0.0,
-            &[
-                (0.0, C64::new(1.0, 0.0)),
-                (50.0, C64::from_polar(0.8, 1.1)),
-            ],
+            &[(0.0, C64::new(1.0, 0.0)), (50.0, C64::from_polar(0.8, 1.1))],
             256,
         );
         let est = two_antenna_bearing(&x1, &x2);
@@ -125,7 +122,11 @@ mod tests {
             "multipath should bias the two-antenna estimate; got {}°",
             deg
         );
-        assert!(deg < 50.0, "estimate {} should not overshoot the reflection", deg);
+        assert!(
+            deg < 50.0,
+            "estimate {} should not overshoot the reflection",
+            deg
+        );
     }
 
     #[test]

@@ -98,7 +98,7 @@ proptest! {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for sc in [SourceCount::Mdl, SourceCount::Aic] {
             let k = sc.estimate(&sorted, n);
-            prop_assert!(k >= 1 && k <= sorted.len() - 1);
+            prop_assert!(k >= 1 && k < sorted.len());
         }
     }
 

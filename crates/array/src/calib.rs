@@ -50,8 +50,7 @@ impl Calibration {
         assert!(n > 0, "from_tone_capture: empty capture");
         let mut corrections = Vec::with_capacity(m);
         // Reference chain power for gain normalisation.
-        let p0: f64 =
-            (0..n).map(|t| capture[(0, t)].norm_sqr()).sum::<f64>() / n as f64;
+        let p0: f64 = (0..n).map(|t| capture[(0, t)].norm_sqr()).sum::<f64>() / n as f64;
         for i in 0..m {
             let mut acc = ZERO;
             let mut pi = 0.0;
@@ -142,10 +141,22 @@ mod tests {
     fn skewed_front_end(noise_var: f64) -> FrontEnd {
         FrontEnd::from_chains(
             vec![
-                RfChain { phase_offset: 0.4, gain: 1.00 },
-                RfChain { phase_offset: 2.9, gain: 1.05 },
-                RfChain { phase_offset: 5.1, gain: 0.97 },
-                RfChain { phase_offset: 1.3, gain: 1.02 },
+                RfChain {
+                    phase_offset: 0.4,
+                    gain: 1.00,
+                },
+                RfChain {
+                    phase_offset: 2.9,
+                    gain: 1.05,
+                },
+                RfChain {
+                    phase_offset: 5.1,
+                    gain: 0.97,
+                },
+                RfChain {
+                    phase_offset: 1.3,
+                    gain: 1.02,
+                },
             ],
             noise_var,
         )
@@ -179,12 +190,7 @@ mod tests {
         let capture = fe.receive_calibration_tone(2048, 1.0, &mut rng);
         let cal = Calibration::from_tone_capture(&capture);
         for (i, r) in cal.residual_phases(&fe).iter().enumerate() {
-            assert!(
-                r.abs() < 0.02,
-                "chain {} residual {} rad too large",
-                i,
-                r
-            );
+            assert!(r.abs() < 0.02, "chain {} residual {} rad too large", i, r);
         }
     }
 

@@ -158,8 +158,14 @@ mod tests {
     #[test]
     fn phase_offsets_rotate_each_row() {
         let chains = vec![
-            RfChain { phase_offset: 0.0, gain: 1.0 },
-            RfChain { phase_offset: 1.0, gain: 1.0 },
+            RfChain {
+                phase_offset: 0.0,
+                gain: 1.0,
+            },
+            RfChain {
+                phase_offset: 1.0,
+                gain: 1.0,
+            },
         ];
         let fe = FrontEnd::from_chains(chains, 0.0);
         let x = CMat::from_fn(2, 4, |_, _| c64(1.0, 0.0));
@@ -171,7 +177,10 @@ mod tests {
 
     #[test]
     fn gains_scale_amplitude() {
-        let chains = vec![RfChain { phase_offset: 0.0, gain: 2.0 }];
+        let chains = vec![RfChain {
+            phase_offset: 0.0,
+            gain: 2.0,
+        }];
         let fe = FrontEnd::from_chains(chains, 0.0);
         let x = CMat::from_fn(1, 3, |_, _| c64(1.0, 1.0));
         let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -186,21 +195,27 @@ mod tests {
         assert_eq!(fe.len(), 8);
         for c in fe.chains() {
             assert!((0.0..2.0 * std::f64::consts::PI).contains(&c.phase_offset));
-            assert!((c.gain - 1.0).abs() < 0.07, "gain {} outside ±0.5 dB", c.gain);
+            assert!(
+                (c.gain - 1.0).abs() < 0.07,
+                "gain {} outside ±0.5 dB",
+                c.gain
+            );
         }
     }
 
     #[test]
     fn noise_raises_received_power() {
         let fe = FrontEnd::from_chains(
-            vec![RfChain { phase_offset: 0.0, gain: 1.0 }],
+            vec![RfChain {
+                phase_offset: 0.0,
+                gain: 1.0,
+            }],
             0.5,
         );
         let x = CMat::from_fn(1, 50_000, |_, _| c64(1.0, 0.0));
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let y = fe.receive(&x, &mut rng);
-        let p: f64 =
-            (0..y.cols()).map(|t| y[(0, t)].norm_sqr()).sum::<f64>() / y.cols() as f64;
+        let p: f64 = (0..y.cols()).map(|t| y[(0, t)].norm_sqr()).sum::<f64>() / y.cols() as f64;
         assert!((p - 1.5).abs() < 0.03, "power {}", p);
     }
 
@@ -219,8 +234,14 @@ mod tests {
     #[test]
     fn calibration_tone_reveals_relative_offsets() {
         let chains = vec![
-            RfChain { phase_offset: 0.3, gain: 1.0 },
-            RfChain { phase_offset: 1.7, gain: 1.0 },
+            RfChain {
+                phase_offset: 0.3,
+                gain: 1.0,
+            },
+            RfChain {
+                phase_offset: 1.7,
+                gain: 1.0,
+            },
         ];
         let fe = FrontEnd::from_chains(chains, 0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(2);

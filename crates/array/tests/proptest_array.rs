@@ -41,16 +41,16 @@ proptest! {
     }
 
     #[test]
-    fn uca_steering_is_rotation_equivariant(az in 0.0f64..6.28, k_rot in 0usize..8) {
+    fn uca_steering_is_rotation_equivariant(az in 0.0f64..std::f64::consts::TAU, k_rot in 0usize..8) {
         // Rotating the arrival by one element spacing permutes the
         // octagon's steering entries.
         let a = Array::paper_octagon();
         let step = 2.0 * std::f64::consts::PI / 8.0;
         let s0 = a.steering(az);
         let s1 = a.steering(az + k_rot as f64 * step);
-        for i in 0..8 {
+        for (i, z) in s1.iter().enumerate() {
             let j = (i + 8 - k_rot % 8) % 8;
-            prop_assert!(s1[i].approx_eq(s0[j], 1e-9), "i={} j={}", i, j);
+            prop_assert!(z.approx_eq(s0[j], 1e-9), "i={} j={}", i, j);
         }
     }
 
@@ -101,7 +101,7 @@ proptest! {
     }
 
     #[test]
-    fn modespace_transform_is_linear(az1 in 0.0f64..6.28, az2 in 0.0f64..6.28) {
+    fn modespace_transform_is_linear(az1 in 0.0f64..std::f64::consts::TAU, az2 in 0.0f64..std::f64::consts::TAU) {
         let array = Array::paper_octagon();
         let ms = ModeSpace::for_array(&array);
         let a = CMat::col_vector(&array.steering(az1));
@@ -115,7 +115,7 @@ proptest! {
     }
 
     #[test]
-    fn virtual_steering_correlates_with_transformed_physical(az in 0.0f64..6.28) {
+    fn virtual_steering_correlates_with_transformed_physical(az in 0.0f64..std::f64::consts::TAU) {
         let array = Array::paper_octagon();
         let ms = ModeSpace::for_array(&array);
         let ta = ms.transform(&CMat::col_vector(&array.steering(az)));

@@ -10,9 +10,15 @@ use secureangle::signature::{AoaSignature, MatchConfig, SignatureTracker};
 
 fn signatures() -> (AoaSignature, AoaSignature) {
     let cap0 = capture_linear(5, 8, 0xF166);
-    let obs0 = cap0.testbed.nodes[0].ap.observe(&cap0.buffer).expect("observe");
+    let obs0 = cap0.testbed.nodes[0]
+        .ap
+        .observe(&cap0.buffer)
+        .expect("observe");
     let cap1 = capture_linear(5, 8, 0xF167);
-    let obs1 = cap1.testbed.nodes[0].ap.observe(&cap1.buffer).expect("observe");
+    let obs1 = cap1.testbed.nodes[0]
+        .ap
+        .observe(&cap1.buffer)
+        .expect("observe");
     (obs0.signature, obs1.signature)
 }
 

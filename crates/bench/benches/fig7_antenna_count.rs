@@ -44,5 +44,9 @@ fn bench_music_scan_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe_by_antenna_count, bench_music_scan_only);
+criterion_group!(
+    benches,
+    bench_observe_by_antenna_count,
+    bench_music_scan_only
+);
 criterion_main!(benches);

@@ -66,8 +66,12 @@ fn bench_modespace_transform(c: &mut Criterion) {
     let array = Array::paper_octagon();
     let ms = ModeSpace::for_array(&array);
     let r = two_path_cov(&array);
-    c.bench_function("modespace_cov_transform", |b| b.iter(|| ms.transform_cov(&r)));
-    c.bench_function("modespace_build", |b| b.iter(|| ModeSpace::for_array(&array)));
+    c.bench_function("modespace_cov_transform", |b| {
+        b.iter(|| ms.transform_cov(&r))
+    });
+    c.bench_function("modespace_build", |b| {
+        b.iter(|| ModeSpace::for_array(&array))
+    });
 }
 
 fn bench_source_count(c: &mut Criterion) {

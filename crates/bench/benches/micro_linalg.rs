@@ -45,9 +45,7 @@ fn bench_covariance(c: &mut Criterion) {
     use sa_sigproc::covariance::{sample_covariance, smooth_fb};
     let mut group = c.benchmark_group("covariance");
     for (m, n) in [(8usize, 512usize), (8, 2048), (16, 512)] {
-        let x = CMat::from_fn(m, n, |i, t| {
-            C64::cis(0.3 * i as f64 + 0.11 * t as f64)
-        });
+        let x = CMat::from_fn(m, n, |i, t| C64::cis(0.3 * i as f64 + 0.11 * t as f64));
         group.bench_function(format!("sample_{m}x{n}"), |b| {
             b.iter(|| sample_covariance(&x))
         });
@@ -64,5 +62,11 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matmul_16x16", |b| b.iter(|| a.matmul(&b_)));
 }
 
-criterion_group!(benches, bench_eigh, bench_fft, bench_covariance, bench_matmul);
+criterion_group!(
+    benches,
+    bench_eigh,
+    bench_fft,
+    bench_covariance,
+    bench_matmul
+);
 criterion_main!(benches);

@@ -19,7 +19,9 @@ fn bench_schmidl_cox_scan(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     sa_sigproc::noise::add_noise(&mut rng, &mut buf, 1e-4);
     let sc = SchmidlCox::new(sa_phy::preamble::SC_HALF_LEN);
-    c.bench_function("schmidl_cox_scan_8000_samples", |b| b.iter(|| sc.detect(&buf)));
+    c.bench_function("schmidl_cox_scan_8000_samples", |b| {
+        b.iter(|| sc.detect(&buf))
+    });
 }
 
 fn bench_ofdm_roundtrip(c: &mut Criterion) {

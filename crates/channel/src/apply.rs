@@ -74,7 +74,10 @@ pub fn apply_channel(
     assert!(!waveform.is_empty(), "apply_channel: empty waveform");
     let m = array.len();
     let n = waveform.len();
-    let min_delay = paths.iter().map(|p| p.delay_s).fold(f64::INFINITY, f64::min);
+    let min_delay = paths
+        .iter()
+        .map(|p| p.delay_s)
+        .fold(f64::INFINITY, f64::min);
     let amp_tx = cfg.tx_power.sqrt();
 
     let mut x = CMat::zeros(m, n);
@@ -233,9 +236,9 @@ mod tests {
         );
         for t in 0..32 {
             let d = (offset.snapshots[(0, t)] * still.snapshots[(0, t)].conj()).arg();
-            let want =
-                (0.05 * t as f64 + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
-                    - std::f64::consts::PI;
+            let want = (0.05 * t as f64 + std::f64::consts::PI)
+                .rem_euclid(2.0 * std::f64::consts::PI)
+                - std::f64::consts::PI;
             assert!((d - want).abs() < 1e-9, "t={}", t);
         }
     }
@@ -283,13 +286,7 @@ mod tests {
         );
         // Compare with p1 alone, boosted: the back-lobe path contributes
         // nothing measurable.
-        let solo = apply_channel(
-            &[p1],
-            &aimed,
-            &array,
-            &tone(64),
-            &ApplyConfig::default(),
-        );
+        let solo = apply_channel(&[p1], &aimed, &array, &tone(64), &ApplyConfig::default());
         assert!(
             (out.rx_power / solo.rx_power - 1.0).abs() < 1e-9,
             "back-lobe leak: {} vs {}",

@@ -116,7 +116,11 @@ impl Segment {
         let t = qp.cross(s) / denom;
         let u = qp.cross(r) / denom;
         let eps = 1e-9;
-        let (lo, hi) = if inclusive { (-eps, 1.0 + eps) } else { (eps, 1.0 - eps) };
+        let (lo, hi) = if inclusive {
+            (-eps, 1.0 + eps)
+        } else {
+            (eps, 1.0 - eps)
+        };
         if t >= lo && t <= hi && u >= lo && u <= hi {
             Some(Intersection {
                 point: pt(self.a.x + t * r.x, self.a.y + t * r.y),
@@ -303,7 +307,10 @@ mod tests {
     #[test]
     fn degenerate_polygon_is_empty() {
         assert!(!point_in_polygon(pt(0.0, 0.0), &[]));
-        assert!(!point_in_polygon(pt(0.0, 0.0), &[pt(1.0, 1.0), pt(2.0, 2.0)]));
+        assert!(!point_in_polygon(
+            pt(0.0, 0.0),
+            &[pt(1.0, 1.0), pt(2.0, 2.0)]
+        ));
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl TxAntenna {
     pub fn power_gain(&self, departure_az: f64) -> f64 {
         match *self {
             TxAntenna::Omni => 1.0,
-            TxAntenna::Directional { aim_az, order, boost } => {
+            TxAntenna::Directional {
+                aim_az,
+                order,
+                boost,
+            } => {
                 let delta = departure_az - aim_az;
                 let c = (1.0 + delta.cos()) / 2.0; // 1 at boresight, 0 behind
                 boost * c.powf(order)
@@ -83,9 +87,7 @@ mod tests {
     #[test]
     fn monotone_rolloff_within_half_plane() {
         let a = TxAntenna::directional_dbi(0.0, 10.0, 2.0);
-        let g: Vec<f64> = (0..=9)
-            .map(|i| a.power_gain(i as f64 * PI / 9.0))
-            .collect();
+        let g: Vec<f64> = (0..=9).map(|i| a.power_gain(i as f64 * PI / 9.0)).collect();
         for w in g.windows(2) {
             assert!(w[0] >= w[1], "pattern must roll off: {:?}", g);
         }

@@ -206,6 +206,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberately checks the catalogue constants
     fn material_catalogue_sane() {
         for m in [DRYWALL, CONCRETE, GLASS, METAL] {
             assert!((0.0..=1.0).contains(&m.reflection), "{}", m.name);

@@ -107,7 +107,8 @@ impl TemporalModel {
             let decorr = 1.0 - rho;
 
             let mut q = *p;
-            if matches!(p.kind, PathKind::Reflection(_)) && rng.gen::<f64>() < self.dropout_prob * decorr
+            if matches!(p.kind, PathKind::Reflection(_))
+                && rng.gen::<f64>() < self.dropout_prob * decorr
             {
                 continue; // path vanished
             }
@@ -137,11 +138,8 @@ impl TemporalModel {
             let phase = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
             // Delay/length: a plausible secondary bounce, slightly longer
             // than the longest existing path.
-            let length = paths
-                .iter()
-                .map(|p| p.length)
-                .fold(0.0, f64::max)
-                * (1.1 + 0.3 * rng.gen::<f64>());
+            let length =
+                paths.iter().map(|p| p.length).fold(0.0, f64::max) * (1.1 + 0.3 * rng.gen::<f64>());
             out.push(Path {
                 arrival_az: az,
                 departure_az: rng.gen::<f64>() * 2.0 * std::f64::consts::PI,
@@ -249,11 +247,7 @@ mod tests {
         };
         let short = drift(1.0, 10);
         let long = drift(3600.0, 10);
-        assert!(
-            short < 0.2,
-            "1 s drift should be small, got {}",
-            short
-        );
+        assert!(short < 0.2, "1 s drift should be small, got {}", short);
         assert!(
             long > 3.0 * short,
             "1 h drift {} should dwarf 1 s drift {}",

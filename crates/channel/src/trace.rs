@@ -338,10 +338,12 @@ mod tests {
         // Arrival at origin from (3,4): azimuth atan2(4,3).
         assert!((p.arrival_az - 4f64.atan2(3.0)).abs() < 1e-12);
         // Departure is the reverse direction.
-        assert!(((p.departure_az - (p.arrival_az - std::f64::consts::PI))
-            .rem_euclid(2.0 * std::f64::consts::PI))
-        .abs()
-            < 1e-9);
+        assert!(
+            ((p.departure_az - (p.arrival_az - std::f64::consts::PI))
+                .rem_euclid(2.0 * std::f64::consts::PI))
+            .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -362,7 +364,10 @@ mod tests {
         let rx = pt(0.0, 0.0);
         let paths = trace_paths(&plan, tx, rx, &cfg());
         assert_eq!(paths.len(), 2, "paths: {:#?}", paths);
-        let refl = paths.iter().find(|p| p.kind == PathKind::Reflection(1)).unwrap();
+        let refl = paths
+            .iter()
+            .find(|p| p.kind == PathKind::Reflection(1))
+            .unwrap();
         // Image of tx at (2, 4): path length |(2,4)−(0,0)| = √20.
         assert!((refl.length - 20f64.sqrt()).abs() < 1e-9);
         // Arrival azimuth from rx toward bounce point (1, 2).
@@ -418,8 +423,14 @@ mod tests {
         let mut plan = FloorPlan::new();
         plan.add_rect(Rect::new(-5.0, -5.0, 5.0, 5.0), CONCRETE);
         let paths = trace_paths(&plan, pt(2.0, 1.0), pt(-2.0, -1.0), &cfg());
-        let n1 = paths.iter().filter(|p| p.kind == PathKind::Reflection(1)).count();
-        let n2 = paths.iter().filter(|p| p.kind == PathKind::Reflection(2)).count();
+        let n1 = paths
+            .iter()
+            .filter(|p| p.kind == PathKind::Reflection(1))
+            .count();
+        let n2 = paths
+            .iter()
+            .filter(|p| p.kind == PathKind::Reflection(2))
+            .count();
         assert!(n1 >= 3, "first-order count {}", n1);
         assert!(n2 >= 1, "second-order count {}", n2);
         // Direct is the strongest (shortest, no reflection loss).
@@ -520,10 +531,7 @@ mod tests {
         // Diffracted (≈8 + 0.6·19 ≈ 19 dB) beats the through-metal
         // direct (30 dB).
         let direct = paths.iter().find(|p| p.kind == PathKind::Direct).unwrap();
-        let best_diff = diff
-            .iter()
-            .map(|p| p.gain.abs())
-            .fold(0.0f64, f64::max);
+        let best_diff = diff.iter().map(|p| p.gain.abs()).fold(0.0f64, f64::max);
         assert!(
             best_diff > direct.gain.abs(),
             "diffraction should dominate a blocked LoS"

@@ -118,11 +118,14 @@ mod tests {
     fn directional_gear_aims_at_target() {
         let a = Attacker::new(
             pt(0.0, 0.0),
-            AttackerGear::Directional { gain_dbi: 14.0, order: 4.0 },
+            AttackerGear::Directional {
+                gain_dbi: 14.0,
+                order: 4.0,
+            },
             mac(),
         );
         let ant = a.antenna_toward(pt(0.0, 5.0)); // due north
-        // Boresight gain toward north ≫ gain toward east.
+                                                  // Boresight gain toward north ≫ gain toward east.
         let north = ant.power_gain(std::f64::consts::FRAC_PI_2);
         let east = ant.power_gain(0.0);
         assert!(north / east > 10.0, "north {} east {}", north, east);
@@ -133,16 +136,15 @@ mod tests {
     fn array_gear_is_sharper_than_directional() {
         let dir = Attacker::new(
             pt(0.0, 0.0),
-            AttackerGear::Directional { gain_dbi: 9.0, order: 4.0 },
+            AttackerGear::Directional {
+                gain_dbi: 9.0,
+                order: 4.0,
+            },
             mac(),
         )
         .antenna_toward(pt(1.0, 0.0));
-        let arr = Attacker::new(
-            pt(0.0, 0.0),
-            AttackerGear::Array { n_elements: 8 },
-            mac(),
-        )
-        .antenna_toward(pt(1.0, 0.0));
+        let arr = Attacker::new(pt(0.0, 0.0), AttackerGear::Array { n_elements: 8 }, mac())
+            .antenna_toward(pt(1.0, 0.0));
         let off = 0.6; // rad off boresight
         let rel_dir = dir.power_gain(off) / dir.power_gain(0.0);
         let rel_arr = arr.power_gain(off) / arr.power_gain(0.0);

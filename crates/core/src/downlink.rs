@@ -44,7 +44,9 @@ pub fn beamforming_gain(array: &Array, steer_az: f64, true_az: f64) -> f64 {
 
 /// [`beamforming_gain`] in dB.
 pub fn beamforming_gain_db(array: &Array, steer_az: f64, true_az: f64) -> f64 {
-    10.0 * beamforming_gain(array, steer_az, true_az).max(1e-30).log10()
+    10.0 * beamforming_gain(array, steer_az, true_az)
+        .max(1e-30)
+        .log10()
 }
 
 /// The bearing error (degrees) at which the realized gain first drops
@@ -142,11 +144,7 @@ mod tests {
         // degrees; the 3 dB bearing tolerance should be 10–40°.
         let array = Array::paper_octagon();
         let tol = bearing_tolerance_deg(&array, 1.0, 3.0);
-        assert!(
-            (5.0..60.0).contains(&tol),
-            "3 dB tolerance {} deg",
-            tol
-        );
+        assert!((5.0..60.0).contains(&tol), "3 dB tolerance {} deg", tol);
         // And the 1 dB tolerance is tighter.
         let tol1 = bearing_tolerance_deg(&array, 1.0, 1.0);
         assert!(tol1 < tol);
@@ -156,9 +154,7 @@ mod tests {
     fn more_antennas_mean_more_gain_and_tighter_beams() {
         let a4 = Array::paper_linear(4);
         let a8 = Array::paper_linear(8);
-        assert!(
-            beamforming_gain(&a8, 1.2, 1.2) > beamforming_gain(&a4, 1.2, 1.2)
-        );
+        assert!(beamforming_gain(&a8, 1.2, 1.2) > beamforming_gain(&a4, 1.2, 1.2));
         let t4 = bearing_tolerance_deg(&a4, 1.2, 3.0);
         let t8 = bearing_tolerance_deg(&a8, 1.2, 3.0);
         assert!(t8 < t4, "8-ant tolerance {} vs 4-ant {}", t8, t4);

@@ -110,9 +110,7 @@ impl VirtualFence {
                     .map(|(_, b)| *b)
                     .collect();
                 if let Ok(f) = localize(&subset) {
-                    if self.is_reliable(&f)
-                        && best.map_or(true, |b| f.residual_m < b.residual_m)
-                    {
+                    if self.is_reliable(&f) && best.is_none_or(|b| f.residual_m < b.residual_m) {
                         best = Some(f);
                     }
                 }
@@ -220,9 +218,18 @@ mod tests {
         );
         // Three bearings that disagree by a lot.
         let b = vec![
-            BearingObservation { ap_position: pt(1.0, 1.0), azimuth: 0.6 },
-            BearingObservation { ap_position: pt(9.0, 1.0), azimuth: 2.5 },
-            BearingObservation { ap_position: pt(5.0, 7.0), azimuth: -2.2 },
+            BearingObservation {
+                ap_position: pt(1.0, 1.0),
+                azimuth: 0.6,
+            },
+            BearingObservation {
+                ap_position: pt(9.0, 1.0),
+                azimuth: 2.5,
+            },
+            BearingObservation {
+                ap_position: pt(5.0, 7.0),
+                azimuth: -2.2,
+            },
         ];
         let d = fence.decide(&b);
         assert!(matches!(d, FenceDecision::Unreliable(_)) || !d.admit());
@@ -257,11 +264,7 @@ mod tests {
         let mut b = bearings_to(target, &[pt(1.0, 1.0), pt(9.0, 1.0), pt(5.0, 7.0)]);
         b[2].azimuth += 2.5; // wildly wrong third bearing
         let d = fence.decide(&b);
-        assert!(
-            d.admit(),
-            "outlier rejection failed: {:?}",
-            d
-        );
+        assert!(d.admit(), "outlier rejection failed: {:?}", d);
         if let FenceDecision::Inside(fix) = d {
             assert!(fix.position.dist(target) < 0.5, "fix {:?}", fix.position);
         }
@@ -281,6 +284,10 @@ mod tests {
         let mut b = bearings_to(target, &[pt(1.0, 1.0), pt(9.0, 1.0), pt(5.0, 7.0)]);
         b[2].azimuth += 2.5;
         let d = fence.decide(&b);
-        assert!(!d.admit(), "should fail closed without outlier hunting: {:?}", d);
+        assert!(
+            !d.admit(),
+            "should fail closed without outlier hunting: {:?}",
+            d
+        );
     }
 }

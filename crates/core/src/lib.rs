@@ -37,9 +37,7 @@ pub mod tracking;
 pub use attacker::{Attacker, AttackerGear};
 pub use fence::{FenceConfig, FenceDecision, VirtualFence};
 pub use localize::{localize, BearingObservation, Fix, LocalizeError};
-pub use pipeline::{
-    AccessPoint, ApConfig, DropReason, FrameVerdict, Observation, ObserveError,
-};
+pub use pipeline::{AccessPoint, ApConfig, DropReason, FrameVerdict, Observation, ObserveError};
 pub use rss::{RssDetector, RssPrint, RssVerdict};
 pub use signature::{AoaSignature, MatchConfig, SignatureMatch, SignatureTracker};
 pub use spoof::{SpoofConfig, SpoofDetector, SpoofVerdict};

@@ -265,9 +265,7 @@ impl AccessPoint {
             Err(_) => {
                 // Header or tail corrupted: still usable for AoA. Fall
                 // back to the raw detector for the extent.
-                let sc = sa_sigproc::schmidl_cox::SchmidlCox::new(
-                    sa_phy::preamble::SC_HALF_LEN,
-                );
+                let sc = sa_sigproc::schmidl_cox::SchmidlCox::new(sa_phy::preamble::SC_HALF_LEN);
                 let det = sc
                     .detect(&ref_chain)
                     .into_iter()
@@ -294,10 +292,10 @@ impl AccessPoint {
         let signature = AoaSignature::from_spectrum(&estimate.spectrum);
         let bearing_deg = estimate.bearing_deg();
         let global_azimuth = match self.cfg.array.kind() {
-            ArrayKind::Circular => {
-                Some((bearing_deg.to_radians() + self.cfg.orientation)
-                    .rem_euclid(2.0 * std::f64::consts::PI))
-            }
+            ArrayKind::Circular => Some(
+                (bearing_deg.to_radians() + self.cfg.orientation)
+                    .rem_euclid(2.0 * std::f64::consts::PI),
+            ),
             ArrayKind::Linear => None,
         };
         let mean_pow = (0..window.rows())
@@ -749,9 +747,7 @@ mod tests {
     fn noise_only_buffer_has_no_packet() {
         let ap = make_ap();
         let mut rng = ChaCha8Rng::seed_from_u64(20);
-        let buf = CMat::from_fn(8, 2000, |_, _| {
-            sa_sigproc::noise::cn_sample(&mut rng, 1.0)
-        });
+        let buf = CMat::from_fn(8, 2000, |_, _| sa_sigproc::noise::cn_sample(&mut rng, 1.0));
         assert_eq!(ap.observe(&buf).unwrap_err(), ObserveError::NoPacket);
     }
 }

@@ -135,8 +135,12 @@ mod tests {
 
     #[test]
     fn distance_is_mean_abs() {
-        let a = RssPrint { per_ap_db: vec![-50.0, -60.0, -70.0] };
-        let b = RssPrint { per_ap_db: vec![-52.0, -58.0, -70.0] };
+        let a = RssPrint {
+            per_ap_db: vec![-50.0, -60.0, -70.0],
+        };
+        let b = RssPrint {
+            per_ap_db: vec![-52.0, -58.0, -70.0],
+        };
         assert!((a.distance_db(&b) - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(a.distance_db(&a), 0.0);
     }
@@ -144,7 +148,10 @@ mod tests {
     #[test]
     fn matcher_flow() {
         let mut det = RssDetector::new(4.0, 0.2);
-        assert_eq!(det.check(mac(1), &RssPrint::single(-55.0)), RssVerdict::Untrained);
+        assert_eq!(
+            det.check(mac(1), &RssPrint::single(-55.0)),
+            RssVerdict::Untrained
+        );
         det.train(mac(1), RssPrint::single(-55.0));
         assert!(matches!(
             det.check(mac(1), &RssPrint::single(-56.5)),
@@ -181,8 +188,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "different AP sets")]
     fn mismatched_ap_sets_panic() {
-        let a = RssPrint { per_ap_db: vec![-50.0] };
-        let b = RssPrint { per_ap_db: vec![-50.0, -60.0] };
+        let a = RssPrint {
+            per_ap_db: vec![-50.0],
+        };
+        let b = RssPrint {
+            per_ap_db: vec![-50.0, -60.0],
+        };
         let _ = a.distance_db(&b);
     }
 }

@@ -248,7 +248,7 @@ fn peak_agreement(a: &[Peak], b: &[Peak], wraps: bool, scale_deg: f64) -> f64 {
                 continue;
             }
             let d = angle_diff_deg(pa.angle_deg, pb.angle_deg, wraps);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((j, d));
             }
         }
@@ -411,7 +411,9 @@ mod tests {
         for _ in 0..30 {
             tracker.update(&target);
         }
-        let m = tracker.signature().compare(&target, &MatchConfig::default());
+        let m = tracker
+            .signature()
+            .compare(&target, &MatchConfig::default());
         assert!(m.score > 0.95, "converged score {}", m.score);
         assert_eq!(tracker.updates, 31);
     }

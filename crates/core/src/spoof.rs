@@ -124,7 +124,9 @@ impl SpoofDetector {
         let Some(tracker) = self.profiles.get_mut(&mac) else {
             return SpoofVerdict::Untrained;
         };
-        let m = tracker.signature().compare(observed, &self.cfg.match_config);
+        let m = tracker
+            .signature()
+            .compare(observed, &self.cfg.match_config);
         if m.score >= self.cfg.threshold {
             tracker.update(observed);
             SpoofVerdict::Match { score: m.score }

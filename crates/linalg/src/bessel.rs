@@ -65,7 +65,7 @@ mod tests {
         assert!((bessel_j(0, 0.0) - 1.0).abs() < 1e-15);
         assert!((bessel_j(0, 1.0) - 0.7651976865579666).abs() < 1e-12);
         assert!((bessel_j(0, 2.0) - 0.22389077914123567).abs() < 1e-12);
-        assert!((bessel_j(0, 5.0) - (-0.17759677131433830)).abs() < 1e-12);
+        assert!((bessel_j(0, 5.0) - (-0.177_596_771_314_338_3)).abs() < 1e-12);
     }
 
     #[test]

@@ -184,6 +184,7 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z · w⁻¹ by definition
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -374,7 +375,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64(1.0, 2.0), c64(3.0, -1.0), c64(-0.5, 0.5)];
+        let v = [c64(1.0, 2.0), c64(3.0, -1.0), c64(-0.5, 0.5)];
         let s: C64 = v.iter().sum();
         assert!(s.approx_eq(c64(3.5, 1.5), TOL));
     }

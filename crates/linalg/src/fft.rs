@@ -46,7 +46,11 @@ fn fft_dir(x: &mut [C64], sign: f64) {
     if n <= 1 {
         return;
     }
-    assert!(n.is_power_of_two(), "fft: length {} is not a power of two", n);
+    assert!(
+        n.is_power_of_two(),
+        "fft: length {} is not a power of two",
+        n
+    );
 
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();

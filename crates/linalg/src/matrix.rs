@@ -233,7 +233,11 @@ impl CMat {
     /// Copy a contiguous block of rows `r0..r1` (half-open) into a new matrix.
     pub fn row_block(&self, r0: usize, r1: usize) -> Self {
         assert!(r0 <= r1 && r1 <= self.rows);
-        Self::from_rows(r1 - r0, self.cols, &self.data[r0 * self.cols..r1 * self.cols])
+        Self::from_rows(
+            r1 - r0,
+            self.cols,
+            &self.data[r0 * self.cols..r1 * self.cols],
+        )
     }
 
     /// Submatrix of the given rows and columns (used to truncate an
@@ -389,11 +393,7 @@ mod tests {
     fn matmul_known_product() {
         // [[1, j], [0, 2]] * [[1, 0], [1, 1]] = [[1+j, j], [2, 2]]
         let a = CMat::from_rows(2, 2, &[c64(1.0, 0.0), J, ZERO, c64(2.0, 0.0)]);
-        let b = CMat::from_rows(
-            2,
-            2,
-            &[c64(1.0, 0.0), ZERO, c64(1.0, 0.0), c64(1.0, 0.0)],
-        );
+        let b = CMat::from_rows(2, 2, &[c64(1.0, 0.0), ZERO, c64(1.0, 0.0), c64(1.0, 0.0)]);
         let p = a.matmul(&b);
         assert!(p[(0, 0)].approx_eq(c64(1.0, 1.0), 1e-14));
         assert!(p[(0, 1)].approx_eq(J, 1e-14));

@@ -44,7 +44,10 @@ proptest! {
     }
 
     #[test]
-    fn polar_roundtrip(r in 0.001f64..1e3, th in -3.14f64..3.14) {
+    fn polar_roundtrip(
+        r in 0.001f64..1e3,
+        th in (-std::f64::consts::PI + 1e-3)..(std::f64::consts::PI - 1e-3),
+    ) {
         let z = C64::from_polar(r, th);
         prop_assert!((z.abs() - r).abs() < 1e-9 * r.max(1.0));
         prop_assert!((z.arg() - th).abs() < 1e-9);

@@ -114,8 +114,7 @@ mod tests {
 
     #[test]
     fn indexed_addresses_are_distinct() {
-        let set: std::collections::HashSet<_> =
-            (0..100).map(MacAddr::local_from_index).collect();
+        let set: std::collections::HashSet<_> = (0..100).map(MacAddr::local_from_index).collect();
         assert_eq!(set.len(), 100);
     }
 }

@@ -159,8 +159,7 @@ mod tests {
     fn unit_average_energy() {
         for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
             let pats = all_bit_patterns(m.bits_per_symbol());
-            let e: f64 =
-                pats.iter().map(|b| m.map(b).norm_sqr()).sum::<f64>() / pats.len() as f64;
+            let e: f64 = pats.iter().map(|b| m.map(b).norm_sqr()).sum::<f64>() / pats.len() as f64;
             assert!((e - 1.0).abs() < 1e-12, "{:?} energy {}", m, e);
         }
     }

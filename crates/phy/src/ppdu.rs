@@ -11,9 +11,7 @@
 
 use crate::modulation::{bits_to_bytes, bytes_to_bits, Modulation};
 use crate::params::{carrier_to_bin, data_carriers, N_CP, N_FFT, PILOT_CARRIERS, SYMBOL_LEN};
-use crate::preamble::{
-    ltf_symbol_freq, preamble_time, PREAMBLE_LEN, SC_HALF_LEN,
-};
+use crate::preamble::{ltf_symbol_freq, preamble_time, PREAMBLE_LEN, SC_HALF_LEN};
 use sa_linalg::complex::{C64, ZERO};
 use sa_linalg::fft::{fft_owned, ifft_owned};
 use sa_sigproc::schmidl_cox::SchmidlCox;
@@ -106,7 +104,9 @@ impl Transmitter {
         // Unused tail slots carry a valid constellation point (all-zero
         // bits), not spectral nulls: zeros are not constellation points
         // and would read as errors in the receiver's EVM accounting.
-        let pad = self.modulation.map(&vec![0u8; self.modulation.bits_per_symbol()]);
+        let pad = self
+            .modulation
+            .map(&vec![0u8; self.modulation.bits_per_symbol()]);
         let scale = crate::preamble::time_scale();
         for s in 0..n_sym {
             let mut freq = vec![ZERO; N_FFT];
@@ -160,7 +160,11 @@ impl Receiver {
     pub fn decode(&self, buffer: &[C64]) -> Result<DecodedPacket, PhyError> {
         let mut sc = SchmidlCox::new(SC_HALF_LEN);
         sc.threshold = self.detect_threshold;
-        let det = sc.detect(buffer).into_iter().next().ok_or(PhyError::NoPacket)?;
+        let det = sc
+            .detect(buffer)
+            .into_iter()
+            .next()
+            .ok_or(PhyError::NoPacket)?;
 
         // CFO-correct a working copy from the coarse start onward.
         let mut rx = buffer.to_vec();
@@ -242,7 +246,7 @@ impl Receiver {
             for &k in &carriers {
                 let bin = carrier_to_bin(k);
                 if h[bin].norm_sqr() <= 1e-12 {
-                    bits.extend(std::iter::repeat(0).take(bps));
+                    bits.extend(std::iter::repeat_n(0, bps));
                     continue;
                 }
                 let z = (yf[bin] / h[bin]) * rot;
@@ -310,7 +314,11 @@ mod tests {
             let buf = in_buffer(&wave, 50, wave.len() + 200);
             let pkt = rx.decode(&buf).expect("decode");
             assert_eq!(pkt.payload, payload, "{:?}", m);
-            assert!((pkt.start as i64 - 50).unsigned_abs() <= 2, "start {}", pkt.start);
+            assert!(
+                (pkt.start as i64 - 50).unsigned_abs() <= 2,
+                "start {}",
+                pkt.start
+            );
             assert!(pkt.evm_db < -30.0, "{:?} EVM {}", m, pkt.evm_db);
         }
     }
@@ -390,7 +398,10 @@ mod tests {
         let mut buf = in_buffer(&wave, 40, wave.len() + 200);
         let echo: Vec<C64> = {
             let delayed = sa_sigproc::iq::delay_signal(&buf, 5.0);
-            delayed.iter().map(|z| *z * C64::from_polar(0.4, 1.0)).collect()
+            delayed
+                .iter()
+                .map(|z| *z * C64::from_polar(0.4, 1.0))
+                .collect()
         };
         for (b, e) in buf.iter_mut().zip(echo.iter()) {
             *b += *e;

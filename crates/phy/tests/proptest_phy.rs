@@ -1,9 +1,9 @@
 //! Property-based tests for the OFDM physical layer.
 
 use proptest::prelude::*;
+use sa_linalg::complex::ZERO;
 use sa_phy::modulation::{bits_to_bytes, bytes_to_bits, Modulation};
 use sa_phy::ppdu::{Receiver, Transmitter};
-use sa_linalg::complex::ZERO;
 
 fn any_modulation() -> impl Strategy<Value = Modulation> {
     prop_oneof![

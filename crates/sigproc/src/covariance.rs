@@ -70,7 +70,7 @@ pub fn forward_backward(r: &CMat) -> CMat {
     let n = r.rows();
     // (J·R*·J)[i, j] = conj(R[n−1−i, n−1−j])
     let refl = CMat::from_fn(n, n, |i, j| r[(n - 1 - i, n - 1 - j)].conj());
-    (&*r + &refl).scale(0.5)
+    (r + &refl).scale(0.5)
 }
 
 /// Spatial smoothing: average the `K = M − L + 1` covariances of
@@ -136,10 +136,7 @@ mod tests {
     /// and per-source symbol streams.
     fn snapshots(m: usize, n: usize, comps: &[(Vec<C64>, C64, Vec<C64>)]) -> Snapshots {
         CMat::from_fn(m, n, |i, t| {
-            comps
-                .iter()
-                .map(|(a, g, s)| a[i] * *g * s[t])
-                .sum::<C64>()
+            comps.iter().map(|(a, g, s)| a[i] * *g * s[t]).sum::<C64>()
         })
     }
 
@@ -147,7 +144,10 @@ mod tests {
         // Deterministic QPSK-ish symbol stream.
         (0..n)
             .map(|t| {
-                let k = (t as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 60;
+                let k = (t as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 60;
                 C64::cis(PI / 4.0 + PI / 2.0 * (k % 4) as f64)
             })
             .collect()
@@ -234,7 +234,9 @@ mod tests {
     fn forward_backward_idempotent_on_persymmetric() {
         // FB of an FB-averaged matrix is itself.
         let m = 5;
-        let x = CMat::from_fn(m, 60, |i, t| c64((i as f64 - t as f64).cos(), (t as f64).sin()));
+        let x = CMat::from_fn(m, 60, |i, t| {
+            c64((i as f64 - t as f64).cos(), (t as f64).sin())
+        });
         let r = forward_backward(&sample_covariance(&x));
         let r2 = forward_backward(&r);
         assert!(r.approx_eq(&r2, 1e-10));

@@ -73,15 +73,12 @@ pub fn delay_signal(x: &[C64], delay: f64) -> Vec<C64> {
     let whole = delay.floor() as usize;
     let frac = delay - delay.floor();
     let mut out = vec![ZERO; n];
-    for i in 0..n {
-        if i < whole {
-            continue;
-        }
+    for (i, slot) in out.iter_mut().enumerate().skip(whole) {
         let j = i - whole;
         // x interpolated at (j − frac): combine x[j] and x[j−1].
         let a = x[j];
         let b = if j > 0 { x[j - 1] } else { ZERO };
-        out[i] = a.scale(1.0 - frac) + b.scale(frac);
+        *slot = a.scale(1.0 - frac) + b.scale(frac);
     }
     out
 }

@@ -59,11 +59,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let v = cn_vector(&mut rng, 200_000, 2.5);
         let p = mean_power(&v);
-        assert!(
-            (p - 2.5).abs() < 0.03,
-            "measured power {} far from 2.5",
-            p
-        );
+        assert!((p - 2.5).abs() < 0.03, "measured power {} far from 2.5", p);
     }
 
     #[test]

@@ -85,9 +85,9 @@ impl SchmidlCox {
         // Energy floor: windows whose product-energy is negligible relative
         // to the buffer as a whole cannot contain a packet; report 0 there
         // instead of amplifying numerical dust.
-        let floor = 1e-12 * crate::iq::mean_power(r) * (l as f64) * crate::iq::mean_power(r)
-            * (l as f64)
-            + 1e-300;
+        let floor =
+            1e-12 * crate::iq::mean_power(r) * (l as f64) * crate::iq::mean_power(r) * (l as f64)
+                + 1e-300;
         for d in 0..=last {
             let denom = e1 * e2;
             let metric = if denom > floor {
@@ -128,16 +128,20 @@ impl SchmidlCox {
                 .position(|&m| m < self.threshold)
                 .map(|off| d + off)
                 .unwrap_or(trace.len());
-            let (peak_idx, peak) = trace[d..region_end]
-                .iter()
-                .enumerate()
-                .fold((0, 0.0), |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                });
+            let (peak_idx, peak) =
+                trace[d..region_end]
+                    .iter()
+                    .enumerate()
+                    .fold(
+                        (0, 0.0),
+                        |(bi, bv), (i, &v)| {
+                            if v > bv {
+                                (i, v)
+                            } else {
+                                (bi, bv)
+                            }
+                        },
+                    );
             let peak_idx = d + peak_idx;
             let level = 0.9 * peak;
             let mut lo = peak_idx;
@@ -237,11 +241,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let buf = crate::noise::cn_vector(&mut rng, 2000, 1.0);
         let det = SchmidlCox::new(L).detect(&buf);
-        assert!(
-            det.is_empty(),
-            "false positives in pure noise: {:?}",
-            det
-        );
+        assert!(det.is_empty(), "false positives in pure noise: {:?}", det);
     }
 
     #[test]
@@ -279,7 +279,7 @@ mod tests {
         let trace = SchmidlCox::new(L).metric_trace(&buf);
         assert_eq!(trace.len(), 512 - 2 * L + 1);
         for &m in &trace {
-            assert!(m >= 0.0 && m <= 1.2, "metric out of range: {}", m);
+            assert!((0.0..=1.2).contains(&m), "metric out of range: {}", m);
         }
     }
 

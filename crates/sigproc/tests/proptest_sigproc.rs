@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use sa_linalg::complex::{c64, C64};
 use sa_linalg::CMat;
-use sa_sigproc::covariance::{
-    forward_backward, numerical_rank, sample_covariance, spatial_smooth,
-};
+use sa_sigproc::covariance::{forward_backward, numerical_rank, sample_covariance, spatial_smooth};
 use sa_sigproc::iq;
 use sa_sigproc::schmidl_cox::SchmidlCox;
 
@@ -14,8 +12,7 @@ fn finite_c64() -> impl Strategy<Value = C64> {
 }
 
 fn snapshots(m: usize, n: usize) -> impl Strategy<Value = CMat> {
-    proptest::collection::vec(finite_c64(), m * n)
-        .prop_map(move |v| CMat::from_rows(m, n, &v))
+    proptest::collection::vec(finite_c64(), m * n).prop_map(move |v| CMat::from_rows(m, n, &v))
 }
 
 proptest! {

@@ -110,7 +110,10 @@ fn stats(variant: &str, errors: &[f64]) -> VariantStats {
 
 fn ablate_calibration(seed: u64, packets: usize) -> Vec<VariantStats> {
     vec![
-        stats("calibrated (§2.2)", &errors_with(seed, packets, false, |_| {})),
+        stats(
+            "calibrated (§2.2)",
+            &errors_with(seed, packets, false, |_| {}),
+        ),
         stats("uncalibrated", &errors_with(seed, packets, true, |_| {})),
     ]
 }
@@ -214,13 +217,17 @@ fn ablate_equation_one(seed: u64, packets: usize) -> Vec<VariantStats> {
                 w.extend(tx.encode(&payload));
                 w
             };
-            for (free_space, errs) in
-                [(true, &mut los_errors), (false, &mut mp_errors)]
-            {
+            for (free_space, errs) in [(true, &mut los_errors), (false, &mut mp_errors)] {
                 let empty = FloorPlan::new();
                 let plan = if free_space { &empty } else { &office.plan };
                 let paths = trace_paths(plan, pos, office.ap_position, &TraceConfig::default());
-                let out = apply_channel(&paths, &TxAntenna::Omni, &array, &wave, &ApplyConfig::default());
+                let out = apply_channel(
+                    &paths,
+                    &TxAntenna::Omni,
+                    &array,
+                    &wave,
+                    &ApplyConfig::default(),
+                );
                 let mut x1 = out.snapshots.row(0);
                 let mut x2 = out.snapshots.row(1);
                 let nv = 2e-9;

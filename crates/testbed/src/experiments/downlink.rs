@@ -75,10 +75,7 @@ pub fn run(seed: u64) -> DownlinkResult {
     DownlinkResult {
         perfect_gain_db: perfect,
         median_gain_db: sa_linalg::stats::median(&gains),
-        frac_within_1db: rows
-            .iter()
-            .filter(|r| r.loss_vs_perfect_db <= 1.0)
-            .count() as f64
+        frac_within_1db: rows.iter().filter(|r| r.loss_vs_perfect_db <= 1.0).count() as f64
             / rows.len().max(1) as f64,
         tolerance_3db_deg: bearing_tolerance_deg(&array, 1.0, 3.0),
         rows,
@@ -124,7 +121,11 @@ mod tests {
             r.median_gain_db,
             r.perfect_gain_db
         );
-        assert!(r.frac_within_1db > 0.6, "within 1 dB: {}", r.frac_within_1db);
+        assert!(
+            r.frac_within_1db > 0.6,
+            "within 1 dB: {}",
+            r.frac_within_1db
+        );
     }
 
     #[test]
@@ -134,12 +135,20 @@ mod tests {
         let worst = r
             .rows
             .iter()
-            .max_by(|a, b| a.bearing_error_deg.partial_cmp(&b.bearing_error_deg).unwrap())
+            .max_by(|a, b| {
+                a.bearing_error_deg
+                    .partial_cmp(&b.bearing_error_deg)
+                    .unwrap()
+            })
             .unwrap();
         let best = r
             .rows
             .iter()
-            .min_by(|a, b| a.bearing_error_deg.partial_cmp(&b.bearing_error_deg).unwrap())
+            .min_by(|a, b| {
+                a.bearing_error_deg
+                    .partial_cmp(&b.bearing_error_deg)
+                    .unwrap()
+            })
             .unwrap();
         assert!(
             worst.loss_vs_perfect_db >= best.loss_vs_perfect_db,

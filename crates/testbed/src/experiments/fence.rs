@@ -109,8 +109,7 @@ pub fn run(seed: u64, packets: usize) -> FenceResult {
         .filter(|t| !t.truly_inside && t.admitted)
         .count() as f64
         / n_outside.max(1) as f64;
-    let accuracy =
-        trials.iter().filter(|t| t.correct).count() as f64 / trials.len().max(1) as f64;
+    let accuracy = trials.iter().filter(|t| t.correct).count() as f64 / trials.len().max(1) as f64;
 
     FenceResult {
         median_inside_error_m: sa_linalg::stats::median(&inside_errors),

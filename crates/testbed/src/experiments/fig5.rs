@@ -63,28 +63,27 @@ pub struct Fig5Result {
 /// testbed (the paper uses 10 for Fig 5; use ≥ 20 for a stable 95th
 /// percentile).
 ///
-/// Clients are measured in parallel (crossbeam scoped threads), one
-/// worker per client with a per-client RNG seed, so the result is
+/// Clients are measured in parallel (std scoped threads), one worker
+/// per client with a per-client RNG seed, so the result is
 /// deterministic in `seed` and independent of scheduling order.
 pub fn run(seed: u64, packets: usize) -> Fig5Result {
     assert!(packets >= 2, "need at least two packets per client");
     let tb = Testbed::single_ap(ApArray::Circular, seed);
 
     let clients = tb.office.clients.clone();
-    let mut rows: Vec<Fig5Row> = crossbeam::thread::scope(|scope| {
+    let mut rows: Vec<Fig5Row> = std::thread::scope(|scope| {
         let handles: Vec<_> = clients
             .iter()
             .map(|spec| {
                 let tb = &tb;
-                scope.spawn(move |_| measure_client(tb, spec, seed, packets))
+                scope.spawn(move || measure_client(tb, spec, seed, packets))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("fig5 worker panicked"))
             .collect()
-    })
-    .expect("fig5 thread scope");
+    });
     rows.sort_by_key(|r| r.client);
 
     let cis: Vec<f64> = rows.iter().map(|r| r.ci99_half_width_deg).collect();
@@ -111,7 +110,7 @@ fn measure_client(
     seed: u64,
     packets: usize,
 ) -> Fig5Row {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF16_5 ^ (spec.id as u64).wrapping_mul(0x9E37));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF165 ^ (spec.id as u64).wrapping_mul(0x9E37));
     let truth = tb.office.ground_truth_azimuth_deg(spec.id);
     let mut errors = Vec::with_capacity(packets);
     let mut decoded = 0usize;

@@ -63,7 +63,7 @@ pub fn run(seed: u64) -> Fig6Result {
 /// Run E3 for an arbitrary client set.
 pub fn run_for_clients(seed: u64, ids: &[usize]) -> Fig6Result {
     let tb = Testbed::single_ap(ApArray::Linear(8), seed);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF16_6);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF166);
     let mcfg = MatchConfig::default();
 
     let mut clients = Vec::with_capacity(ids.len());

@@ -78,7 +78,7 @@ pub fn run(seed: u64, client: usize) -> Fig7Result {
         // the 8-antenna array (ULA construction) with its own calibrated
         // front end; the transmitted packet is identical by seeding.
         let tb = Testbed::single_ap(ApArray::Linear(k), seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF16_7);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF167);
         let buf = tb.client_capture(0, client, 1, 0.0, &mut rng);
         let obs = tb.nodes[0]
             .ap
@@ -121,12 +121,8 @@ pub fn render(r: &Fig7Result) -> String {
         "Figure 7 — antenna count vs resolution (client {}, linear array; truth {:.1} deg broadside)\n",
         r.client, r.ground_truth_broadside_deg
     ));
-    out.push_str(
-        "antennas | peak(deg) | |err|(deg) | #peaks | nearest pk err | grid >-10dB\n",
-    );
-    out.push_str(
-        "---------+-----------+------------+--------+----------------+------------\n",
-    );
+    out.push_str("antennas | peak(deg) | |err|(deg) | #peaks | nearest pk err | grid >-10dB\n");
+    out.push_str("---------+-----------+------------+--------+----------------+------------\n");
     for row in &r.rows {
         out.push_str(&format!(
             "{:8} | {:9.1} | {:10.2} | {:6} | {:14.2} | {:10.2}\n",

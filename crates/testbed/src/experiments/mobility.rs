@@ -153,7 +153,11 @@ pub fn render(r: &MobilityResult) -> String {
         };
         out.push_str(&format!(
             "{:8.1} | ({:5.1},{:5.1}) | {} | {}\n",
-            s.t_s, s.truth.0, s.truth.1, fmt(&s.raw_fix), fmt(&s.tracked)
+            s.t_s,
+            s.truth.0,
+            s.truth.1,
+            fmt(&s.raw_fix),
+            fmt(&s.tracked)
         ));
     }
     out

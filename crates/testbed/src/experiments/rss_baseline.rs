@@ -78,7 +78,10 @@ pub fn run(seed: u64, victim: usize) -> RssBaselineResult {
     // would false-flag the victim itself.
     let tol = (3.0 * victim_rss_std).max(3.0);
     let mut rss_det = RssDetector::new(tol, 0.2);
-    rss_det.train(Testbed::client_mac(victim), RssPrint::single(victim_rss_mean));
+    rss_det.train(
+        Testbed::client_mac(victim),
+        RssPrint::single(victim_rss_mean),
+    );
 
     // --- Attack from every other position ----------------------------
     let ap_pos = tb.nodes[0].ap.config().position;
@@ -199,9 +202,8 @@ mod tests {
     #[test]
     fn power_matching_actually_matches() {
         let r = run(53, 5);
-        let median_err = sa_linalg::stats::median(
-            &r.trials.iter().map(|t| t.rss_error_db).collect::<Vec<_>>(),
-        );
+        let median_err =
+            sa_linalg::stats::median(&r.trials.iter().map(|t| t.rss_error_db).collect::<Vec<_>>());
         assert!(
             median_err < r.rss_tolerance_db,
             "median RSS error {:.2} dB exceeds tolerance {:.2}",

@@ -89,8 +89,7 @@ pub fn run(seed: u64, client: usize, trials: usize) -> SnrResult {
             let mut cos_sum = 0.0;
             let mut got = 0;
             for p in 0..k {
-                let buf =
-                    base.client_capture(0, client, (trial * 32 + p) as u16, 0.0, &mut rng);
+                let buf = base.client_capture(0, client, (trial * 32 + p) as u16, 0.0, &mut rng);
                 if let Ok(obs) = base.nodes[0].ap.observe(&buf) {
                     let az = obs.bearing_deg.to_radians();
                     sin_sum += az.sin();
@@ -134,10 +133,7 @@ pub fn render(r: &SnrResult) -> String {
     out.push_str("\npackets averaged | median err(deg)\n");
     out.push_str("-----------------+----------------\n");
     for a in &r.averaging {
-        out.push_str(&format!(
-            "{:16} | {:14.2}\n",
-            a.packets, a.median_error_deg
-        ));
+        out.push_str(&format!("{:16} | {:14.2}\n", a.packets, a.median_error_deg));
     }
     out
 }

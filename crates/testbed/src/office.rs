@@ -59,14 +59,50 @@ impl Office {
 
         // Interior drywall partitions with door gaps.
         // Wall A: x = 8, gap at y ∈ (7, 9).
-        plan.add_wall(Segment { a: pt(8.0, 0.0), b: pt(8.0, 7.0) }, DRYWALL);
-        plan.add_wall(Segment { a: pt(8.0, 9.0), b: pt(8.0, 16.0) }, DRYWALL);
+        plan.add_wall(
+            Segment {
+                a: pt(8.0, 0.0),
+                b: pt(8.0, 7.0),
+            },
+            DRYWALL,
+        );
+        plan.add_wall(
+            Segment {
+                a: pt(8.0, 9.0),
+                b: pt(8.0, 16.0),
+            },
+            DRYWALL,
+        );
         // Wall B: x = 22, gap at y ∈ (6.5, 9.5).
-        plan.add_wall(Segment { a: pt(22.0, 0.0), b: pt(22.0, 6.5) }, DRYWALL);
-        plan.add_wall(Segment { a: pt(22.0, 9.5), b: pt(22.0, 16.0) }, DRYWALL);
+        plan.add_wall(
+            Segment {
+                a: pt(22.0, 0.0),
+                b: pt(22.0, 6.5),
+            },
+            DRYWALL,
+        );
+        plan.add_wall(
+            Segment {
+                a: pt(22.0, 9.5),
+                b: pt(22.0, 16.0),
+            },
+            DRYWALL,
+        );
         // Wall C: y = 12 across the middle block, gap at x ∈ (14, 16).
-        plan.add_wall(Segment { a: pt(8.0, 12.0), b: pt(14.0, 12.0) }, DRYWALL);
-        plan.add_wall(Segment { a: pt(16.0, 12.0), b: pt(22.0, 12.0) }, DRYWALL);
+        plan.add_wall(
+            Segment {
+                a: pt(8.0, 12.0),
+                b: pt(14.0, 12.0),
+            },
+            DRYWALL,
+        );
+        plan.add_wall(
+            Segment {
+                a: pt(16.0, 12.0),
+                b: pt(22.0, 12.0),
+            },
+            DRYWALL,
+        );
 
         // The large cement pillar: a 0.9 m square straddling the AP→11
         // line of sight (offset slightly off the ray's 45° diagonal so
@@ -76,26 +112,106 @@ impl Office {
         plan.add_rect(Rect::new(12.81, 9.49, 13.71, 10.39), CONCRETE);
 
         let clients = vec![
-            ClientSpec { id: 1, position: pt(19.0, 10.5), note: "" },
-            ClientSpec { id: 2, position: pt(5.5, 9.5), note: "another room nearby the AP (Fig 6)" },
-            ClientSpec { id: 3, position: pt(20.5, 8.3), note: "" },
-            ClientSpec { id: 4, position: pt(18.0, 12.8), note: "office above wall C" },
-            ClientSpec { id: 5, position: pt(17.5, 6.5), note: "same room, near the AP (Fig 6)" },
-            ClientSpec { id: 6, position: pt(27.5, 2.0), note: "far away, strong multipath (Fig 5 outlier)" },
-            ClientSpec { id: 7, position: pt(13.0, 5.0), note: "" },
-            ClientSpec { id: 8, position: pt(16.5, 3.5), note: "" },
-            ClientSpec { id: 9, position: pt(10.5, 6.0), note: "" },
-            ClientSpec { id: 10, position: pt(21.0, 1.0), note: "same room, far from the AP (Fig 6)" },
-            ClientSpec { id: 11, position: pt(11.5, 11.5), note: "completely blocked by the pillar (Fig 5)" },
-            ClientSpec { id: 12, position: pt(10.2, 10.8), note: "partially blocked by the pillar (Figs 5, 7)" },
-            ClientSpec { id: 13, position: pt(8.6, 13.0), note: "" },
-            ClientSpec { id: 14, position: pt(25.0, 12.5), note: "" },
-            ClientSpec { id: 15, position: pt(27.0, 8.0), note: "through the wall-B doorway" },
-            ClientSpec { id: 16, position: pt(4.0, 4.0), note: "" },
-            ClientSpec { id: 17, position: pt(3.0, 13.0), note: "" },
-            ClientSpec { id: 18, position: pt(24.0, 6.8), note: "" },
-            ClientSpec { id: 19, position: pt(12.5, 2.0), note: "" },
-            ClientSpec { id: 20, position: pt(6.0, 1.5), note: "" },
+            ClientSpec {
+                id: 1,
+                position: pt(19.0, 10.5),
+                note: "",
+            },
+            ClientSpec {
+                id: 2,
+                position: pt(5.5, 9.5),
+                note: "another room nearby the AP (Fig 6)",
+            },
+            ClientSpec {
+                id: 3,
+                position: pt(20.5, 8.3),
+                note: "",
+            },
+            ClientSpec {
+                id: 4,
+                position: pt(18.0, 12.8),
+                note: "office above wall C",
+            },
+            ClientSpec {
+                id: 5,
+                position: pt(17.5, 6.5),
+                note: "same room, near the AP (Fig 6)",
+            },
+            ClientSpec {
+                id: 6,
+                position: pt(27.5, 2.0),
+                note: "far away, strong multipath (Fig 5 outlier)",
+            },
+            ClientSpec {
+                id: 7,
+                position: pt(13.0, 5.0),
+                note: "",
+            },
+            ClientSpec {
+                id: 8,
+                position: pt(16.5, 3.5),
+                note: "",
+            },
+            ClientSpec {
+                id: 9,
+                position: pt(10.5, 6.0),
+                note: "",
+            },
+            ClientSpec {
+                id: 10,
+                position: pt(21.0, 1.0),
+                note: "same room, far from the AP (Fig 6)",
+            },
+            ClientSpec {
+                id: 11,
+                position: pt(11.5, 11.5),
+                note: "completely blocked by the pillar (Fig 5)",
+            },
+            ClientSpec {
+                id: 12,
+                position: pt(10.2, 10.8),
+                note: "partially blocked by the pillar (Figs 5, 7)",
+            },
+            ClientSpec {
+                id: 13,
+                position: pt(8.6, 13.0),
+                note: "",
+            },
+            ClientSpec {
+                id: 14,
+                position: pt(25.0, 12.5),
+                note: "",
+            },
+            ClientSpec {
+                id: 15,
+                position: pt(27.0, 8.0),
+                note: "through the wall-B doorway",
+            },
+            ClientSpec {
+                id: 16,
+                position: pt(4.0, 4.0),
+                note: "",
+            },
+            ClientSpec {
+                id: 17,
+                position: pt(3.0, 13.0),
+                note: "",
+            },
+            ClientSpec {
+                id: 18,
+                position: pt(24.0, 6.8),
+                note: "",
+            },
+            ClientSpec {
+                id: 19,
+                position: pt(12.5, 2.0),
+                note: "",
+            },
+            ClientSpec {
+                id: 20,
+                position: pt(6.0, 1.5),
+                note: "",
+            },
         ];
 
         Self {
@@ -257,9 +373,7 @@ mod tests {
     #[test]
     fn client_15_sees_the_ap_through_the_doorway() {
         let o = Office::paper_figure4();
-        assert!(o
-            .plan
-            .has_clear_los(o.ap_position, o.client(15).position));
+        assert!(o.plan.has_clear_los(o.ap_position, o.client(15).position));
     }
 
     #[test]

@@ -307,7 +307,10 @@ mod tests {
         let buf = tb.client_capture(0, 5, 1, 0.0, &mut rng);
         let obs = tb.nodes[0].ap.observe(&buf).expect("observation");
         assert!(obs.bearing_deg.abs() <= 90.0, "bearing {}", obs.bearing_deg);
-        assert!(obs.global_azimuth.is_none(), "ULA has no unambiguous azimuth");
+        assert!(
+            obs.global_azimuth.is_none(),
+            "ULA has no unambiguous azimuth"
+        );
     }
 
     #[test]

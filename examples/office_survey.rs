@@ -14,9 +14,7 @@ use sa_testbed::experiments::fig5;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].clone())
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
 
 fn main() {
@@ -39,7 +37,7 @@ fn main() {
         for (c, cell) in row.iter_mut().enumerate() {
             let x = c as f64 / (w - 1) as f64 * 30.0;
             let y = (h - 1 - r) as f64 / (h - 1) as f64 * 16.0;
-            if x < 0.3 || x > 29.7 || y < 0.3 || y > 15.7 {
+            if !(0.3..=29.7).contains(&x) || !(0.3..=15.7).contains(&y) {
                 *cell = '.';
             }
             if (12.81..=13.71).contains(&x) && (9.49..=10.39).contains(&y) {

@@ -43,10 +43,19 @@ fn main() {
     let mut ap = AccessPoint::new(ApConfig::paper_prototype(ap_pos), acl);
     let front_end = FrontEnd::random(8, 2e-9, &mut rng);
     ap.calibrate(&front_end, &mut rng);
-    println!("AP calibrated: 8-antenna octagon at ({:.0}, {:.0})", ap_pos.x, ap_pos.y);
+    println!(
+        "AP calibrated: 8-antenna octagon at ({:.0}, {:.0})",
+        ap_pos.x, ap_pos.y
+    );
 
     // --- The client transmits one frame. -------------------------------
-    let frame = Frame::data(client_mac, MacAddr::BROADCAST, MacAddr::local_from_index(0), 1, b"hello, SecureAngle");
+    let frame = Frame::data(
+        client_mac,
+        MacAddr::BROADCAST,
+        MacAddr::local_from_index(0),
+        1,
+        b"hello, SecureAngle",
+    );
     let tx = Transmitter::new(Modulation::Qpsk);
     let wave = tx.encode(&frame.encode());
     let mut padded = vec![ZERO; 120];
@@ -70,7 +79,11 @@ fn main() {
         obs.start, obs.cfo, obs.rss_db
     );
     if let Some(f) = &obs.frame {
-        println!("frame decoded: src {}, payload {:?}", f.src, String::from_utf8_lossy(&f.payload));
+        println!(
+            "frame decoded: src {}, payload {:?}",
+            f.src,
+            String::from_utf8_lossy(&f.payload)
+        );
     }
     println!(
         "bearing: {:.1} deg   (ground truth {:.1} deg, error {:.2} deg)",

@@ -63,7 +63,10 @@ fn main() {
     let attacker_pos = tb.office.client(attacker_pos_client).position;
     let mut attacker = Attacker::new(
         attacker_pos,
-        AttackerGear::Directional { gain_dbi: 14.0, order: 4.0 },
+        AttackerGear::Directional {
+            gain_dbi: 14.0,
+            order: 4.0,
+        },
         victim_mac,
     );
     // Power-match: probe what the AP hears from each position.
@@ -81,7 +84,15 @@ fn main() {
     let frame = tb.client_frame(victim, 100); // spoofed src == victim MAC
     let mut flagged = 0;
     for seq in 1..=5 {
-        let buf = tb.capture(0, attacker_pos, &antenna, attacker.tx_power, &frame, seq as f64, &mut rng);
+        let buf = tb.capture(
+            0,
+            attacker_pos,
+            &antenna,
+            attacker.tx_power,
+            &frame,
+            seq as f64,
+            &mut rng,
+        );
         let (obs, verdict) = tb.nodes[0].ap.receive(&buf).expect("attack frame");
         let rss_v = rss_det.check(victim_mac, &RssPrint::single(obs.rss_db));
         let aoa_flag = !verdict.admitted();

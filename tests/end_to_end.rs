@@ -7,6 +7,52 @@ use rand_chacha::ChaCha8Rng;
 use sa_testbed::{ApArray, Testbed};
 use secureangle_suite::prelude::*;
 
+/// Smoke guard for the whole e2e path: the full detection → calibration
+/// → MUSIC → signature → enforcement `Pipeline` must run on the
+/// `Office::paper_figure4()` scenario, deterministically in the seeded
+/// `ChaCha8Rng`, and produce a meaningful admit decision. This test is
+/// the canary that keeps the e2e suite from silently regressing to
+/// `#[ignore]` or to a stubbed scenario: it asserts the scenario *is*
+/// the paper's 20-client office and that train → receive round-trips.
+#[test]
+fn smoke_full_pipeline_on_paper_office_is_deterministic() {
+    let run = || -> (f64, bool) {
+        let mut tb = Testbed::single_ap(ApArray::Circular, 7);
+        // The testbed must be the paper's Figure-4 office, not a stub:
+        // same 20 clients at the same positions, not merely 20 of them.
+        let paper = secureangle_suite::testbed::Office::paper_figure4();
+        assert_eq!(tb.office.clients.len(), 20);
+        for (got, want) in tb.office.clients.iter().zip(&paper.clients) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.position, want.position);
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let client = 5usize;
+        let mac = Testbed::client_mac(client);
+
+        // Train on one packet, then push a second through the full
+        // receive path (observe + signature match + verdict).
+        let buf = tb.client_capture(0, client, 0, 0.0, &mut rng);
+        let obs = tb.nodes[0].ap.observe(&buf).expect("training observe");
+        tb.nodes[0].ap.train_client(mac, &obs);
+        let buf = tb.client_capture(0, client, 1, 15.0, &mut rng);
+        let (obs, verdict) = tb.nodes[0].ap.receive(&buf).expect("receive");
+        let frame = obs.frame.expect("frame decodes");
+        assert_eq!(frame.src, mac);
+        (obs.bearing_deg, verdict.admitted())
+    };
+
+    let (bearing_a, admitted_a) = run();
+    let (bearing_b, admitted_b) = run();
+    assert!(admitted_a, "trained client must be admitted");
+    assert_eq!(
+        bearing_a, bearing_b,
+        "pipeline must be deterministic in the seed"
+    );
+    assert_eq!(admitted_a, admitted_b);
+}
+
 #[test]
 fn every_testbed_client_is_heard_and_decoded() {
     let tb = Testbed::single_ap(ApArray::Circular, 101);
@@ -66,7 +112,10 @@ fn full_spoofing_scenario_across_all_gear() {
     let frame = tb.client_frame(victim, 99);
     for gear in [
         AttackerGear::Omni,
-        AttackerGear::Directional { gain_dbi: 14.0, order: 4.0 },
+        AttackerGear::Directional {
+            gain_dbi: 14.0,
+            order: 4.0,
+        },
         AttackerGear::Array { n_elements: 8 },
     ] {
         let attacker = Attacker::new(apos, gear, victim_mac);
@@ -151,7 +200,10 @@ fn observation_is_deterministic_in_the_seed() {
     let o2 = tb2.nodes[0].ap.observe(&b2).expect("o2");
     assert_eq!(o1.bearing_deg, o2.bearing_deg);
     assert_eq!(o1.rss_db, o2.rss_db);
-    assert_eq!(o1.signature.spectrum().values, o2.signature.spectrum().values);
+    assert_eq!(
+        o1.signature.spectrum().values,
+        o2.signature.spectrum().values
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`, covering the API this workspace's
+//! benches use: `Criterion::bench_function` / `benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a deliberately simple calibrated wall-clock loop (no
+//! statistics, outlier rejection or plots); it exists so `cargo bench`
+//! compiles and produces usable relative numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup cost relates to the routine (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            elapsed: Duration::ZERO,
+            iters,
+        }
+    }
+
+    /// Time `routine`, called `iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F, quick: bool) {
+    // Calibrate: grow the iteration count until the measurement is long
+    // enough to mean something, then report ns/iter.
+    let mut iters: u64 = 1;
+    let budget = if quick {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(200)
+    };
+    loop {
+        let mut b = Bencher::new(iters);
+        f(&mut b);
+        if b.elapsed >= budget || iters >= 1 << 24 {
+            let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+            println!(
+                "bench: {label:<50} {:>14.1} ns/iter ({} iters)",
+                per_iter, iters
+            );
+            return;
+        }
+        // Aim to overshoot the budget slightly on the next attempt.
+        let grow = (budget.as_nanos() as f64 / b.elapsed.as_nanos().max(1) as f64).ceil();
+        iters = (iters as f64 * grow.clamp(2.0, 100.0)) as u64;
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` and harness flags arrive in argv;
+        // honour a plain-string filter, ignore criterion's own flags.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Self {
+            filter,
+            quick: std::env::var("BENCH_QUICK").is_ok(),
+        }
+    }
+}
+
+impl Criterion {
+    fn wants(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into();
+        if self.wants(&label) {
+            run_one(&label, f, self.quick);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        if self.criterion.wants(&label) {
+            run_one(&label, f, self.criterion.quick);
+        }
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,356 @@
+//! Offline stand-in for `proptest`, covering the API surface this
+//! workspace uses: the `proptest!` macro (with `#![proptest_config]`),
+//! range/tuple/`any`/`Just`/`prop_oneof!` strategies, `prop_map` /
+//! `prop_filter` / `prop_flat_map` combinators, `collection::vec`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! * Shrinking is *internal* (Hypothesis-style): instead of per-strategy
+//!   `ValueTree`s, the runner minimises the RNG word stream that
+//!   produced a failing case and re-runs generation, so it shrinks
+//!   through `prop_map`/`prop_filter`/`prop_flat_map` for free. A
+//!   failure reports both the minimal and the originally-generated
+//!   inputs. `PROPTEST_MAX_SHRINK_ITERS` bounds (or, at 0, disables)
+//!   the shrink budget.
+//! * Deterministic per-test RNG streams (perturb with
+//!   `PROPTEST_RNG_SEED`).
+//! * `PROPTEST_CASES` acts as a global cap on per-test case counts so CI
+//!   can bound property-test time.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Supports the subset of real proptest syntax
+/// used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body! { ($cfg) ($name) ($($params)*) $body }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) ($name:ident) ($($pat:pat in $strat:expr),+ $(,)?) $body:block) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let __cases = __config.effective_cases();
+        let __max_rejects = __config.max_global_rejects;
+        let __shrink_budget = __config.effective_max_shrink_iters();
+        let mut __rng = $crate::test_runner::TestRng::for_test(
+            concat!(module_path!(), "::", stringify!($name)),
+        );
+        // Generate inputs from an RNG and run the property once; reused
+        // verbatim by the shrinker to re-test minimised word streams.
+        #[allow(clippy::redundant_closure_call)]
+        let __case = |__rng: &mut $crate::test_runner::TestRng| -> (
+            ::std::string::String,
+            ::std::result::Result<(), $crate::test_runner::TestCaseError>,
+        ) {
+            let __inputs = ( $( $crate::strategy::Strategy::new_value(&($strat), __rng), )+ );
+            let __described = ::std::format!("{:?}", &__inputs);
+            let __outcome = (move || {
+                let ( $( $pat, )+ ) = __inputs;
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            (__described, __outcome)
+        };
+        let mut __accepted: u32 = 0;
+        let mut __rejected: u32 = 0;
+        while __accepted < __cases {
+            __rng.begin_record();
+            let __state0 = __rng.state();
+            let (__described, __outcome) = __case(&mut __rng);
+            match __outcome {
+                ::std::result::Result::Ok(()) => __accepted += 1,
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                    __rejected += 1;
+                    if __rejected > __max_rejects {
+                        ::std::panic!(
+                            "proptest: too many rejected cases ({}), last: {}",
+                            __rejected, __why
+                        );
+                    }
+                }
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__why)) => {
+                    let __words = __rng.take_recorded();
+                    let __shrunk = $crate::test_runner::shrink_failure(
+                        __case,
+                        __words,
+                        __state0,
+                        (__described.clone(), __why),
+                        __shrink_budget,
+                    );
+                    ::std::panic!(
+                        "proptest case #{} failed: {}\n    minimal inputs: {}\n    original inputs: {}\n    ({} shrink steps)",
+                        __accepted + 1,
+                        __shrunk.why,
+                        __shrunk.described,
+                        __described,
+                        __shrunk.steps
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the case
+/// (with its inputs) is reported and the test fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} — {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                            stringify!($lhs), stringify!($rhs), __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: {} == {} — {}\n    left: {:?}\n   right: {:?}",
+                            stringify!($lhs), stringify!($rhs),
+                            ::std::format!($($fmt)+), __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: {} != {}\n    both: {:?}",
+                            stringify!($lhs),
+                            stringify!($rhs),
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (it counts as rejected, not failed) unless
+/// the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut __union = $crate::strategy::Union::new();
+        $( __union.push($s); )+
+        __union
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..7.5, n in 2usize..12, b in 0u8..8) {
+            prop_assert!((-3.0..7.5).contains(&x));
+            prop_assert!((2..12).contains(&n));
+            prop_assert!(b < 8);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 3..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+
+        #[test]
+        fn maps_and_filters(
+            p in (0.0f64..10.0, 0.0f64..10.0)
+                .prop_filter("nonzero", |(a, b)| a + b > 0.1)
+                .prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!(p > 0.1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        // The runner must actually surface failures — a vacuously green
+        // suite would defeat the whole pyramid.
+        #[test]
+        #[should_panic(expected = "proptest case")]
+        fn failures_are_detected(x in 0u8..4) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+
+        // Shrinking must binary-search a failing range value down to the
+        // exact boundary: the smallest x in 0..1000 violating x < 10 is
+        // 10 itself.
+        #[test]
+        #[should_panic(expected = "minimal inputs: (10,)")]
+        fn shrinking_finds_the_boundary(x in 0u32..1000) {
+            prop_assert!(x < 10);
+        }
+
+        // Shrinking must minimise collections too: the smallest vec in
+        // 0..20 violating len < 5 has exactly 5 elements, each shrunk to
+        // the element minimum 0.
+        #[test]
+        #[should_panic(expected = "minimal inputs: ([0, 0, 0, 0, 0],)")]
+        fn shrinking_minimises_vec_length_and_elements(
+            v in crate::collection::vec(any::<u8>(), 0..20),
+        ) {
+            prop_assert!(v.len() < 5);
+        }
+
+        // Shrinking re-runs generation, so it works through prop_map and
+        // prop_filter: the minimal sum > 0.1 failing `sum < 3.0` is 3.0
+        // up to float-boundary rounding.
+        #[test]
+        #[should_panic(expected = "minimal inputs: (3.0")]
+        fn shrinking_works_through_map_and_filter(
+            p in (0.0f64..10.0, 0.0f64..10.0)
+                .prop_filter("nonzero", |(a, b)| a + b > 0.1)
+                .prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!(p < 3.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_runner::TestRng::for_test("x::y");
+        let mut b = crate::test_runner::TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn runner_executes_configured_case_count() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static COUNT: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(13))]
+            #[allow(unused)]
+            fn counted(_x in 0u8..255) {
+                COUNT.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        counted();
+        let ran = COUNT.load(Ordering::Relaxed);
+        // Exactly the configured count unless PROPTEST_CASES caps lower.
+        let expected = ProptestConfig::with_cases(13).effective_cases();
+        assert_eq!(ran, expected);
+    }
+}

@@ -1,0 +1,309 @@
+//! Configuration, error plumbing and the deterministic RNG behind the
+//! vendored `proptest!` runner.
+
+/// Per-suite configuration. `cases` and `max_shrink_iters` are
+/// honoured; the environment variable `PROPTEST_CASES`, when set, acts
+/// as a global *cap* so CI can bound property-test time without editing
+/// every suite, and `PROPTEST_MAX_SHRINK_ITERS` overrides the shrink
+/// budget the same way (0 disables shrinking).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`/`prop_filter`) before
+    /// the test aborts.
+    pub max_global_rejects: u32,
+    /// Maximum extra executions spent minimising a failing case. Only
+    /// the failure path pays this cost; green runs never shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` cap.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+
+    /// The shrink budget after applying any `PROPTEST_MAX_SHRINK_ITERS`
+    /// override.
+    pub fn effective_max_shrink_iters(&self) -> u32 {
+        match std::env::var("PROPTEST_MAX_SHRINK_ITERS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(n) => n,
+            None => self.max_shrink_iters,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. `prop_assume!` failed); try another.
+    Reject(String),
+    /// The property failed; the whole test fails.
+    Fail(String),
+}
+
+/// The deterministic RNG driving value generation (SplitMix64).
+///
+/// Each test derives its stream from a hash of its full module path, so
+/// runs are reproducible without coordination between tests. Set
+/// `PROPTEST_RNG_SEED` to perturb every stream at once.
+///
+/// The RNG can *record* the words it emits and later *replay* an edited
+/// copy of that recording: that is the substrate for internal
+/// (Hypothesis-style) shrinking, where a failing case is minimised by
+/// minimising the word stream that generated it and re-running the
+/// strategies. When a replay buffer runs out mid-generation (an edited
+/// word changed how many words a strategy consumes), the RNG falls back
+/// to its normal stream so generation always completes.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+    replay: Vec<u64>,
+    replay_pos: usize,
+    recording: bool,
+    recorded: Vec<u64>,
+}
+
+impl TestRng {
+    /// Build the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(x) = extra.parse::<u64>() {
+                h ^= x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+        }
+        Self::from_state(h)
+    }
+
+    fn from_state(state: u64) -> Self {
+        Self {
+            state,
+            replay: Vec::new(),
+            replay_pos: 0,
+            recording: false,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// An RNG that first replays `words`, then continues from
+    /// `fallback_state`. Recording is on so the words actually consumed
+    /// can seed the next shrink round.
+    pub fn replay_from(words: Vec<u64>, fallback_state: u64) -> Self {
+        Self {
+            replay: words,
+            recording: true,
+            ..Self::from_state(fallback_state)
+        }
+    }
+
+    /// The current fallback-stream state (position-independent of any
+    /// replay buffer).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Start recording the words emitted from here on, discarding any
+    /// previous recording.
+    pub fn begin_record(&mut self) {
+        self.recording = true;
+        self.recorded.clear();
+    }
+
+    /// Stop recording and take the recorded words.
+    pub fn take_recorded(&mut self) -> Vec<u64> {
+        self.recording = false;
+        std::mem::take(&mut self.recorded)
+    }
+
+    /// Next raw 64-bit word: the replay buffer while it lasts, then
+    /// SplitMix64.
+    pub fn next_u64(&mut self) -> u64 {
+        let w = if self.replay_pos < self.replay.len() {
+            let w = self.replay[self.replay_pos];
+            self.replay_pos += 1;
+            w
+        } else {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        if self.recording {
+            self.recorded.push(w);
+        }
+        w
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift bounded sampling (Lemire); bias is negligible
+        // for test generation purposes. Monotone in the raw word, which
+        // is what lets word-stream shrinking minimise derived values.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// The result of minimising a failing case.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// `Debug` rendering of the minimal failing inputs.
+    pub described: String,
+    /// The failure message the minimal case produced.
+    pub why: String,
+    /// How many strictly-smaller failing cases were accepted on the way.
+    pub steps: usize,
+}
+
+/// Minimise a failing case by minimising the RNG word stream that
+/// generated it (internal shrinking, as in Hypothesis).
+///
+/// `run` re-generates inputs from an RNG and re-executes the property,
+/// returning the inputs' `Debug` form and the outcome. Each word of the
+/// failing recording is driven toward zero — first a jump straight to
+/// zero, then binary descent — keeping every candidate stream that
+/// still fails. Because values derived from a word are (near-)monotone
+/// in it, this converges to a minimal counterexample for ranges,
+/// lengths and choices alike, and it shrinks *through* `prop_map` /
+/// `prop_filter` / `prop_flat_map` because generation is simply re-run.
+///
+/// `budget` caps the number of extra property executions; only failing
+/// tests ever pay it. A `Reject` outcome (filtered/assumed-away case)
+/// just discards that candidate.
+pub fn shrink_failure<F>(
+    mut run: F,
+    words: Vec<u64>,
+    fallback_state: u64,
+    original: (String, String),
+    budget: u32,
+) -> Shrunk
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut best = words;
+    let (mut described, mut why) = original;
+    let mut steps = 0usize;
+    let mut left = budget;
+
+    // One candidate execution; adopts the candidate only if the
+    // property still fails AND the words actually consumed are strictly
+    // shortlex-smaller (shorter, or same length and lexicographically
+    // smaller) than the current best. The strict decrease both defines
+    // "simpler" and guarantees termination: an edit that sends
+    // generation past the replay buffer (e.g. a `prop_filter` retry)
+    // falls back onto the original stream and re-finds the original
+    // failing case — a longer consumption that must not count as
+    // progress.
+    let mut attempt = |trial: Vec<u64>,
+                       best: &mut Vec<u64>,
+                       described: &mut String,
+                       why: &mut String,
+                       left: &mut u32|
+     -> bool {
+        if *left == 0 {
+            return false;
+        }
+        *left -= 1;
+        let mut rng = TestRng::replay_from(trial, fallback_state);
+        let (desc, outcome) = run(&mut rng);
+        if let Err(TestCaseError::Fail(w)) = outcome {
+            // Judge the words actually consumed, not the trial: an
+            // edited word can change how many words generation reads.
+            let consumed = rng.take_recorded();
+            let simpler =
+                consumed.len() < best.len() || (consumed.len() == best.len() && consumed < *best);
+            if simpler {
+                *best = consumed;
+                *described = desc;
+                *why = w;
+                return true;
+            }
+        }
+        false
+    };
+
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < best.len() && left > 0 {
+            if best[i] == 0 {
+                i += 1;
+                continue;
+            }
+            // Jump straight to zero (the minimal value for every
+            // strategy: range start, empty tail of a vec, first oneof
+            // alternative).
+            let mut trial = best.clone();
+            trial[i] = 0;
+            if attempt(trial, &mut best, &mut described, &mut why, &mut left) {
+                steps += 1;
+                improved = true;
+                i += 1;
+                continue;
+            }
+            // Binary descent toward the smallest still-failing word.
+            let mut delta = best.get(i).copied().unwrap_or(0) / 2;
+            while delta > 0 && left > 0 && i < best.len() {
+                let mut trial = best.clone();
+                trial[i] = best[i] - delta;
+                if attempt(trial, &mut best, &mut described, &mut why, &mut left) {
+                    steps += 1;
+                    improved = true;
+                    delta = delta.min(best.get(i).copied().unwrap_or(0));
+                } else {
+                    delta /= 2;
+                }
+            }
+            i += 1;
+        }
+        if !improved || left == 0 {
+            break;
+        }
+    }
+
+    Shrunk {
+        described,
+        why,
+        steps,
+    }
+}

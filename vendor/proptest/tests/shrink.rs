@@ -1,0 +1,78 @@
+//! Integration tests for internal (word-stream) shrinking: the RNG
+//! record/replay substrate and the `shrink_failure` engine, exercised
+//! outside the `proptest!` macro.
+
+use proptest::strategy::Strategy;
+use proptest::test_runner::{shrink_failure, TestCaseError, TestRng};
+
+#[test]
+fn replay_buffer_takes_effect_then_falls_back() {
+    let mut rng = TestRng::for_test("shrink::replay");
+    rng.begin_record();
+    let _a = rng.next_u64();
+    let b = rng.next_u64();
+    let words = rng.take_recorded();
+    assert_eq!(words.len(), 2);
+
+    let mut replayed = TestRng::replay_from(vec![0, words[1]], 12345);
+    assert_eq!(replayed.next_u64(), 0);
+    assert_eq!(replayed.next_u64(), b);
+    assert_eq!(replayed.take_recorded(), vec![0, b]);
+}
+
+/// The engine must minimise through `prop_filter` + `prop_map`, and a
+/// filter retry that overruns the replay buffer (falling back onto the
+/// stream that regenerates the original case) must not be adopted as
+/// progress.
+#[test]
+fn engine_shrinks_filtered_mapped_sum_to_the_boundary() {
+    let strat = (0.0f64..10.0, 0.0f64..10.0)
+        .prop_filter("nonzero", |(a, b)| a + b > 0.1)
+        .prop_map(|(a, b)| a + b);
+    let run = |rng: &mut TestRng| -> (String, Result<(), TestCaseError>) {
+        let p = strat.new_value(rng);
+        let desc = format!("({p:?},)");
+        let out = if p < 3.0 {
+            Ok(())
+        } else {
+            Err(TestCaseError::Fail("p >= 3".into()))
+        };
+        (desc, out)
+    };
+
+    let mut rng = TestRng::for_test("shrink::engine");
+    loop {
+        rng.begin_record();
+        let state0 = rng.state();
+        let (desc, out) = run(&mut rng);
+        if let Err(TestCaseError::Fail(why)) = out {
+            let words = rng.take_recorded();
+            let shrunk = shrink_failure(run, words, state0, (desc, why), 1024);
+            assert!(
+                shrunk.described.starts_with("(3.0"),
+                "expected the minimal failing sum, got {}",
+                shrunk.described
+            );
+            assert!(shrunk.steps > 0);
+            break;
+        }
+    }
+}
+
+/// A zero shrink budget (`max_shrink_iters: 0` / env override) must
+/// report the original case untouched.
+#[test]
+fn zero_budget_disables_shrinking() {
+    let run = |rng: &mut TestRng| -> (String, Result<(), TestCaseError>) {
+        let x = rng.next_u64();
+        (format!("({x},)"), Err(TestCaseError::Fail("always".into())))
+    };
+    let mut rng = TestRng::for_test("shrink::budget");
+    rng.begin_record();
+    let state0 = rng.state();
+    let (desc, _) = run(&mut rng);
+    let words = rng.take_recorded();
+    let shrunk = shrink_failure(run, words, state0, (desc.clone(), "always".into()), 0);
+    assert_eq!(shrunk.described, desc);
+    assert_eq!(shrunk.steps, 0);
+}

@@ -1,0 +1,64 @@
+//! The `Standard` distribution over primitive types, mirroring rand 0.8.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over the full domain
+/// for integers and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform on [0, 1) — rand 0.8 semantics.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Distribution<[u8; N]> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `rand_chacha`: deterministic ChaCha-based RNGs
+//! implementing the vendored `rand` traits.
+//!
+//! The block function is the standard ChaCha quarter-round construction
+//! (Bernstein), with a 64-bit block counter and a zero nonce, emitting
+//! the 16 output words of each block in order. Streams are fully
+//! deterministic in the seed, which is all the workspace relies on.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32, out: &mut [u32; 16]) {
+    // "expand 32-byte k"
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0;
+    state[15] = 0;
+
+    let mut work = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut work, 0, 4, 8, 12);
+        quarter_round(&mut work, 1, 5, 9, 13);
+        quarter_round(&mut work, 2, 6, 10, 14);
+        quarter_round(&mut work, 3, 7, 11, 15);
+        quarter_round(&mut work, 0, 5, 10, 15);
+        quarter_round(&mut work, 1, 6, 11, 12);
+        quarter_round(&mut work, 2, 7, 8, 13);
+        quarter_round(&mut work, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = work[i].wrapping_add(state[i]);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                chacha_block(&self.key, self.counter, $rounds, &mut self.buf);
+                self.counter = self.counter.wrapping_add(1);
+                self.idx = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    buf: [0u32; 16],
+                    idx: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: fast, high-quality, deterministic."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds (the classic stream cipher core)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut bytes = [0u8; 16];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        assert_eq!(&bytes[..4], &w0);
+    }
+
+    #[test]
+    fn uniformish_f64() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

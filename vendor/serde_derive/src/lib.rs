@@ -1,0 +1,201 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in, implemented with direct token-stream parsing (the
+//! container has no syn/quote). Supports non-generic structs (named,
+//! tuple, unit) and enums; enum variants serialize as their name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Split the tokens of a brace/paren group at top-level commas, tracking
+/// angle-bracket depth so `HashMap<K, V>` fields don't split early.
+fn split_fields(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First identifier of a field/variant chunk after skipping attributes
+/// and visibility modifiers.
+fn leading_ident(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip `#[...]`.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Skip `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    // Find the `struct` / `enum` keyword, skipping attrs and visibility.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            match id.to_string().as_str() {
+                "struct" => {
+                    kind = Some("struct");
+                    i += 1;
+                    break;
+                }
+                "enum" => {
+                    kind = Some("enum");
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    let kind = kind.expect("serde_derive: expected `struct` or `enum`");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported; write the impl by hand");
+    }
+
+    // Locate the body group (or `;` for unit structs).
+    let mut body: Option<(Delimiter, Vec<TokenTree>)> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                body = Some((g.delimiter(), g.stream().into_iter().collect()));
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = match (kind, body) {
+        ("struct", None) => Shape::Unit,
+        ("struct", Some((Delimiter::Parenthesis, toks))) => Shape::Tuple(split_fields(&toks).len()),
+        ("struct", Some((Delimiter::Brace, toks))) => Shape::Named(
+            split_fields(&toks)
+                .iter()
+                .filter_map(|c| leading_ident(c))
+                .collect(),
+        ),
+        ("enum", Some((Delimiter::Brace, toks))) => Shape::Enum(
+            split_fields(&toks)
+                .iter()
+                .filter_map(|c| leading_ident(c))
+                .collect(),
+        ),
+        _ => panic!("serde_derive: unsupported item shape"),
+    };
+    Item { name, shape }
+}
+
+/// Derive `serde::Serialize` by generating a `to_value` that walks the
+/// fields.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} {{ .. }} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl failed to parse")
+}
+
+/// Derive the (marker) `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
