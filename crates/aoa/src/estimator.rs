@@ -5,15 +5,36 @@
 //! smoothing), source counting and spectrum computation into one
 //! configurable estimator, so the SecureAngle AP pipeline and every
 //! experiment share a single code path.
+//!
+//! Two entry points, same numbers: the one-shot functions
+//! ([`estimate`], [`estimate_from_covariance`]) rebuild their setup per
+//! call, while [`AoaEngine`] precomputes the manifold and reuses its
+//! eigensolver buffers across packets — the amortised path the batched
+//! AP pipeline runs on.
+//!
+//! ```
+//! use sa_aoa::estimator::{estimate, AoaConfig};
+//! use sa_aoa::pseudospectrum::angle_diff_deg;
+//! use sa_array::geometry::Array;
+//! use sa_linalg::{C64, CMat};
+//!
+//! // One plane wave from 50° azimuth onto the paper's 8-antenna octagon.
+//! let array = Array::paper_octagon();
+//! let steer = array.steering(50f64.to_radians());
+//! let x = CMat::from_fn(array.len(), 128, |m, t| {
+//!     steer[m] * C64::cis(0.9 * t as f64)
+//! });
+//! let est = estimate(&x, &array, &AoaConfig::default());
+//! assert!(angle_diff_deg(est.bearing_deg(), 50.0, true) < 3.0);
+//! ```
 
 use crate::beamform::{bartlett_spectrum, capon_spectrum};
-use crate::manifold::ScanSpace;
-use crate::music::music_spectrum_from_eig;
+use crate::manifold::{ScanSpace, SteeringTable};
+use crate::music::music_spectrum_from_table;
 use crate::pseudospectrum::Pseudospectrum;
 use crate::source_count::SourceCount;
 use sa_array::geometry::{Array, ArrayKind};
-use sa_array::modespace::ModeSpace;
-use sa_linalg::eigen::eigh;
+use sa_linalg::eigen::{EigH, EighWorkspace};
 use sa_linalg::CMat;
 use sa_sigproc::covariance::{forward_backward, sample_covariance, spatial_smooth};
 
@@ -145,93 +166,225 @@ pub fn estimate(snapshots: &CMat, array: &Array, cfg: &AoaConfig) -> AoaEstimate
 
 /// Estimate from a precomputed physical-domain covariance and the number
 /// of snapshots that formed it.
+///
+/// One-shot convenience over [`AoaEngine`]: builds the engine (mode-space
+/// transform, scan manifold, steering table, eigensolver workspace) and
+/// discards it after a single estimate. Callers with more than one packet
+/// should hold an [`AoaEngine`] and amortise that setup instead.
 pub fn estimate_from_covariance(
     r: &CMat,
     n_snapshots: usize,
     array: &Array,
     cfg: &AoaConfig,
 ) -> AoaEstimate {
-    assert_eq!(
-        r.rows(),
-        array.len(),
-        "estimate: covariance is {}x{} for a {}-element array",
-        r.rows(),
-        r.cols(),
-        array.len()
-    );
+    AoaEngine::new(array, cfg).estimate_cov(r, n_snapshots)
+}
 
-    // 1. Move to the analysis domain.
-    let (mut ra, mut space) = match (array.kind(), cfg.circular) {
-        (ArrayKind::Linear, _) => (r.clone(), ScanSpace::physical(array)),
-        (ArrayKind::Circular, CircularHandling::Physical) => {
-            (r.clone(), ScanSpace::physical(array))
-        }
-        (ArrayKind::Circular, CircularHandling::ModeSpace) => {
-            let ms = ModeSpace::for_array(array);
-            let rv = ms.transform_cov(r);
-            (rv, ScanSpace::virtual_ula(array))
-        }
-    };
+/// Decorrelation plan with the auto subarray length resolved against the
+/// analysis-domain dimension (see [`Smoothing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SmoothingPlan {
+    None,
+    ForwardBackward,
+    FbSpatial { sub_len: usize },
+}
 
-    // 2. Decorrelation (skipped for the physical circular manifold, which
-    //    has no shift structure).
-    let smoothable = !matches!(space, ScanSpace::Circular { .. });
-    match (cfg.smoothing, smoothable) {
-        (Smoothing::None, _) | (_, false) => {}
-        (Smoothing::ForwardBackward, true) => {
-            ra = forward_backward(&ra);
-        }
-        (Smoothing::FbSpatial { sub_len }, true) => {
-            let m = ra.rows();
-            // Auto subarray size: 3/4 of the aperture, at least 3, at
-            // most m. Leaves K = m − L + 1 subarrays for decorrelation.
-            let l = if sub_len == 0 {
-                ((3 * m) / 4).clamp(3.min(m), m)
-            } else {
-                sub_len.min(m)
-            };
-            ra = spatial_smooth(&forward_backward(&ra), l);
-            if l < m {
-                space = space.truncated(l);
+/// A reusable AoA estimation pipeline for one `(array, config)` pair.
+///
+/// [`estimate_from_covariance`] rebuilds the Davies mode-space transform,
+/// the scan manifold and every steering vector on the grid, and allocates
+/// fresh eigendecomposition buffers on every call — per-packet setup that
+/// dominates once traffic scales past a handful of clients. The engine
+/// hoists all of it to construction time:
+///
+/// * the mode-space transform matrix (circular arrays);
+/// * the post-smoothing [`ScanSpace`] and its [`SteeringTable`]
+///   (the full grid of steering vectors and their norms);
+/// * an [`EighWorkspace`] so repeated eigendecompositions reuse their
+///   matrix buffers.
+///
+/// Results are identical to the one-shot functions for the same inputs;
+/// only the amortisation differs. The SecureAngle AP's batched ingest
+/// path (`secureangle::pipeline::PacketBatch`) holds one engine per
+/// batch.
+///
+/// ```
+/// use sa_aoa::estimator::{AoaConfig, AoaEngine};
+/// use sa_array::geometry::Array;
+/// use sa_linalg::CMat;
+///
+/// let array = Array::paper_octagon();
+/// let mut engine = AoaEngine::new(&array, &AoaConfig::default());
+/// // Identity covariance: a flat, sourceless spectrum — but it runs the
+/// // whole pipeline. Real callers feed per-packet sample covariances.
+/// let r = CMat::identity(array.len());
+/// let est = engine.estimate_cov(&r, 64);
+/// assert_eq!(est.spectrum.len(), 360); // 1° default grid
+/// ```
+#[derive(Debug)]
+pub struct AoaEngine {
+    cfg: AoaConfig,
+    array_len: usize,
+    /// Scan space after smoothing truncation — what the spectrum scans.
+    /// For circular arrays under [`CircularHandling::ModeSpace`] it also
+    /// carries the Davies transform ([`ScanSpace::modespace`]).
+    space: ScanSpace,
+    /// Precomputed steering vectors over `space`'s grid. Only MUSIC
+    /// consumes the table (Bartlett/Capon scan `space` directly), so it
+    /// is only built for [`Method::Music`].
+    table: Option<SteeringTable>,
+    /// Resolved decorrelation plan.
+    plan: SmoothingPlan,
+    /// Reusable eigensolver buffers.
+    eig_ws: EighWorkspace,
+    /// Reusable eigendecomposition output.
+    eig: EigH,
+}
+
+impl AoaEngine {
+    /// Build the engine for an array and configuration: resolves the
+    /// analysis domain and smoothing plan, then precomputes the manifold.
+    pub fn new(array: &Array, cfg: &AoaConfig) -> Self {
+        // 1. Analysis domain (where the covariance will live). A
+        //    virtual-ULA space carries the Davies transform itself.
+        let base_space = match (array.kind(), cfg.circular) {
+            (ArrayKind::Linear, _) | (ArrayKind::Circular, CircularHandling::Physical) => {
+                ScanSpace::physical(array)
             }
+            (ArrayKind::Circular, CircularHandling::ModeSpace) => ScanSpace::virtual_ula(array),
+        };
+
+        // 2. Decorrelation plan (skipped for the physical circular
+        //    manifold, which has no shift structure). The auto subarray
+        //    size is 3/4 of the aperture, at least 3, at most m — leaving
+        //    K = m − L + 1 subarrays for decorrelation.
+        let m = base_space.len();
+        let smoothable = !matches!(base_space, ScanSpace::Circular { .. });
+        let plan = match (cfg.smoothing, smoothable) {
+            (Smoothing::None, _) | (_, false) => SmoothingPlan::None,
+            (Smoothing::ForwardBackward, true) => SmoothingPlan::ForwardBackward,
+            (Smoothing::FbSpatial { sub_len }, true) => {
+                let l = if sub_len == 0 {
+                    ((3 * m) / 4).clamp(3.min(m), m)
+                } else {
+                    sub_len.min(m)
+                };
+                SmoothingPlan::FbSpatial { sub_len: l }
+            }
+        };
+        let space = match plan {
+            SmoothingPlan::FbSpatial { sub_len } if sub_len < m => base_space.truncated(sub_len),
+            _ => base_space,
+        };
+
+        // 3. The manifold, evaluated once (MUSIC's hot path; the
+        //    Bartlett/Capon baselines never read it).
+        let table =
+            matches!(cfg.method, Method::Music).then(|| space.steering_table(cfg.grid_step_deg));
+
+        Self {
+            cfg: *cfg,
+            array_len: array.len(),
+            space,
+            table,
+            plan,
+            eig_ws: EighWorkspace::new(),
+            eig: EigH {
+                values: Vec::new(),
+                vectors: CMat::default(),
+            },
         }
     }
 
-    // 3. Eigenstructure and source count. The count is additionally
-    //    capped to keep a ≥2-dimensional noise subspace whenever the
-    //    aperture allows (m ≥ 4): a 1-dimensional noise subspace makes
-    //    MUSIC peaks fragile under the residual inter-path correlation
-    //    that smoothing cannot fully remove.
-    let eig = eigh(&ra);
-    let m = eig.values.len();
-    let n_sources = if m >= 2 {
-        let k = cfg.source_count.estimate(&eig.values, n_snapshots);
-        if m >= 4 {
-            k.min(m - 2)
+    /// The configuration the engine was built for.
+    pub fn config(&self) -> &AoaConfig {
+        &self.cfg
+    }
+
+    /// The scan space the spectrum is evaluated on (post-smoothing).
+    pub fn scan_space(&self) -> &ScanSpace {
+        &self.space
+    }
+
+    /// Estimate from raw per-antenna snapshots (rows = antennas,
+    /// columns = samples).
+    pub fn estimate(&mut self, snapshots: &CMat) -> AoaEstimate {
+        let n = snapshots.cols();
+        let r = sample_covariance(snapshots);
+        self.estimate_cov(&r, n)
+    }
+
+    /// Estimate from a physical-domain covariance and the number of
+    /// snapshots that formed it. Panics if the covariance dimension does
+    /// not match the engine's array.
+    pub fn estimate_cov(&mut self, r: &CMat, n_snapshots: usize) -> AoaEstimate {
+        assert_eq!(
+            r.rows(),
+            self.array_len,
+            "estimate: covariance is {}x{} for a {}-element array",
+            r.rows(),
+            r.cols(),
+            self.array_len
+        );
+
+        // 1. Move to the analysis domain.
+        let ra = match self.space.modespace() {
+            Some(ms) => ms.transform_cov(r),
+            None => r.clone(),
+        };
+
+        // 2. Decorrelation.
+        let ra = match self.plan {
+            SmoothingPlan::None => ra,
+            SmoothingPlan::ForwardBackward => forward_backward(&ra),
+            SmoothingPlan::FbSpatial { sub_len } => spatial_smooth(&forward_backward(&ra), sub_len),
+        };
+
+        // 3. Eigenstructure and source count. The count is additionally
+        //    capped to keep a ≥2-dimensional noise subspace whenever the
+        //    aperture allows (m ≥ 4): a 1-dimensional noise subspace makes
+        //    MUSIC peaks fragile under the residual inter-path correlation
+        //    that smoothing cannot fully remove.
+        self.eig_ws.eigh(&ra, &mut self.eig);
+        let m = self.eig.values.len();
+        let n_sources = if m >= 2 {
+            let k = self
+                .cfg
+                .source_count
+                .estimate(&self.eig.values, n_snapshots);
+            if m >= 4 {
+                k.min(m - 2)
+            } else {
+                k
+            }
         } else {
-            k
+            1
+        };
+
+        // 4. Spectrum.
+        let spectrum = match self.cfg.method {
+            Method::Music => {
+                let table = self.table.as_ref().expect("table built for Music in new()");
+                music_spectrum_from_table(&self.eig, table, n_sources.min(m - 1).max(1))
+            }
+            Method::Bartlett => bartlett_spectrum(&ra, &self.space, self.cfg.grid_step_deg),
+            Method::Capon => capon_spectrum(
+                &ra,
+                &self.space,
+                self.cfg.grid_step_deg,
+                self.cfg.capon_loading,
+            ),
+        };
+
+        // 5. Candidate peaks ranked by received power toward them.
+        let ranked_peaks = rank_peaks(&spectrum, &ra, &self.space);
+
+        AoaEstimate {
+            spectrum,
+            n_sources,
+            eigenvalues: self.eig.values.clone(),
+            ranked_peaks,
         }
-    } else {
-        1
-    };
-
-    // 4. Spectrum.
-    let spectrum = match cfg.method {
-        Method::Music => {
-            music_spectrum_from_eig(&eig, &space, n_sources.min(m - 1).max(1), cfg.grid_step_deg)
-        }
-        Method::Bartlett => bartlett_spectrum(&ra, &space, cfg.grid_step_deg),
-        Method::Capon => capon_spectrum(&ra, &space, cfg.grid_step_deg, cfg.capon_loading),
-    };
-
-    // 5. Candidate peaks ranked by received power toward them.
-    let ranked_peaks = rank_peaks(&spectrum, &ra, &space);
-
-    AoaEstimate {
-        spectrum,
-        n_sources,
-        eigenvalues: eig.values,
-        ranked_peaks,
     }
 }
 
@@ -464,6 +617,36 @@ mod tests {
             "bearing {}",
             est.bearing_deg()
         );
+    }
+
+    #[test]
+    fn engine_reuse_matches_one_shot_exactly() {
+        // One engine across many packets (and both array kinds) must
+        // reproduce the one-shot estimator bit-for-bit — reuse changes
+        // the amortisation, never the numbers.
+        for (array, cfg) in [
+            (Array::paper_octagon(), AoaConfig::default()),
+            (
+                Array::paper_linear(8),
+                AoaConfig {
+                    source_count: SourceCount::Fixed(2),
+                    ..AoaConfig::default()
+                },
+            ),
+        ] {
+            let mut engine = AoaEngine::new(&array, &cfg);
+            for seed in 0..4u64 {
+                let az = (30.0 + 40.0 * seed as f64).to_radians();
+                let x = coherent_snapshots(&array, &[(az, C64::new(1.0, 0.0))], 96, 0.02, seed);
+                let r = sample_covariance(&x);
+                let batched = engine.estimate_cov(&r, x.cols());
+                let oneshot = estimate_from_covariance(&r, x.cols(), &array, &cfg);
+                assert_eq!(batched.spectrum, oneshot.spectrum, "seed {}", seed);
+                assert_eq!(batched.n_sources, oneshot.n_sources);
+                assert_eq!(batched.eigenvalues, oneshot.eigenvalues);
+                assert_eq!(batched.ranked_peaks, oneshot.ranked_peaks);
+            }
+        }
     }
 
     #[test]

@@ -28,9 +28,9 @@ pub mod source_count;
 pub mod two_antenna;
 
 pub use estimator::{
-    estimate, estimate_from_covariance, AoaConfig, AoaEstimate, Method, Smoothing,
+    estimate, estimate_from_covariance, AoaConfig, AoaEngine, AoaEstimate, Method, Smoothing,
 };
-pub use manifold::ScanSpace;
+pub use manifold::{ScanSpace, SteeringTable};
 pub use music::music_spectrum;
 pub use pseudospectrum::{angle_diff_deg, Peak, Pseudospectrum};
 pub use source_count::SourceCount;

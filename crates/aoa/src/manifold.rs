@@ -163,6 +163,96 @@ impl ScanSpace {
     pub fn wraps(&self) -> bool {
         !matches!(self, Self::Ula { .. })
     }
+
+    /// The Davies phase-mode transform backing a virtual-ULA scan space
+    /// (`None` for physical manifolds). Always the *full* transform:
+    /// truncation affects only the steering length, not the transform.
+    pub fn modespace(&self) -> Option<&ModeSpace> {
+        match self {
+            Self::Virtual { modespace, .. } => Some(modespace),
+            _ => None,
+        }
+    }
+
+    /// Precompute the scan grid and every steering vector on it.
+    ///
+    /// Evaluating the manifold is the per-call setup cost of every
+    /// spectrum scan: a 1° grid on the paper's octagon is 360 steering
+    /// vectors of 7 complex exponentials each, rebuilt from trigonometry
+    /// on every packet. A [`SteeringTable`] hoists that out of the hot
+    /// path so a batch of packets shares one evaluation (see
+    /// `sa_aoa::estimator::AoaEngine`).
+    pub fn steering_table(&self, step_deg: f64) -> SteeringTable {
+        let azimuths = self.grid(step_deg);
+        let angles_deg: Vec<f64> = azimuths.iter().map(|&az| self.present_deg(az)).collect();
+        let steering: Vec<Vec<C64>> = azimuths.iter().map(|&az| self.steering(az)).collect();
+        let norm_sqr: Vec<f64> = steering
+            .iter()
+            .map(|a| sa_linalg::matrix::vnorm(a).powi(2))
+            .collect();
+        SteeringTable {
+            azimuths,
+            angles_deg,
+            steering,
+            norm_sqr,
+            wraps: self.wraps(),
+        }
+    }
+}
+
+/// A precomputed scan grid: azimuths, presentation angles, steering
+/// vectors and their squared norms for one [`ScanSpace`] at one
+/// resolution. Built by [`ScanSpace::steering_table`] and shared across
+/// every packet of a batch.
+#[derive(Debug, Clone)]
+pub struct SteeringTable {
+    azimuths: Vec<f64>,
+    angles_deg: Vec<f64>,
+    steering: Vec<Vec<C64>>,
+    norm_sqr: Vec<f64>,
+    wraps: bool,
+}
+
+impl SteeringTable {
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.azimuths.len()
+    }
+
+    /// True if the grid is empty (a degenerate `step_deg`).
+    pub fn is_empty(&self) -> bool {
+        self.azimuths.is_empty()
+    }
+
+    /// Manifold dimension (length of each steering vector).
+    pub fn dim(&self) -> usize {
+        self.steering.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Scan azimuths, radians, in presentation order.
+    pub fn azimuths(&self) -> &[f64] {
+        &self.azimuths
+    }
+
+    /// Presentation angles, degrees, ascending.
+    pub fn angles_deg(&self) -> &[f64] {
+        &self.angles_deg
+    }
+
+    /// Steering vector at grid index `i`.
+    pub fn steering(&self, i: usize) -> &[C64] {
+        &self.steering[i]
+    }
+
+    /// Squared norm of the steering vector at grid index `i`.
+    pub fn norm_sqr(&self, i: usize) -> f64 {
+        self.norm_sqr[i]
+    }
+
+    /// True if the presentation domain wraps (circular coverage).
+    pub fn wraps(&self) -> bool {
+        self.wraps
+    }
 }
 
 #[cfg(test)]

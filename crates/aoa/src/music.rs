@@ -13,10 +13,10 @@
 //! invariant to steering-vector norm, which matters for truncated and
 //! mode-space manifolds.
 
-use crate::manifold::ScanSpace;
+use crate::manifold::{ScanSpace, SteeringTable};
 use crate::pseudospectrum::Pseudospectrum;
 use sa_linalg::eigen::EigH;
-use sa_linalg::matrix::{vdot, vnorm};
+use sa_linalg::matrix::vdot;
 use sa_linalg::CMat;
 
 /// Compute the MUSIC pseudospectrum from a covariance already in the
@@ -44,13 +44,26 @@ pub fn music_spectrum_from_eig(
     n_sources: usize,
     step_deg: f64,
 ) -> Pseudospectrum {
+    music_spectrum_from_table(eig, &space.steering_table(step_deg), n_sources)
+}
+
+/// [`music_spectrum_from_eig`] against a precomputed [`SteeringTable`] —
+/// the batched hot path. The table amortises the manifold evaluation
+/// (grid, steering vectors, norms) across every packet that shares an
+/// array and scan configuration; only the noise-subspace projections
+/// remain per-packet work.
+pub fn music_spectrum_from_table(
+    eig: &EigH,
+    table: &SteeringTable,
+    n_sources: usize,
+) -> Pseudospectrum {
     let m = eig.values.len();
     assert_eq!(
         m,
-        space.len(),
+        table.dim(),
         "music: covariance dimension {} vs manifold {}",
         m,
-        space.len()
+        table.dim()
     );
     assert!(
         n_sources >= 1 && n_sources < m,
@@ -63,24 +76,21 @@ pub fn music_spectrum_from_eig(
     let n_noise = m - n_sources;
     let noise: Vec<Vec<_>> = (0..n_noise).map(|k| eig.vector(k)).collect();
 
-    let grid = space.grid(step_deg);
-    let mut angles = Vec::with_capacity(grid.len());
-    let mut values = Vec::with_capacity(grid.len());
-    for &az in &grid {
-        let a = space.steering(az);
-        let num = vnorm(&a).powi(2);
+    let mut values = Vec::with_capacity(table.len());
+    for i in 0..table.len() {
+        let a = table.steering(i);
+        let num = table.norm_sqr(i);
         let mut denom = 0.0;
         for e in &noise {
-            denom += vdot(e, &a).norm_sqr();
+            denom += vdot(e, a).norm_sqr();
         }
         // A perfectly orthogonal steering vector would give 0; floor to
         // keep the spectrum finite (the cap is ~300 dB, far above any
         // physical dynamic range).
         let denom = denom.max(num * 1e-30);
-        angles.push(space.present_deg(az));
         values.push(num / denom);
     }
-    Pseudospectrum::new(angles, values, space.wraps())
+    Pseudospectrum::new(table.angles_deg().to_vec(), values, table.wraps())
 }
 
 #[cfg(test)]

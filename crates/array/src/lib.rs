@@ -1,7 +1,7 @@
 //! # sa-array — antenna arrays, RF front ends and calibration
 //!
 //! The software substitute for the paper's WARP + USRP2 hardware
-//! (DESIGN.md §2):
+//! (see `docs/ARCHITECTURE.md` for where it sits in the crate DAG):
 //!
 //! * [`geometry`] — the paper's two layouts (λ/2-spaced linear array and
 //!   the 4.7 cm-side octagon), steering vectors, scan grids;

@@ -4,7 +4,7 @@
 //! time rather than accuracy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sa_aoa::estimator::{estimate_from_covariance, AoaConfig, Method, Smoothing};
+use sa_aoa::estimator::{estimate_from_covariance, AoaConfig, AoaEngine, Method, Smoothing};
 use sa_aoa::source_count::SourceCount;
 use sa_array::geometry::Array;
 use sa_array::modespace::ModeSpace;
@@ -74,6 +74,22 @@ fn bench_modespace_transform(c: &mut Criterion) {
     });
 }
 
+/// The estimator-layer amortisation: one-shot `estimate_from_covariance`
+/// (rebuilds manifold + steering table + eigen buffers per call) vs a
+/// prebuilt, reused [`AoaEngine`].
+fn bench_engine_reuse(c: &mut Criterion) {
+    let array = Array::paper_octagon();
+    let r = two_path_cov(&array);
+    let cfg = AoaConfig::default();
+    let mut group = c.benchmark_group("aoa_estimator");
+    group.bench_function("one_shot", |b| {
+        b.iter(|| estimate_from_covariance(&r, 512, &array, &cfg))
+    });
+    let mut engine = AoaEngine::new(&array, &cfg);
+    group.bench_function("engine_reuse", |b| b.iter(|| engine.estimate_cov(&r, 512)));
+    group.finish();
+}
+
 fn bench_source_count(c: &mut Criterion) {
     let eigs: Vec<f64> = vec![0.9, 1.0, 1.1, 1.05, 0.95, 40.0, 80.0, 120.0];
     let mut group = c.benchmark_group("source_count");
@@ -97,6 +113,7 @@ criterion_group!(
     bench_methods,
     bench_smoothing_variants,
     bench_modespace_transform,
+    bench_engine_reuse,
     bench_source_count,
     bench_peak_extraction
 );

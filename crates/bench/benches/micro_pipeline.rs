@@ -1,6 +1,7 @@
 //! Microbenches for the packet-facing pipeline stages: Schmidl–Cox
 //! scanning of a WARP-sized buffer, OFDM encode/decode, MAC framing,
-//! calibration, and the channel simulator itself.
+//! calibration, the channel simulator itself, and the headline
+//! batched-vs-single AP ingest comparison (`ap_pipeline`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
@@ -125,12 +126,51 @@ fn bench_channel_simulation(c: &mut Criterion) {
     });
 }
 
+/// The tentpole comparison: 16 packets through the synchronous
+/// single-packet path (`AccessPoint::observe` per capture, which
+/// rebuilds the AoA setup each time) vs the same 16 packets staged
+/// through one `PacketBatch` (engine built once, buffers recycled).
+/// Both closures do identical signal-processing work per iteration, so
+/// the two `x16` numbers divide directly into a per-packet comparison.
+fn bench_ap_batched_vs_single(c: &mut Criterion) {
+    let caps: Vec<sa_bench::BenchCapture> = (0..4)
+        .map(|i| sa_bench::capture_circular(5 + 3 * i, 2010 + i as u64))
+        .collect();
+    let ap = &caps[0].testbed.nodes[0].ap;
+    // 16 captures cycling over 4 distinct clients.
+    let buffers: Vec<&sa_linalg::CMat> = (0..16).map(|i| &caps[i % 4].buffer).collect();
+
+    let mut group = c.benchmark_group("ap_pipeline");
+    group.bench_function("observe_single_packet", |b| {
+        b.iter(|| ap.observe(buffers[0]).expect("observation"))
+    });
+    group.bench_function("observe_x16_single_path", |b| {
+        b.iter(|| {
+            buffers
+                .iter()
+                .map(|buf| ap.observe(buf).expect("observation"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("observe_x16_batched", |b| {
+        b.iter(|| {
+            let mut batch = ap.batch();
+            for buf in &buffers {
+                batch.push(buf).expect("staged packet");
+            }
+            batch.process()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_schmidl_cox_scan,
     bench_ofdm_roundtrip,
     bench_mac_framing,
     bench_calibration,
-    bench_channel_simulation
+    bench_channel_simulation,
+    bench_ap_batched_vs_single
 );
 criterion_main!(benches);

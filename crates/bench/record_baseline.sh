@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Record the full criterion suite into a machine-readable baseline.
+#
+#   crates/bench/record_baseline.sh [output.json]
+#
+# Runs `cargo bench -p sa-bench` (release profile, full measurement
+# windows — do NOT set BENCH_QUICK for a baseline) and converts the
+# stand-in criterion's `bench: <label> <ns> ns/iter (<n> iters)` lines
+# into JSON. The checked-in BENCH_baseline.json at the repo root is the
+# reference the docs/BENCHMARKS.md numbers come from; re-record it when
+# a PR claims a hot-path win.
+set -eu
+cd "$(dirname "$0")/../.."
+out="${1:-BENCH_baseline.json}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+cargo bench -p sa-bench | tee "$raw" >&2
+
+{
+    printf '{\n'
+    printf '  "schema": "secureangle-bench-v1",\n'
+    printf '  "recorded_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "host": {"kernel": "%s", "arch": "%s", "cpus": %s},\n' \
+        "$(uname -r)" "$(uname -m)" "$(nproc 2>/dev/null || echo 0)"
+    printf '  "command": "cargo bench -p sa-bench",\n'
+    printf '  "unit": "ns_per_iter",\n'
+    printf '  "benches": {\n'
+    awk '/^bench: / {
+        lines[n++] = sprintf("    \"%s\": {\"ns_per_iter\": %s, \"iters\": %s}",
+                             $2, $3, substr($5, 2))
+    }
+    END {
+        for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    }' "$raw"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+echo "wrote $out" >&2

@@ -1,6 +1,7 @@
 //! # sa-channel — geometric indoor multipath simulation
 //!
-//! The software substitute for the paper's office testbed (DESIGN.md §2):
+//! The software substitute for the paper's office testbed (see
+//! `docs/ARCHITECTURE.md` for where it sits in the crate DAG):
 //!
 //! * [`geom`] — 2-D points/segments/polygons, mirror images;
 //! * [`plan`] — floor plans: walls with reflection/transmission materials;

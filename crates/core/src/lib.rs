@@ -10,10 +10,12 @@
 //! * [`signature`] — AoA signatures, comparison metrics and the
 //!   drift-tracking EWMA profile;
 //! * [`spoof`] — the §2.3.2 address-spoofing detector;
+//! * [`store`] — the sharded per-client signature store behind it;
 //! * [`mod@localize`] — multi-AP bearing intersection (§2.3.1);
 //! * [`fence`] — polygonal virtual fences with fail-closed policy;
 //! * [`pipeline`] — the full AP: detection → calibration → correlation →
-//!   MUSIC → signature → enforcement;
+//!   MUSIC → signature → enforcement, as a synchronous single-packet
+//!   path and a batched ingest path ([`pipeline::PacketBatch`]);
 //! * [`attacker`] — the §1 threat model (omni / directional / array);
 //! * [`rss`] — the RSS signalprint baseline the paper compares against;
 //! * [`tracking`] — mobility-trace tracking over multi-AP fixes (§5
@@ -32,13 +34,17 @@ pub mod pipeline;
 pub mod rss;
 pub mod signature;
 pub mod spoof;
+pub mod store;
 pub mod tracking;
 
 pub use attacker::{Attacker, AttackerGear};
 pub use fence::{FenceConfig, FenceDecision, VirtualFence};
 pub use localize::{localize, BearingObservation, Fix, LocalizeError};
-pub use pipeline::{AccessPoint, ApConfig, DropReason, FrameVerdict, Observation, ObserveError};
+pub use pipeline::{
+    AccessPoint, ApConfig, DropReason, FrameVerdict, Observation, ObserveError, PacketBatch,
+};
 pub use rss::{RssDetector, RssPrint, RssVerdict};
 pub use signature::{AoaSignature, MatchConfig, SignatureMatch, SignatureTracker};
 pub use spoof::{SpoofConfig, SpoofDetector, SpoofVerdict};
+pub use store::ShardedSignatureStore;
 pub use tracking::{MobilityTracker, TrackerConfig};

@@ -17,10 +17,42 @@
 //! correlation step: a CFO multiplies every antenna's sample `x[n]` by
 //! the same unit phasor, which cancels in `x·x^H` — one of the quiet
 //! reasons the correlation-matrix approach is robust on real hardware.
+//!
+//! Two ingest paths share the stages above: [`AccessPoint::observe`]
+//! processes one capture synchronously, and [`PacketBatch`] (from
+//! [`AccessPoint::batch`]) stages many packets and runs the
+//! signal-processing pass over all of them with the AoA setup built
+//! once. Results are identical; only the amortisation differs.
+//!
+//! ```
+//! use sa_channel::geom::pt;
+//! use sa_linalg::CMat;
+//! use sa_mac::{AccessControlList, AclPolicy};
+//! use secureangle::pipeline::{AccessPoint, ApConfig, ObserveError};
+//!
+//! // The paper's prototype: 8-antenna octagon at the origin.
+//! let acl = AccessControlList::new(AclPolicy::DenyListed);
+//! let ap = AccessPoint::new(ApConfig::paper_prototype(pt(0.0, 0.0)), acl);
+//!
+//! // A capture whose shape does not match the array is rejected up front…
+//! assert_eq!(
+//!     ap.observe(&CMat::zeros(3, 64)).unwrap_err(),
+//!     ObserveError::BadBuffer
+//! );
+//!
+//! // …on the batched path too. Real captures come from an RF front end
+//! // (or `sa_testbed`); see `examples/spoof_detection.rs` end to end.
+//! let mut batch = ap.batch();
+//! assert_eq!(
+//!     batch.push(&CMat::zeros(8, 0)).unwrap_err(),
+//!     ObserveError::BadBuffer
+//! );
+//! assert!(batch.is_empty() && batch.process().is_empty());
+//! ```
 
 use crate::signature::AoaSignature;
 use crate::spoof::{SpoofConfig, SpoofDetector, SpoofVerdict};
-use sa_aoa::estimator::{estimate_from_covariance, AoaConfig, AoaEstimate};
+use sa_aoa::estimator::{estimate_from_covariance, AoaConfig, AoaEngine, AoaEstimate};
 use sa_array::calib::Calibration;
 use sa_array::geometry::{Array, ArrayKind};
 use sa_array::rf::FrontEnd;
@@ -29,7 +61,7 @@ use sa_linalg::CMat;
 use sa_mac::{AccessControlList, Frame, MacAddr};
 use sa_phy::ppdu::{PhyError, Receiver, Transmitter};
 use sa_phy::Modulation;
-use sa_sigproc::covariance::sample_covariance;
+use sa_sigproc::covariance::{sample_covariance, sample_covariance_into};
 use sa_sigproc::iq::to_db;
 
 /// Static AP configuration.
@@ -244,24 +276,22 @@ impl AccessPoint {
         self.calibration = Calibration::from_tone_capture(&capture);
     }
 
-    /// Process one multi-antenna capture (rows = antennas) into an
-    /// [`Observation`].
-    pub fn observe(&self, buffer: &CMat) -> Result<Observation, ObserveError> {
-        if buffer.rows() != self.cfg.array.len() || buffer.cols() == 0 {
-            return Err(ObserveError::BadBuffer);
-        }
-
-        // 1. Detect + decode on the reference chain.
+    /// Stage 1: detect + decode on the reference chain. Returns
+    /// `(frame, start, cfo, pkt_len)`.
+    fn detect_and_decode(
+        &self,
+        buffer: &CMat,
+    ) -> Result<(Option<Frame>, usize, f64, usize), ObserveError> {
         let ref_chain = buffer.row(0);
         let rx = Receiver::new(self.cfg.modulation);
-        let (frame, start, cfo, pkt_len) = match rx.decode(&ref_chain) {
+        match rx.decode(&ref_chain) {
             Ok(pkt) => {
                 let tx = Transmitter::new(self.cfg.modulation);
                 let len = tx.packet_len(pkt.payload.len());
                 let frame = Frame::decode(&pkt.payload).ok();
-                (frame, pkt.start, pkt.cfo, len)
+                Ok((frame, pkt.start, pkt.cfo, len))
             }
-            Err(PhyError::NoPacket) => return Err(ObserveError::NoPacket),
+            Err(PhyError::NoPacket) => Err(ObserveError::NoPacket),
             Err(_) => {
                 // Header or tail corrupted: still usable for AoA. Fall
                 // back to the raw detector for the extent.
@@ -272,23 +302,31 @@ impl AccessPoint {
                     .next()
                     .ok_or(ObserveError::NoPacket)?;
                 let start = det.start.saturating_sub(sa_phy::params::N_CP);
-                (None, start, det.cfo, 512)
+                Ok((None, start, det.cfo, 512))
             }
-        };
+        }
+    }
 
-        // 2. Extract the packet window and calibrate.
+    /// Stage 2: copy the packet's sample window out of a capture
+    /// (uncalibrated).
+    fn extract_window(&self, buffer: &CMat, start: usize, pkt_len: usize) -> CMat {
         let end = (start + pkt_len).min(buffer.cols());
-        let mut window = CMat::from_fn(buffer.rows(), end - start, |m, t| buffer[(m, start + t)]);
-        self.calibration.apply(&mut window);
+        CMat::from_fn(buffer.rows(), end - start, |m, t| buffer[(m, start + t)])
+    }
 
-        // 3–4. Correlation matrix over the whole packet, then AoA.
-        let r = sample_covariance(&window);
-        let estimate = estimate_from_covariance(&r, window.cols(), &self.cfg.array, &self.cfg.aoa);
-
-        // 5. Signature + RSS. The signature is the full pseudospectrum
-        //    (paper §2.1); the scalar bearing is the power-ranked peak
-        //    (see `AoaEstimate::bearing_deg`), which is what keeps the
-        //    direct path on top "most of the time" (paper §3.1).
+    /// Stage 5: signature, bearing and RSS from a *calibrated* window and
+    /// its AoA estimate. The signature is the full pseudospectrum (paper
+    /// §2.1); the scalar bearing is the power-ranked peak (see
+    /// `AoaEstimate::bearing_deg`), which is what keeps the direct path
+    /// on top "most of the time" (paper §3.1).
+    fn assemble_observation(
+        &self,
+        window: &CMat,
+        frame: Option<Frame>,
+        start: usize,
+        cfo: f64,
+        estimate: AoaEstimate,
+    ) -> Observation {
         let signature = AoaSignature::from_spectrum(&estimate.spectrum);
         let bearing_deg = estimate.bearing_deg();
         let global_azimuth = match self.cfg.array.kind() {
@@ -303,41 +341,99 @@ impl AccessPoint {
             .sum::<f64>()
             / window.rows() as f64;
 
-        Ok(Observation {
+        Observation {
             signature,
             bearing_deg,
             global_azimuth,
             rss_db: to_db(mean_pow.max(1e-300)),
             frame,
             start,
-            extent: end - start,
+            extent: window.cols(),
             cfo,
             estimate,
-        })
+        }
+    }
+
+    /// Process one multi-antenna capture (rows = antennas) into an
+    /// [`Observation`].
+    ///
+    /// This is the synchronous single-packet path; it rebuilds the AoA
+    /// estimation setup per call. For more than one capture, stage them
+    /// through a [`PacketBatch`] (see [`AccessPoint::batch`]) instead.
+    pub fn observe(&self, buffer: &CMat) -> Result<Observation, ObserveError> {
+        if buffer.rows() != self.cfg.array.len() || buffer.cols() == 0 {
+            return Err(ObserveError::BadBuffer);
+        }
+
+        // 1. Detect + decode on the reference chain.
+        let (frame, start, cfo, pkt_len) = self.detect_and_decode(buffer)?;
+
+        // 2. Extract the packet window and calibrate.
+        let mut window = self.extract_window(buffer, start, pkt_len);
+        self.calibration.apply(&mut window);
+
+        // 3–4. Correlation matrix over the whole packet, then AoA.
+        let r = sample_covariance(&window);
+        let estimate = estimate_from_covariance(&r, window.cols(), &self.cfg.array, &self.cfg.aoa);
+
+        // 5. Signature + RSS.
+        Ok(self.assemble_observation(&window, frame, start, cfo, estimate))
+    }
+
+    /// Start a [`PacketBatch`]: the batched ingest path. Builds the AoA
+    /// engine (manifold, steering table, eigensolver workspace) once;
+    /// every packet staged into the batch then shares it.
+    pub fn batch(&self) -> PacketBatch<'_> {
+        PacketBatch {
+            ap: self,
+            engine: AoaEngine::new(&self.cfg.array, &self.cfg.aoa),
+            cov: CMat::default(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Observe a sequence of single-packet captures through one
+    /// [`PacketBatch`], preserving per-capture errors. Results line up
+    /// index-for-index with `buffers`.
+    pub fn observe_batch(&self, buffers: &[CMat]) -> Vec<Result<Observation, ObserveError>> {
+        let mut batch = self.batch();
+        let pushes: Vec<Result<(), ObserveError>> = buffers.iter().map(|b| batch.push(b)).collect();
+        let mut produced = batch.process().into_iter();
+        pushes
+            .into_iter()
+            .map(|r| r.map(|()| produced.next().expect("one observation per staged packet")))
+            .collect()
+    }
+
+    /// Observe **and enforce** a sequence of captures through one batch:
+    /// the batched equivalent of calling [`AccessPoint::receive`] per
+    /// buffer. Enforcement stays sequential (verdicts feed the trackers
+    /// and quarantine state in arrival order).
+    pub fn receive_batch(
+        &mut self,
+        buffers: &[CMat],
+    ) -> Vec<Result<(Observation, FrameVerdict), ObserveError>> {
+        let observations = self.observe_batch(buffers);
+        observations
+            .into_iter()
+            .map(|r| {
+                r.map(|obs| {
+                    let verdict = self.enforce(&obs);
+                    (obs, verdict)
+                })
+            })
+            .collect()
     }
 
     /// Process every packet in a long capture (the paper's WARP buffers
     /// 0.4 ms — 8000 samples — which can hold several frames). Returns
     /// observations in arrival order; scanning resumes after each
-    /// packet's extent.
+    /// packet's extent. Internally stages every detected packet into one
+    /// [`PacketBatch`], so the AoA setup is amortised across the buffer.
     pub fn observe_all(&self, buffer: &CMat) -> Vec<Observation> {
-        let mut out = Vec::new();
-        let mut cursor = 0usize;
-        while cursor + 2 * sa_phy::preamble::SC_HALF_LEN < buffer.cols() {
-            let slice = CMat::from_fn(buffer.rows(), buffer.cols() - cursor, |m, t| {
-                buffer[(m, cursor + t)]
-            });
-            match self.observe(&slice) {
-                Ok(mut obs) => {
-                    let advance = obs.start + obs.extent.max(1);
-                    obs.start += cursor;
-                    out.push(obs);
-                    cursor += advance;
-                }
-                Err(_) => break,
-            }
-        }
-        out
+        let mut batch = self.batch();
+        batch.push_all(buffer);
+        batch.process()
     }
 
     /// Train the spoof profile for a client from an authenticated
@@ -375,6 +471,135 @@ impl AccessPoint {
         let obs = self.observe(buffer)?;
         let verdict = self.enforce(&obs);
         Ok((obs, verdict))
+    }
+}
+
+/// A packet staged into a [`PacketBatch`]: decoded, windowed, waiting
+/// for the signal-processing pass.
+#[derive(Debug)]
+struct StagedPacket {
+    /// Uncalibrated sample window.
+    window: CMat,
+    /// Decoded MAC frame, if the payload parsed.
+    frame: Option<Frame>,
+    /// Packet start, in the coordinates of the buffer it came from.
+    start: usize,
+    /// Estimated CFO, radians/sample.
+    cfo: f64,
+}
+
+/// The batched ingest path: accumulate decoded packets, then run
+/// calibration → covariance → MUSIC over all of them in one pass.
+///
+/// [`AccessPoint::observe`] rebuilds the AoA estimation setup — the
+/// mode-space transform, the scan manifold with its full grid of
+/// steering vectors, and the eigensolver buffers — for every packet. A
+/// batch builds that once (via [`sa_aoa::estimator::AoaEngine`]) and
+/// reuses it, along with a recycled covariance buffer, for every staged
+/// packet. Observations are identical to the single-packet path; only
+/// the per-packet setup cost is amortised.
+///
+/// Typical flow: [`AccessPoint::batch`] → [`PacketBatch::push`] (or
+/// [`PacketBatch::push_all`] for a long multi-packet capture) →
+/// [`PacketBatch::process`]. The batch may then be refilled; the engine
+/// carries over.
+#[derive(Debug)]
+pub struct PacketBatch<'ap> {
+    ap: &'ap AccessPoint,
+    /// The shared, precomputed AoA pipeline.
+    engine: AoaEngine,
+    /// Recycled covariance buffer (one per packet, same allocation).
+    cov: CMat,
+    staged: Vec<StagedPacket>,
+}
+
+impl PacketBatch<'_> {
+    /// Stage the first packet detected in a single-packet capture
+    /// (rows = antennas). Runs detection + decode now; the
+    /// signal-processing stages run in [`PacketBatch::process`].
+    pub fn push(&mut self, buffer: &CMat) -> Result<(), ObserveError> {
+        if buffer.rows() != self.ap.cfg.array.len() || buffer.cols() == 0 {
+            return Err(ObserveError::BadBuffer);
+        }
+        let (frame, start, cfo, pkt_len) = self.ap.detect_and_decode(buffer)?;
+        let window = self.ap.extract_window(buffer, start, pkt_len);
+        self.staged.push(StagedPacket {
+            window,
+            frame,
+            start,
+            cfo,
+        });
+        Ok(())
+    }
+
+    /// Scan a long capture and stage **every** detected packet (the
+    /// paper's WARP buffers hold several frames back-to-back). Returns
+    /// the number of packets staged. Scanning resumes after each
+    /// packet's extent; starts are reported in the capture's own
+    /// coordinates.
+    pub fn push_all(&mut self, buffer: &CMat) -> usize {
+        if buffer.rows() != self.ap.cfg.array.len() {
+            return 0;
+        }
+        let mut staged = 0usize;
+        let mut cursor = 0usize;
+        while cursor + 2 * sa_phy::preamble::SC_HALF_LEN < buffer.cols() {
+            let slice = CMat::from_fn(buffer.rows(), buffer.cols() - cursor, |m, t| {
+                buffer[(m, cursor + t)]
+            });
+            let Ok((frame, start, cfo, pkt_len)) = self.ap.detect_and_decode(&slice) else {
+                break;
+            };
+            let window = self.ap.extract_window(&slice, start, pkt_len);
+            let advance = start + window.cols().max(1);
+            self.staged.push(StagedPacket {
+                window,
+                frame,
+                start: cursor + start,
+                cfo,
+            });
+            staged += 1;
+            cursor += advance;
+        }
+        staged
+    }
+
+    /// Number of packets currently staged.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Run calibration, covariance and AoA estimation over every staged
+    /// packet in one pass, draining the batch. Observations come back in
+    /// staging order. The engine (and its buffers) survive, so the batch
+    /// can be refilled and processed again.
+    pub fn process(&mut self) -> Vec<Observation> {
+        let mut out = Vec::with_capacity(self.staged.len());
+        for staged in std::mem::take(&mut self.staged) {
+            let StagedPacket {
+                mut window,
+                frame,
+                start,
+                cfo,
+            } = staged;
+            // 2b. Calibrate (per-chain corrections, §2.2).
+            self.ap.calibration.apply(&mut window);
+            // 3–4. Covariance into the recycled buffer, then AoA through
+            // the shared engine.
+            sample_covariance_into(&window, &mut self.cov);
+            let estimate = self.engine.estimate_cov(&self.cov, window.cols());
+            // 5. Signature + RSS.
+            out.push(
+                self.ap
+                    .assemble_observation(&window, frame, start, cfo, estimate),
+            );
+        }
+        out
     }
 }
 
@@ -741,6 +966,80 @@ mod tests {
         let t_b = ap.config().position.azimuth_to(pos_b).to_degrees();
         assert!(angle_diff_deg(all[0].bearing_deg, t_a, true) < 6.0);
         assert!(angle_diff_deg(all[1].bearing_deg, t_b, true) < 6.0);
+    }
+
+    #[test]
+    fn batched_observations_match_single_packet_path_exactly() {
+        // The batch amortises setup; it must never change the numbers.
+        let plan = room();
+        let mut ap = make_ap();
+        let positions = [pt(4.0, 3.0), pt(-3.0, 5.0), pt(2.0, -6.0)];
+        let rx_pow = rx_power_at(&ap, &plan, positions[0]);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 80);
+        let mut rng = ChaCha8Rng::seed_from_u64(81);
+        ap.calibrate(&fe, &mut rng);
+
+        let captures: Vec<CMat> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| {
+                let frame = Frame::data(
+                    MacAddr::local_from_index(i as u32 + 1),
+                    MacAddr::BROADCAST,
+                    MacAddr::local_from_index(0),
+                    1,
+                    b"pkt",
+                );
+                capture(&ap, &plan, pos, &frame, &fe, 90 + i as u64)
+            })
+            .collect();
+
+        let batched = ap.observe_batch(&captures);
+        assert_eq!(batched.len(), 3);
+        for (buf, batched_obs) in captures.iter().zip(&batched) {
+            let single = ap.observe(buf).expect("single-packet path");
+            let b = batched_obs.as_ref().expect("batched path");
+            assert_eq!(b.signature, single.signature);
+            assert_eq!(b.bearing_deg, single.bearing_deg);
+            assert_eq!(b.rss_db, single.rss_db);
+            assert_eq!(b.frame, single.frame);
+            assert_eq!(b.start, single.start);
+            assert_eq!(b.extent, single.extent);
+            assert_eq!(b.estimate.spectrum, single.estimate.spectrum);
+            assert_eq!(b.estimate.eigenvalues, single.estimate.eigenvalues);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_per_capture_errors_and_positions() {
+        let plan = room();
+        let mut ap = make_ap();
+        let pos = pt(4.0, 3.0);
+        let rx_pow = rx_power_at(&ap, &plan, pos);
+        let fe = quiet_front_end(&ap, rx_pow, 25.0, 82);
+        let mut rng = ChaCha8Rng::seed_from_u64(83);
+        ap.calibrate(&fe, &mut rng);
+        let frame = Frame::data(
+            MacAddr::local_from_index(1),
+            MacAddr::BROADCAST,
+            MacAddr::local_from_index(0),
+            1,
+            b"ok",
+        );
+        let good = capture(&ap, &plan, pos, &frame, &fe, 84);
+        let noise = CMat::from_fn(8, 2000, |_, _| sa_sigproc::noise::cn_sample(&mut rng, 1.0));
+        let bad_shape = CMat::zeros(3, 100);
+
+        let results = ap.observe_batch(&[noise, good.clone(), bad_shape]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap_err(), &ObserveError::NoPacket);
+        assert!(results[1].is_ok(), "good capture failed in batch");
+        assert_eq!(results[2].as_ref().unwrap_err(), &ObserveError::BadBuffer);
+
+        // receive_batch: same alignment, with verdicts attached.
+        let mut verdicts = ap.receive_batch(&[good]);
+        let (_, verdict) = verdicts.remove(0).expect("good capture");
+        assert!(verdict.admitted());
     }
 
     #[test]

@@ -11,6 +11,40 @@
 //! (§2.3.2), [`SignatureTracker`] maintains an exponentially-weighted
 //! running signature, updated only by frames that already match — so an
 //! attacker's frames cannot poison the trained profile.
+//!
+//! ```
+//! use sa_aoa::pseudospectrum::{angle_diff_deg, Pseudospectrum};
+//! use secureangle::signature::{AoaSignature, MatchConfig};
+//!
+//! // A synthetic spectrum: direct path at 120°, reflection at 250°.
+//! let bump = |centers: &[(f64, f64)]| {
+//!     let angles: Vec<f64> = (0..360).map(f64::from).collect();
+//!     let values = angles
+//!         .iter()
+//!         .map(|&a| {
+//!             centers
+//!                 .iter()
+//!                 .map(|&(c, amp)| {
+//!                     let d = angle_diff_deg(a, c, true);
+//!                     amp * (-d * d / 40.0).exp()
+//!                 })
+//!                 .sum::<f64>()
+//!                 + 1e-4
+//!         })
+//!         .collect();
+//!     AoaSignature::from_spectrum(&Pseudospectrum::new(angles, values, true))
+//! };
+//! let trained = bump(&[(120.0, 1.0), (250.0, 0.4)]);
+//! assert_eq!(trained.bearing_deg(), 120.0);
+//!
+//! // The same client re-measured (slight drift) scores high…
+//! let cfg = MatchConfig::default();
+//! let again = bump(&[(121.0, 0.95), (251.0, 0.45)]);
+//! assert!(trained.compare(&again, &cfg).score > 0.8);
+//! // …an attacker across the room does not.
+//! let attacker = bump(&[(310.0, 1.0), (40.0, 0.5)]);
+//! assert!(trained.compare(&attacker, &cfg).score < 0.45);
+//! ```
 
 use sa_aoa::pseudospectrum::{angle_diff_deg, Peak, Pseudospectrum};
 

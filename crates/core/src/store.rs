@@ -1,0 +1,244 @@
+//! A sharded per-client state store keyed by MAC address.
+//!
+//! The spoof detector keeps one trained [`SignatureTracker`] per client
+//! (`crate::spoof`). A single flat `HashMap` serialises every lookup
+//! behind one structure — fine for the paper's 20-client office, wrong
+//! for the production-scale traffic the roadmap targets, where
+//! enforcement checks and profile training hit the store on every frame.
+//! [`ShardedSignatureStore`] splits the map into a fixed number of
+//! shards selected by an FNV-1a hash of the six address bytes, so
+//! per-client state spreads evenly and each shard stays small. The shard
+//! count is fixed at construction: a `MacAddr` always maps to the same
+//! shard, and the layout is ready for a shard-per-lock (or
+//! shard-per-thread) split when the pipeline goes concurrent.
+
+use crate::signature::{AoaSignature, SignatureTracker};
+use sa_mac::MacAddr;
+use std::collections::HashMap;
+
+/// Default number of shards — comfortably more than the core count of
+/// the small boxes an AP runs on, while keeping the fixed footprint of
+/// an idle store negligible.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One shard: the trained profiles and flag counters whose MACs hash
+/// here.
+#[derive(Debug, Default)]
+struct Shard {
+    profiles: HashMap<MacAddr, SignatureTracker>,
+    flags: HashMap<MacAddr, usize>,
+}
+
+/// Sharded client-signature state: MAC → ([`SignatureTracker`], flag
+/// count), spread over a fixed number of hash shards.
+#[derive(Debug)]
+pub struct ShardedSignatureStore {
+    shards: Vec<Shard>,
+}
+
+/// FNV-1a over the six address bytes. Deterministic (no per-process
+/// seed), so shard assignment is stable across runs — which keeps shard
+/// dumps and tests reproducible.
+fn fnv1a(mac: &MacAddr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &mac.0 {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Default for ShardedSignatureStore {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedSignatureStore {
+    /// A store with `shards` fixed shards. Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "ShardedSignatureStore: shard count must be > 0");
+        Self {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Number of shards (fixed for the store's lifetime).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a MAC maps to.
+    pub fn shard_of(&self, mac: &MacAddr) -> usize {
+        (fnv1a(mac) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, mac: &MacAddr) -> &Shard {
+        &self.shards[self.shard_of(mac)]
+    }
+
+    fn shard_mut(&mut self, mac: &MacAddr) -> &mut Shard {
+        let idx = self.shard_of(mac);
+        &mut self.shards[idx]
+    }
+
+    /// Install (or replace) the tracker for a MAC, clearing its flags.
+    pub fn insert(&mut self, mac: MacAddr, tracker: SignatureTracker) {
+        let shard = self.shard_mut(&mac);
+        shard.profiles.insert(mac, tracker);
+        shard.flags.remove(&mac);
+    }
+
+    /// Remove a client's tracker and flags entirely.
+    pub fn remove(&mut self, mac: &MacAddr) -> Option<SignatureTracker> {
+        let shard = self.shard_mut(mac);
+        shard.flags.remove(mac);
+        shard.profiles.remove(mac)
+    }
+
+    /// The tracker for a MAC, if trained.
+    pub fn get(&self, mac: &MacAddr) -> Option<&SignatureTracker> {
+        self.shard(mac).profiles.get(mac)
+    }
+
+    /// Mutable tracker access (the spoof detector folds matching frames
+    /// into the profile).
+    pub fn get_mut(&mut self, mac: &MacAddr) -> Option<&mut SignatureTracker> {
+        self.shard_mut(mac).profiles.get_mut(mac)
+    }
+
+    /// True if a profile exists for the MAC.
+    pub fn contains(&self, mac: &MacAddr) -> bool {
+        self.shard(mac).profiles.contains_key(mac)
+    }
+
+    /// Total number of trained clients across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.profiles.len()).sum()
+    }
+
+    /// True if no client is trained.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.profiles.is_empty())
+    }
+
+    /// Number of frames flagged for a MAC so far.
+    pub fn flag_count(&self, mac: &MacAddr) -> usize {
+        self.shard(mac).flags.get(mac).copied().unwrap_or(0)
+    }
+
+    /// Increment a MAC's flag counter and return the new count.
+    pub fn add_flag(&mut self, mac: MacAddr) -> usize {
+        let count = self.shard_mut(&mac).flags.entry(mac).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Iterate over every trained `(MAC, signature)` pair, shard by
+    /// shard (no cross-shard ordering is guaranteed).
+    pub fn iter(&self) -> impl Iterator<Item = (&MacAddr, &AoaSignature)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.profiles.iter().map(|(m, t)| (m, t.signature())))
+    }
+
+    /// Per-shard trained-client counts — occupancy diagnostics for
+    /// capacity planning (and the examples' shard histogram).
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.profiles.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::AoaSignature;
+    use sa_aoa::pseudospectrum::Pseudospectrum;
+
+    fn sig(center: f64) -> AoaSignature {
+        let angles: Vec<f64> = (0..360).map(|i| i as f64).collect();
+        let values: Vec<f64> = angles
+            .iter()
+            .map(|&a| {
+                let d = sa_aoa::pseudospectrum::angle_diff_deg(a, center, true);
+                (-d * d / 40.0).exp() + 1e-4
+            })
+            .collect();
+        AoaSignature::from_spectrum(&Pseudospectrum::new(angles, values, true))
+    }
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::local_from_index(i)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut store = ShardedSignatureStore::default();
+        assert!(store.is_empty());
+        store.insert(mac(1), SignatureTracker::new(sig(100.0), 0.2));
+        assert!(store.contains(&mac(1)));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&mac(1)).is_some());
+        assert!(store.remove(&mac(1)).is_some());
+        assert!(store.is_empty());
+        assert!(store.get(&mac(1)).is_none());
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let store = ShardedSignatureStore::new(8);
+        for i in 0..100 {
+            let s = store.shard_of(&mac(i));
+            assert!(s < 8);
+            assert_eq!(s, store.shard_of(&mac(i)), "assignment must be stable");
+        }
+    }
+
+    #[test]
+    fn clients_spread_across_shards() {
+        // FNV over sequential locally-administered MACs must not pile
+        // everything into one shard.
+        let mut store = ShardedSignatureStore::new(8);
+        for i in 0..64 {
+            store.insert(mac(i), SignatureTracker::new(sig(i as f64), 0.2));
+        }
+        let occ = store.shard_occupancy();
+        assert_eq!(occ.iter().sum::<usize>(), 64);
+        let nonempty = occ.iter().filter(|&&c| c > 0).count();
+        assert!(nonempty >= 4, "poor spread: {:?}", occ);
+        assert!(*occ.iter().max().unwrap() <= 32, "hot shard: {:?}", occ);
+    }
+
+    #[test]
+    fn flags_follow_their_mac() {
+        let mut store = ShardedSignatureStore::default();
+        assert_eq!(store.flag_count(&mac(7)), 0);
+        assert_eq!(store.add_flag(mac(7)), 1);
+        assert_eq!(store.add_flag(mac(7)), 2);
+        assert_eq!(store.flag_count(&mac(7)), 2);
+        assert_eq!(store.flag_count(&mac(8)), 0);
+        // Re-training clears flags.
+        store.insert(mac(7), SignatureTracker::new(sig(10.0), 0.2));
+        assert_eq!(store.flag_count(&mac(7)), 0);
+    }
+
+    #[test]
+    fn iter_visits_every_client_once() {
+        let mut store = ShardedSignatureStore::new(4);
+        for i in 0..20 {
+            store.insert(mac(i), SignatureTracker::new(sig(i as f64), 0.2));
+        }
+        let mut seen: Vec<u32> = store
+            .iter()
+            .map(|(m, _)| u32::from_be_bytes([m.0[2], m.0[3], m.0[4], m.0[5]]))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        let _ = ShardedSignatureStore::new(0);
+    }
+}

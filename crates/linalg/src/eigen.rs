@@ -83,91 +83,152 @@ pub fn eigh(a: &CMat) -> EigH {
 
 /// [`eigh`] with explicit iteration parameters.
 pub fn eigh_with(a: &CMat, params: JacobiParams) -> EigH {
-    assert!(a.is_square(), "eigh: matrix must be square");
-    let n = a.rows();
+    let mut ws = EighWorkspace::new();
+    let mut out = EigH {
+        values: Vec::new(),
+        vectors: CMat::zeros(0, 0),
+    };
+    ws.eigh_into(a, params, &mut out);
+    out
+}
 
-    // Work on a Hermitian-symmetrised copy: W = (A + A^H)/2.
-    let mut w = CMat::from_fn(n, n, |i, j| (a[(i, j)] + a[(j, i)].conj()).scale(0.5));
-    let mut v = CMat::identity(n);
+/// Reusable scratch buffers for [`EighWorkspace::eigh_into`].
+///
+/// The Jacobi solver needs a working copy of the (symmetrised) input, an
+/// accumulator for the rotations, and a permutation pass to sort the
+/// spectrum. Calling [`eigh`] in a loop re-allocates all three per call;
+/// a workspace held across calls turns the whole decomposition into a
+/// zero-allocation operation once the buffers have grown to the problem
+/// size — which is what the batched AP pipeline does per packet.
+#[derive(Debug, Default)]
+pub struct EighWorkspace {
+    /// Working copy of the symmetrised input (destroyed by rotations);
+    /// doubles as the column-permutation scratch after convergence.
+    w: CMat,
+    /// Sort-order scratch.
+    order: Vec<usize>,
+    /// Diagonal (eigenvalue) scratch.
+    diag: Vec<f64>,
+}
 
-    if n <= 1 {
-        let values = if n == 1 { vec![w[(0, 0)].re] } else { vec![] };
-        return EigH { values, vectors: v };
+impl EighWorkspace {
+    /// A new, empty workspace. Buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let scale = w.fro_norm().max(f64::MIN_POSITIVE);
-    let tol = params.rel_tol * scale;
+    /// Eigendecomposition with default parameters, reusing this
+    /// workspace's buffers and writing the result into `out` (whose own
+    /// allocations are also recycled).
+    pub fn eigh(&mut self, a: &CMat, out: &mut EigH) {
+        self.eigh_into(a, JacobiParams::default(), out);
+    }
 
-    for _sweep in 0..params.max_sweeps {
-        if w.max_offdiag() <= tol {
-            break;
+    /// [`EighWorkspace::eigh`] with explicit iteration parameters.
+    ///
+    /// Identical results to the free function [`eigh_with`]; the only
+    /// difference is allocation reuse. Panics if `a` is not square.
+    pub fn eigh_into(&mut self, a: &CMat, params: JacobiParams, out: &mut EigH) {
+        assert!(a.is_square(), "eigh: matrix must be square");
+        let n = a.rows();
+
+        // Work on a Hermitian-symmetrised copy: W = (A + A^H)/2.
+        let w = &mut self.w;
+        w.reset_from_fn(n, n, |i, j| (a[(i, j)] + a[(j, i)].conj()).scale(0.5));
+        let v = &mut out.vectors;
+        v.reset_identity(n);
+
+        if n <= 1 {
+            out.values.clear();
+            if n == 1 {
+                out.values.push(w[(0, 0)].re);
+            }
+            return;
         }
-        for p in 0..n - 1 {
-            for q in p + 1..n {
-                let b = w[(p, q)];
-                let babs = b.abs();
-                if babs <= tol {
-                    continue;
-                }
-                let alpha = w[(p, p)].re;
-                let gamma = w[(q, q)].re;
 
-                let tau = (gamma - alpha) / (2.0 * babs);
-                // Small-magnitude root of t² − 2τt − 1 = 0 (the two roots
-                // multiply to −1; picking |t| ≤ 1 keeps rotations small and
-                // the iteration stable).
-                let sign = if tau >= 0.0 { 1.0 } else { -1.0 };
-                let t = -sign / (tau.abs() + (1.0 + tau * tau).sqrt());
-                let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = t * c;
+        let scale = w.fro_norm().max(f64::MIN_POSITIVE);
+        let tol = params.rel_tol * scale;
 
-                // U acts on columns/rows p and q:
-                //   col_p' =  c*col_p + s e^{-jφ} col_q
-                //   col_q' = -s e^{jφ} col_p + c*col_q
-                let se_m = C64::from_polar(s, -b.arg()); // s·e^{−jφ}
-                let se_p = C64::from_polar(s, b.arg()); // s·e^{+jφ}
+        for _sweep in 0..params.max_sweeps {
+            if w.max_offdiag() <= tol {
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    let b = w[(p, q)];
+                    let babs = b.abs();
+                    if babs <= tol {
+                        continue;
+                    }
+                    let alpha = w[(p, p)].re;
+                    let gamma = w[(q, q)].re;
 
-                // Update W = U^H W U.
-                // Rows (left multiply by U^H):
-                for k in 0..n {
-                    let wp = w[(p, k)];
-                    let wq = w[(q, k)];
-                    w[(p, k)] = wp.scale(c) + se_p * wq;
-                    w[(q, k)] = wq.scale(c) - se_m * wp;
-                }
-                // Columns (right multiply by U):
-                for k in 0..n {
-                    let wp = w[(k, p)];
-                    let wq = w[(k, q)];
-                    w[(k, p)] = wp.scale(c) + se_m * wq;
-                    w[(k, q)] = wq.scale(c) - se_p * wp;
-                }
-                // Clean the eliminated pair and enforce realness of the
-                // rotated diagonal (both are exact in infinite precision).
-                w[(p, q)] = c64(0.0, 0.0);
-                w[(q, p)] = c64(0.0, 0.0);
-                w[(p, p)] = c64(w[(p, p)].re, 0.0);
-                w[(q, q)] = c64(w[(q, q)].re, 0.0);
+                    let tau = (gamma - alpha) / (2.0 * babs);
+                    // Small-magnitude root of t² − 2τt − 1 = 0 (the two roots
+                    // multiply to −1; picking |t| ≤ 1 keeps rotations small and
+                    // the iteration stable).
+                    let sign = if tau >= 0.0 { 1.0 } else { -1.0 };
+                    let t = -sign / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
 
-                // Accumulate V = V·U.
-                for k in 0..n {
-                    let vp = v[(k, p)];
-                    let vq = v[(k, q)];
-                    v[(k, p)] = vp.scale(c) + se_m * vq;
-                    v[(k, q)] = vq.scale(c) - se_p * vp;
+                    // U acts on columns/rows p and q:
+                    //   col_p' =  c*col_p + s e^{-jφ} col_q
+                    //   col_q' = -s e^{jφ} col_p + c*col_q
+                    let se_m = C64::from_polar(s, -b.arg()); // s·e^{−jφ}
+                    let se_p = C64::from_polar(s, b.arg()); // s·e^{+jφ}
+
+                    // Update W = U^H W U.
+                    // Rows (left multiply by U^H):
+                    for k in 0..n {
+                        let wp = w[(p, k)];
+                        let wq = w[(q, k)];
+                        w[(p, k)] = wp.scale(c) + se_p * wq;
+                        w[(q, k)] = wq.scale(c) - se_m * wp;
+                    }
+                    // Columns (right multiply by U):
+                    for k in 0..n {
+                        let wp = w[(k, p)];
+                        let wq = w[(k, q)];
+                        w[(k, p)] = wp.scale(c) + se_m * wq;
+                        w[(k, q)] = wq.scale(c) - se_p * wp;
+                    }
+                    // Clean the eliminated pair and enforce realness of the
+                    // rotated diagonal (both are exact in infinite precision).
+                    w[(p, q)] = c64(0.0, 0.0);
+                    w[(q, p)] = c64(0.0, 0.0);
+                    w[(p, p)] = c64(w[(p, p)].re, 0.0);
+                    w[(q, q)] = c64(w[(q, q)].re, 0.0);
+
+                    // Accumulate V = V·U.
+                    for k in 0..n {
+                        let vp = v[(k, p)];
+                        let vq = v[(k, q)];
+                        v[(k, p)] = vp.scale(c) + se_m * vq;
+                        v[(k, q)] = vq.scale(c) - se_p * vp;
+                    }
                 }
             }
         }
+
+        // Extract and sort ascending.
+        let order = &mut self.order;
+        order.clear();
+        order.extend(0..n);
+        let diag = &mut self.diag;
+        diag.clear();
+        diag.extend((0..n).map(|i| w[(i, i)].re));
+        order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+
+        out.values.clear();
+        out.values.extend(order.iter().map(|&i| diag[i]));
+        // Permute eigenvector columns into sorted order, reusing `w` (its
+        // contents are spent) as the destination, then swap it into the
+        // output so no fresh matrix is allocated.
+        let order = &self.order;
+        w.reset_from_fn(n, n, |i, k| v[(i, order[k])]);
+        std::mem::swap(&mut self.w, &mut out.vectors);
     }
-
-    // Extract and sort ascending.
-    let mut order: Vec<usize> = (0..n).collect();
-    let diag: Vec<f64> = (0..n).map(|i| w[(i, i)].re).collect();
-    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
-
-    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
-    let vectors = CMat::from_fn(n, n, |i, k| v[(i, order[k])]);
-    EigH { values, vectors }
 }
 
 /// Inverse of a Hermitian positive-(semi)definite matrix via its
@@ -335,6 +396,24 @@ mod tests {
         a[(0, 1)] += c64(1e-13, -1e-13);
         let e = eigh(&a);
         assert!(residual(&a, &e) < 1e-8);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_free_function_across_sizes() {
+        // One workspace driven through shrinking and growing problem
+        // sizes must reproduce the free function bit-for-bit.
+        let mut ws = EighWorkspace::new();
+        let mut out = EigH {
+            values: Vec::new(),
+            vectors: CMat::zeros(0, 0),
+        };
+        for (n, seed) in [(8usize, 3u64), (4, 9), (6, 7), (1, 2), (8, 11)] {
+            let a = hermitian_from_seed(n, seed);
+            ws.eigh(&a, &mut out);
+            let free = eigh(&a);
+            assert_eq!(out.values, free.values, "values differ at n={}", n);
+            assert_eq!(out.vectors, free.vectors, "vectors differ at n={}", n);
+        }
     }
 
     #[test]

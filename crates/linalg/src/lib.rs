@@ -16,7 +16,8 @@
 //!
 //! Everything is written against stable Rust with no unsafe code and no
 //! external numerics dependencies; sizes are small enough that clarity and
-//! verifiability win over optimisation (see DESIGN.md §4).
+//! verifiability win over optimisation (hot paths recycle buffers instead
+//! — see [`eigen::EighWorkspace`] and `docs/BENCHMARKS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,7 +11,10 @@ use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
 /// A dense, row-major complex matrix.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Default` is the empty `0 × 0` matrix — the natural seed for workspace
+/// buffers that grow on first use (see [`CMat::reset_zero`]).
+#[derive(Debug, Clone, PartialEq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CMat {
     rows: usize,
@@ -117,6 +120,47 @@ impl CMat {
         Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
+    /// Reshape in place to `rows × cols` with every element set to zero,
+    /// reusing the existing allocation when it is large enough. This is
+    /// the buffer-recycling primitive behind the batched pipeline: a
+    /// workspace matrix is `reset_zero` once per packet instead of
+    /// allocated fresh.
+    pub fn reset_zero(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, ZERO);
+    }
+
+    /// Reshape in place to the `n × n` identity, reusing the allocation
+    /// (see [`CMat::reset_zero`]).
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset_zero(n, n);
+        for i in 0..n {
+            self[(i, i)] = c64(1.0, 0.0);
+        }
+    }
+
+    /// Reshape in place and fill from a function of the index pair,
+    /// reusing the allocation (see [`CMat::reset_zero`]). Each element is
+    /// written exactly once — no intermediate zero fill.
+    pub fn reset_from_fn(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> C64,
+    ) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.reserve(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                self.data.push(f(i, j));
+            }
+        }
+    }
+
     /// Element-wise complex conjugate.
     pub fn conj(&self) -> Self {
         Self {
@@ -132,6 +176,13 @@ impl CMat {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|z| z.scale(s)).collect(),
+        }
+    }
+
+    /// Multiply every element by a real scalar, in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z = z.scale(s);
         }
     }
 

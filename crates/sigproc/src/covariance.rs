@@ -32,20 +32,29 @@ pub type Snapshots = CMat;
 /// Sample covariance `R = X·X^H / N` of a snapshot matrix
 /// (`M` antennas × `N` samples). Panics if `N == 0`.
 pub fn sample_covariance(x: &Snapshots) -> CMat {
+    let mut r = CMat::default();
+    sample_covariance_into(x, &mut r);
+    r
+}
+
+/// [`sample_covariance`] written into a caller-provided matrix, reusing
+/// its allocation — the batched AP pipeline computes one covariance per
+/// packet into the same buffer. Panics if `x` has no snapshots.
+pub fn sample_covariance_into(x: &Snapshots, out: &mut CMat) {
     let m = x.rows();
     let n = x.cols();
     assert!(n > 0, "sample_covariance: no snapshots");
-    let mut r = CMat::zeros(m, m);
+    out.reset_zero(m, m);
     for t in 0..n {
         // rank-1 update r += x_t x_t^H (unrolled to avoid building columns)
         for i in 0..m {
             let xi = x[(i, t)];
             for j in 0..m {
-                r[(i, j)] += xi * x[(j, t)].conj();
+                out[(i, j)] += xi * x[(j, t)].conj();
             }
         }
     }
-    r.scale(1.0 / n as f64)
+    out.scale_mut(1.0 / n as f64);
 }
 
 /// The exchange (anti-identity) matrix `J` of size `n`.

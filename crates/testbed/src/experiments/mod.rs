@@ -1,4 +1,4 @@
-//! Experiment runners: one module per paper artifact (DESIGN.md §5).
+//! Experiment runners: one module per paper artifact.
 //!
 //! Each module exposes `run(...) -> SerializableResult` and
 //! `render(&Result) -> String`; the `sa-bench` crate's `experiments`

@@ -6,7 +6,8 @@
 //! * [`sim`] — the wired-up simulation: clients → OFDM → geometric
 //!   channel → RF front ends → SecureAngle APs;
 //! * [`experiments`] — runners that regenerate every evaluation figure
-//!   and claim (E1–E9 in DESIGN.md §5).
+//!   and claim (E1–E9; the `experiments` binary in `sa-bench` drives
+//!   them).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

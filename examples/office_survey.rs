@@ -10,7 +10,10 @@
 //! cargo run --release --example office_survey [-- --seed 7 --packets 10]
 //! ```
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use sa_testbed::experiments::fig5;
+use sa_testbed::{ApArray, Testbed};
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -59,4 +62,45 @@ fn main() {
         println!("  {}", row.into_iter().collect::<String>());
     }
     println!("  (ids in base-36: clients 10..20 print as a..k)");
+
+    // --- Batched ingest: all 20 clients through one PacketBatch. --------
+    // Production traffic arrives many-packets-at-a-time; the batched path
+    // builds the AoA engine (manifold, steering table, eigen workspace)
+    // once and shares it across the whole batch, then trains the sharded
+    // signature store from the resulting observations.
+    println!("\nbatched ingest: one frame from each of the 20 clients, one PacketBatch:");
+    let mut tb = Testbed::single_ap(ApArray::Circular, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xba7c4);
+    let bufs: Vec<_> = (1..=20)
+        .map(|c| tb.client_capture(0, c, 1, 0.0, &mut rng))
+        .collect();
+    let observations = tb.nodes[0].ap.observe_batch(&bufs);
+    for (i, result) in observations.iter().enumerate() {
+        let client = i + 1;
+        let mac = Testbed::client_mac(client);
+        match result {
+            Ok(obs) => {
+                tb.nodes[0].ap.train_client(mac, obs);
+                let truth = tb.nodes[0]
+                    .ap
+                    .config()
+                    .position
+                    .azimuth_to(tb.office.client(client).position)
+                    .to_degrees()
+                    .rem_euclid(360.0);
+                println!(
+                    "  client {:2} ({}): bearing {:6.1} deg (truth {:6.1})",
+                    client, mac, obs.bearing_deg, truth
+                );
+            }
+            Err(e) => println!("  client {:2} ({}): no observation ({})", client, mac, e),
+        }
+    }
+    let store = tb.nodes[0].ap.spoof.store();
+    println!(
+        "\nsharded signature store: {} clients over {} shards; occupancy {:?}",
+        store.len(),
+        store.shard_count(),
+        store.shard_occupancy()
+    );
 }

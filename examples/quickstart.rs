@@ -105,4 +105,22 @@ fn main() {
             p.angle_deg, p.prominence_db
         );
     }
+
+    // --- The batched path: same numbers, amortised setup. ----------------
+    // `observe_batch` stages captures through one PacketBatch, building
+    // the AoA engine (manifold + steering table + eigen workspace) once
+    // for the whole batch — the production ingest path (see
+    // docs/ARCHITECTURE.md).
+    let captures = vec![capture.clone(), capture.clone(), capture];
+    let batched = ap.observe_batch(&captures);
+    let bearings: Vec<f64> = batched
+        .iter()
+        .map(|r| r.as_ref().expect("batched observation").bearing_deg)
+        .collect();
+    assert!(bearings.iter().all(|&b| b == obs.bearing_deg));
+    println!(
+        "\nbatched ingest: {} captures through one PacketBatch, identical bearings {:?}",
+        bearings.len(),
+        bearings
+    );
 }

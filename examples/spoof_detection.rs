@@ -43,15 +43,20 @@ fn main() {
         victim, victim_mac, obs.bearing_deg, victim_rss
     );
 
-    // --- Victim sends 5 legitimate frames. ------------------------------
-    println!("victim traffic:");
-    for seq in 1..=5u16 {
-        let buf = tb.client_capture(0, victim, seq, seq as f64 * 10.0, &mut rng);
-        let (obs, verdict) = tb.nodes[0].ap.receive(&buf).expect("victim frame");
+    // --- Victim sends 5 legitimate frames, ingested as one batch. -------
+    // `receive_batch` stages every capture through a single PacketBatch:
+    // the AoA engine (manifold + steering table + eigensolver workspace)
+    // is built once and shared across all five packets.
+    println!("victim traffic (5-packet batch):");
+    let bufs: Vec<_> = (1..=5u16)
+        .map(|seq| tb.client_capture(0, victim, seq, seq as f64 * 10.0, &mut rng))
+        .collect();
+    for (i, result) in tb.nodes[0].ap.receive_batch(&bufs).into_iter().enumerate() {
+        let (obs, verdict) = result.expect("victim frame");
         let rss_v = rss_det.check(victim_mac, &RssPrint::single(obs.rss_db));
         println!(
             "  seq {:2}: bearing {:6.1} deg | AoA: {:<28} | RSS: {:?}",
-            seq,
+            i + 1,
             obs.bearing_deg,
             format!("{:?}", verdict),
             rss_v
@@ -82,18 +87,27 @@ fn main() {
     );
 
     let frame = tb.client_frame(victim, 100); // spoofed src == victim MAC
+    let inj_bufs: Vec<_> = (1..=5)
+        .map(|seq| {
+            tb.capture(
+                0,
+                attacker_pos,
+                &antenna,
+                attacker.tx_power,
+                &frame,
+                seq as f64,
+                &mut rng,
+            )
+        })
+        .collect();
     let mut flagged = 0;
-    for seq in 1..=5 {
-        let buf = tb.capture(
-            0,
-            attacker_pos,
-            &antenna,
-            attacker.tx_power,
-            &frame,
-            seq as f64,
-            &mut rng,
-        );
-        let (obs, verdict) = tb.nodes[0].ap.receive(&buf).expect("attack frame");
+    for (i, result) in tb.nodes[0]
+        .ap
+        .receive_batch(&inj_bufs)
+        .into_iter()
+        .enumerate()
+    {
+        let (obs, verdict) = result.expect("attack frame");
         let rss_v = rss_det.check(victim_mac, &RssPrint::single(obs.rss_db));
         let aoa_flag = !verdict.admitted();
         if aoa_flag {
@@ -101,7 +115,7 @@ fn main() {
         }
         println!(
             "  inj {:2}: bearing {:6.1} deg | AoA: {:<28} | RSS: {:?}",
-            seq,
+            i + 1,
             obs.bearing_deg,
             format!("{:?}", verdict),
             rss_v
@@ -110,6 +124,15 @@ fn main() {
     println!(
         "\nSecureAngle flagged {}/5 injected frames; the ACL alone would have admitted all of them.",
         flagged
+    );
+    let store = tb.nodes[0].ap.spoof.store();
+    println!(
+        "signature store: {} trained client(s) over {} shards, {} flags on {} (shard {})",
+        store.len(),
+        store.shard_count(),
+        store.flag_count(&victim_mac),
+        victim_mac,
+        store.shard_of(&victim_mac),
     );
     assert!(flagged >= 4, "detector should flag the attacker");
 }

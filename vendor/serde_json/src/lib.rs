@@ -1,5 +1,5 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde`
-//! [`Value`](serde::Value) tree as JSON text.
+//! [`Value`] tree as JSON text.
 
 #![forbid(unsafe_code)]
 
