@@ -1,0 +1,143 @@
+//! The `deploy` group: aggregate multi-AP throughput and fusion
+//! latency.
+//!
+//! The headline comparison is `deploy_throughput/aps_1` vs `aps_4` vs
+//! `aps_8`: the **same client workload** (16 transmissions of 1024-byte
+//! data frames per window) pushed through deployments of 1, 4 and 8
+//! APs. An N-AP deployment processes N captures per transmission, so
+//! dividing the per-window time by `16·N` gives per-packet cost, and
+//! `aps_4` beating `2 × aps_1` wall-clock means aggregate packet
+//! throughput more than doubled. Two effects drive it: stage 1
+//! (detect + decode) runs once per transmission regardless of N
+//! (shared decode), and the per-AP DSP fans out across worker threads
+//! where cores allow.
+//!
+//! `deploy_fusion/window_20_clients_4_aps` isolates the fusion stage:
+//! grouping, least-squares intersection, tracker updates and consensus
+//! for one closed window, no signal processing involved.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_deploy::{DeployConfig, Deployment, Fusion, Transmission};
+use sa_testbed::Testbed;
+
+/// Clients spread around the office, cycled to fill a window.
+const CLIENTS: [usize; 8] = [5, 7, 9, 16, 19, 20, 3, 14];
+const TX_PER_WINDOW: usize = 16;
+
+/// Build one window's worth of 1024-byte-payload transmissions for an
+/// `n`-AP testbed. 1024-byte data frames are the realistic regime: at
+/// paper-sized 18-byte frames the whole pipeline is preamble-dominated
+/// and neither batching nor decode sharing has anything to amortise.
+fn window_for(n_aps: usize, seed: u64) -> (Vec<secureangle::AccessPoint>, Vec<Transmission>) {
+    let mut tb = Testbed::deployment(n_aps, seed);
+    tb.cfg.payload_len = 1024;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdeb10);
+    let ids: Vec<usize> = (0..TX_PER_WINDOW)
+        .map(|i| CLIENTS[i % CLIENTS.len()])
+        .collect();
+    let txs: Vec<Transmission> = tb
+        .window_traffic(&ids, 1, 0.0, &mut rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect();
+    (tb.nodes.into_iter().map(|n| n.ap).collect(), txs)
+}
+
+fn bench_deploy_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deploy_throughput");
+    for n_aps in [1usize, 4, 8] {
+        let (aps, txs) = window_for(n_aps, 7001);
+        // Throughput-oriented operating point: a 128-snapshot
+        // covariance budget (plenty for an 8×8 covariance — the MUSIC
+        // accuracy suites run at 96–128 snapshots) keeps the per-AP DSP
+        // term small relative to the shared decode. Identical config on
+        // every AP count, so the comparison stays apples-to-apples.
+        let cfg = DeployConfig {
+            snapshot_cap: 128,
+            ..DeployConfig::default()
+        };
+        let mut deployment = Deployment::new(aps, cfg);
+        // Warm the workers (engine construction, first-touch
+        // allocations, signature auto-training, scheduler settling —
+        // the first windows on a cold deployment are not
+        // representative).
+        for _ in 0..4 {
+            deployment.run_window(txs.clone()).expect("warmup window");
+        }
+        group.bench_function(format!("aps_{}", n_aps), |b| {
+            b.iter(|| deployment.run_window(txs.clone()).expect("bench window"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fusion_latency(c: &mut Criterion) {
+    // One closed 4-AP window of 20 clients, replayed through a fresh
+    // fusion stage: pure fusion cost (sort, group, intersect, track,
+    // consensus), no DSP.
+    let n_aps = 4;
+    let tb = Testbed::deployment(n_aps, 7002);
+    let mut rng = ChaCha8Rng::seed_from_u64(7003);
+    let clients: Vec<usize> = (1..=20).collect();
+    let txs: Vec<Transmission> = tb
+        .window_traffic(&clients, 1, 0.0, &mut rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect();
+    let positions: Vec<_> = tb.nodes.iter().map(|n| n.ap.config().position).collect();
+    let aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
+
+    // Capture one window's ApPackets by fusing it once and replaying
+    // the raw reports: easiest to regenerate them through a deployment
+    // run per iteration would measure the whole pipeline, so instead
+    // synthesise the packets from the fused observations.
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    let fused = deployment.run_window(txs).expect("window");
+    let positions_ref = &positions;
+    let packets: Vec<sa_deploy::ApPacket> = fused
+        .clients
+        .iter()
+        .flat_map(|c| {
+            (0..n_aps).map(move |ap_id| sa_deploy::ApPacket {
+                ap_id,
+                window: 0,
+                seq: 0,
+                mac: Some(c.mac),
+                report: c.fix.map(|f| secureangle::pipeline::BearingReport {
+                    mac: c.mac,
+                    azimuth: positions_ref[ap_id].azimuth_to(f.position),
+                    confidence: c.mean_confidence,
+                    rss_db: -40.0,
+                    seq: 0,
+                }),
+                bearing_deg: 0.0,
+                rss_db: -40.0,
+                verdict: secureangle::pipeline::FrameVerdict::Admit {
+                    spoof: secureangle::spoof::SpoofVerdict::Match { score: 0.9 },
+                },
+            })
+        })
+        .collect();
+    let (_report, _aps) = deployment.finish();
+
+    let mut group = c.benchmark_group("deploy_fusion");
+    group.bench_function("window_20_clients_4_aps", |b| {
+        let mut window = 0u64;
+        let mut fusion = Fusion::new(positions.clone(), DeployConfig::default());
+        b.iter(|| {
+            let mut pkts = packets.clone();
+            for p in &mut pkts {
+                p.window = window;
+            }
+            let out = fusion.fuse_window(window, pkts);
+            window += 1;
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deploy_throughput, bench_fusion_latency);
+criterion_main!(benches);

@@ -39,12 +39,15 @@ pub mod tracking;
 
 pub use attacker::{Attacker, AttackerGear};
 pub use fence::{FenceConfig, FenceDecision, VirtualFence};
-pub use localize::{localize, BearingObservation, Fix, LocalizeError};
+pub use localize::{localize, localize_robust, BearingObservation, Fix, LocalizeError};
 pub use pipeline::{
-    AccessPoint, ApConfig, DropReason, FrameVerdict, Observation, ObserveError, PacketBatch,
+    decode_reference, AccessPoint, ApConfig, BearingReport, DecodedPacket, DropReason,
+    FrameVerdict, Observation, ObserveError, PacketBatch,
 };
 pub use rss::{RssDetector, RssPrint, RssVerdict};
 pub use signature::{AoaSignature, MatchConfig, SignatureMatch, SignatureTracker};
-pub use spoof::{SpoofConfig, SpoofDetector, SpoofVerdict};
+pub use spoof::{
+    ConsensusConfig, ConsensusVerdict, CrossApConsensus, SpoofConfig, SpoofDetector, SpoofVerdict,
+};
 pub use store::ShardedSignatureStore;
 pub use tracking::{MobilityTracker, TrackerConfig};

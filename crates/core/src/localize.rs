@@ -107,6 +107,63 @@ pub fn localize(bearings: &[BearingObservation]) -> Result<Fix, LocalizeError> {
     })
 }
 
+/// Robust least-squares intersection: like [`localize`], but bearings
+/// that place the fix *behind* their AP — the §3.1 false-positive
+/// signature ("those false positive AoAs obtained from different APs
+/// may not intersect with each other") — are dropped one at a time
+/// (most-behind first) and the fix refit, as long as at least
+/// `min_keep` (≥ 2) bearings remain. Returns the fix and the indices
+/// (into `bearings`) of the rejected bearings, so callers can tell
+/// which observations — and which APs — still support the fix.
+///
+/// Multi-AP fusion uses this so one AP's multipath ghost cannot drag a
+/// 4-AP fix meters off; with only two bearings nothing can be dropped
+/// and the behavior matches [`localize`].
+pub fn localize_robust(
+    bearings: &[BearingObservation],
+    min_keep: usize,
+) -> Result<(Fix, Vec<usize>), LocalizeError> {
+    let min_keep = min_keep.max(2);
+    // (original index, bearing) pairs, so drops can be reported in the
+    // caller's index space.
+    let mut kept: Vec<(usize, BearingObservation)> = bearings.iter().copied().enumerate().collect();
+    let solve = |kept: &[(usize, BearingObservation)]| {
+        let obs: Vec<BearingObservation> = kept.iter().map(|&(_, b)| b).collect();
+        localize(&obs)
+    };
+    let mut fix = solve(&kept)?;
+    let mut dropped = Vec::new();
+    while fix.behind_count > 0 && kept.len() > min_keep {
+        // Find the most-behind bearing (most negative along-track
+        // distance to the fix).
+        let (worst, along) = kept
+            .iter()
+            .enumerate()
+            .map(|(i, (_, obs))| {
+                let (ux, uy) = (obs.azimuth.cos(), obs.azimuth.sin());
+                let dx = fix.position.x - obs.ap_position.x;
+                let dy = fix.position.y - obs.ap_position.y;
+                (i, dx * ux + dy * uy)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("kept is non-empty");
+        if along >= 0.0 {
+            break;
+        }
+        let (original_index, _) = kept.remove(worst);
+        match solve(&kept) {
+            Ok(refit) => {
+                fix = refit;
+                dropped.push(original_index);
+            }
+            // Dropping made the geometry degenerate: keep the previous
+            // fix rather than failing a previously-successful solve.
+            Err(_) => break,
+        }
+    }
+    Ok((fix, dropped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +242,64 @@ mod tests {
         // lands behind it — the false-positive detection signal.
         let fix = localize(&[obs(0.0, 0.0, 0.0), obs(4.0, -3.0, -90.0)]).unwrap();
         assert!(fix.behind_count > 0);
+    }
+
+    #[test]
+    fn robust_refit_drops_a_ghost_bearing() {
+        // Three good bearings on (4, 4) plus one ghost pointing away
+        // from the target: the plain fix is dragged and inconsistent,
+        // the robust fix recovers the target.
+        let target = pt(4.0, 4.0);
+        let good_aps = [pt(0.0, 0.0), pt(8.0, 0.0), pt(0.0, 8.0)];
+        let mut bearings: Vec<_> = good_aps
+            .iter()
+            .map(|&p| BearingObservation {
+                ap_position: p,
+                azimuth: p.azimuth_to(target),
+            })
+            .collect();
+        bearings.push(obs(8.0, 8.0, 45.0)); // ghost: points away from (4,4)
+        let plain = localize(&bearings).unwrap();
+        assert!(plain.behind_count > 0);
+        let (fix, dropped) = localize_robust(&bearings, 2).unwrap();
+        assert_eq!(
+            dropped,
+            vec![3],
+            "the ghost (index 3) is the dropped bearing"
+        );
+        assert_eq!(fix.behind_count, 0);
+        assert!(
+            fix.position.dist(target) < 1e-6,
+            "robust fix {:?}",
+            fix.position
+        );
+        assert!(fix.position.dist(target) < plain.position.dist(target));
+    }
+
+    #[test]
+    fn robust_refit_keeps_min_bearings() {
+        // Two bearings only: nothing may be dropped even if the fix is
+        // behind one of them.
+        let bearings = [obs(0.0, 0.0, 0.0), obs(4.0, -3.0, -90.0)];
+        let (fix, dropped) = localize_robust(&bearings, 2).unwrap();
+        assert!(dropped.is_empty());
+        assert_eq!(fix, localize(&bearings).unwrap());
+    }
+
+    #[test]
+    fn robust_matches_plain_on_consistent_geometry() {
+        let target = pt(2.0, 3.0);
+        let aps = [pt(0.0, 0.0), pt(6.0, 0.0), pt(0.0, 6.0)];
+        let bearings: Vec<_> = aps
+            .iter()
+            .map(|&p| BearingObservation {
+                ap_position: p,
+                azimuth: p.azimuth_to(target),
+            })
+            .collect();
+        let (fix, dropped) = localize_robust(&bearings, 2).unwrap();
+        assert!(dropped.is_empty());
+        assert_eq!(fix, localize(&bearings).unwrap());
     }
 
     #[test]

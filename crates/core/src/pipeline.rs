@@ -117,6 +117,93 @@ impl ApConfig {
     }
 }
 
+/// Stage-1 output for one packet: everything detection + decode learned
+/// from the reference chain, decoupled from the signal-processing
+/// stages so a multi-AP deployment can run stage 1 **once** per client
+/// transmission and fan the result out to every AP's DSP worker (the
+/// frame content is the same at every AP; only the channel differs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedPacket {
+    /// The decoded MAC frame, if the payload parsed.
+    pub frame: Option<Frame>,
+    /// Sample index of the packet start in the capture.
+    pub start: usize,
+    /// Estimated CFO on the decoding chain, radians/sample.
+    pub cfo: f64,
+    /// Number of samples the packet occupies from `start`.
+    pub pkt_len: usize,
+}
+
+/// Run stage 1 (detect + decode) on the reference chain (row 0) of a
+/// capture, without an [`AccessPoint`]: Schmidl–Cox detection → CFO →
+/// OFDM receive → MAC frame, falling back to the raw detector when the
+/// payload is corrupt but the packet is still usable for AoA.
+///
+/// This is the shareable half of [`AccessPoint::observe`]: a deployment
+/// coordinator decodes each transmission once with the fleet's common
+/// modulation and hands the [`DecodedPacket`] to every AP worker via
+/// [`PacketBatch::push_predecoded`].
+pub fn decode_reference(
+    buffer: &CMat,
+    modulation: Modulation,
+) -> Result<DecodedPacket, ObserveError> {
+    if buffer.rows() == 0 || buffer.cols() == 0 {
+        return Err(ObserveError::BadBuffer);
+    }
+    let ref_chain = buffer.row(0);
+    let rx = Receiver::new(modulation);
+    match rx.decode(&ref_chain) {
+        Ok(pkt) => {
+            let tx = Transmitter::new(modulation);
+            let pkt_len = tx.packet_len(pkt.payload.len());
+            let frame = Frame::decode(&pkt.payload).ok();
+            Ok(DecodedPacket {
+                frame,
+                start: pkt.start,
+                cfo: pkt.cfo,
+                pkt_len,
+            })
+        }
+        Err(PhyError::NoPacket) => Err(ObserveError::NoPacket),
+        Err(_) => {
+            // Header or tail corrupted: still usable for AoA. Fall back
+            // to the raw detector for the extent.
+            let sc = sa_sigproc::schmidl_cox::SchmidlCox::new(sa_phy::preamble::SC_HALF_LEN);
+            let det = sc
+                .detect(&ref_chain)
+                .into_iter()
+                .next()
+                .ok_or(ObserveError::NoPacket)?;
+            let start = det.start.saturating_sub(sa_phy::params::N_CP);
+            Ok(DecodedPacket {
+                frame: None,
+                start,
+                cfo: det.cfo,
+                pkt_len: 512,
+            })
+        }
+    }
+}
+
+/// A fusion-friendly per-packet bearing record: the distilled
+/// `(mac, azimuth, confidence, seq)` tuple a multi-AP fusion stage
+/// consumes from each AP (see [`Observation::bearing_report`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BearingReport {
+    /// Claimed source MAC of the decoded frame.
+    pub mac: MacAddr,
+    /// Direct-path azimuth in the global frame, radians.
+    pub azimuth: f64,
+    /// Fraction of ranked-peak power in the direct-path peak, `[0, 1]` —
+    /// how unambiguous this bearing is.
+    pub confidence: f64,
+    /// Received signal strength over the packet, dB.
+    pub rss_db: f64,
+    /// Caller-assigned sequence number (e.g. position in the
+    /// observation window).
+    pub seq: u64,
+}
+
 /// One processed packet: everything the applications consume.
 #[derive(Debug, Clone)]
 pub struct Observation {
@@ -140,6 +227,36 @@ pub struct Observation {
     pub cfo: f64,
     /// Full estimator output (spectrum, source count, eigenvalues).
     pub estimate: AoaEstimate,
+}
+
+impl Observation {
+    /// How unambiguous the direct-path bearing is: the fraction of
+    /// ranked-peak Bartlett power carried by the top-ranked peak,
+    /// `[0, 1]`. A clean line-of-sight packet concentrates power in one
+    /// peak (→ 1.0); heavy multipath spreads it (→ small).
+    pub fn confidence(&self) -> f64 {
+        let total: f64 = self.estimate.ranked_peaks.iter().map(|p| p.power).sum();
+        match self.estimate.ranked_peaks.first() {
+            Some(top) if total > 0.0 => top.power / total,
+            _ => 0.0,
+        }
+    }
+
+    /// Distill this observation into the `(mac, azimuth, confidence,
+    /// seq)` record a multi-AP fusion stage consumes. `None` when the
+    /// frame did not decode (no MAC to attribute the bearing to) or the
+    /// array has no unambiguous global azimuth (linear arrays).
+    pub fn bearing_report(&self, seq: u64) -> Option<BearingReport> {
+        let frame = self.frame.as_ref()?;
+        let azimuth = self.global_azimuth?;
+        Some(BearingReport {
+            mac: frame.src,
+            azimuth,
+            confidence: self.confidence(),
+            rss_db: self.rss_db,
+            seq,
+        })
+    }
 }
 
 /// Why an observation could not be produced.
@@ -282,29 +399,17 @@ impl AccessPoint {
         &self,
         buffer: &CMat,
     ) -> Result<(Option<Frame>, usize, f64, usize), ObserveError> {
-        let ref_chain = buffer.row(0);
-        let rx = Receiver::new(self.cfg.modulation);
-        match rx.decode(&ref_chain) {
-            Ok(pkt) => {
-                let tx = Transmitter::new(self.cfg.modulation);
-                let len = tx.packet_len(pkt.payload.len());
-                let frame = Frame::decode(&pkt.payload).ok();
-                Ok((frame, pkt.start, pkt.cfo, len))
-            }
-            Err(PhyError::NoPacket) => Err(ObserveError::NoPacket),
-            Err(_) => {
-                // Header or tail corrupted: still usable for AoA. Fall
-                // back to the raw detector for the extent.
-                let sc = sa_sigproc::schmidl_cox::SchmidlCox::new(sa_phy::preamble::SC_HALF_LEN);
-                let det = sc
-                    .detect(&ref_chain)
-                    .into_iter()
-                    .next()
-                    .ok_or(ObserveError::NoPacket)?;
-                let start = det.start.saturating_sub(sa_phy::params::N_CP);
-                Ok((None, start, det.cfo, 512))
-            }
+        let d = decode_reference(buffer, self.cfg.modulation)?;
+        Ok((d.frame, d.start, d.cfo, d.pkt_len))
+    }
+
+    /// Run stage 1 only: detect + decode the first packet of a capture
+    /// into a shareable [`DecodedPacket`] (see [`decode_reference`]).
+    pub fn decode_capture(&self, buffer: &CMat) -> Result<DecodedPacket, ObserveError> {
+        if buffer.rows() != self.cfg.array.len() || buffer.cols() == 0 {
+            return Err(ObserveError::BadBuffer);
         }
+        decode_reference(buffer, self.cfg.modulation)
     }
 
     /// Stage 2: copy the packet's sample window out of a capture
@@ -384,10 +489,24 @@ impl AccessPoint {
     /// engine (manifold, steering table, eigensolver workspace) once;
     /// every packet staged into the batch then shares it.
     pub fn batch(&self) -> PacketBatch<'_> {
+        self.batch_with_engine(AoaEngine::new(&self.cfg.array, &self.cfg.aoa))
+    }
+
+    /// Start a [`PacketBatch`] around an existing [`AoaEngine`] — the
+    /// long-lived ingest path for workers that process window after
+    /// window: recover the engine with [`PacketBatch::into_engine`] when
+    /// a window closes and hand it back here for the next one, so the
+    /// manifold and eigensolver buffers are built once per worker, not
+    /// once per window. The engine must have been built for this AP's
+    /// `(array, aoa)` configuration (e.g. by a previous
+    /// [`AccessPoint::batch`] on the same AP).
+    pub fn batch_with_engine(&self, engine: AoaEngine) -> PacketBatch<'_> {
         PacketBatch {
             ap: self,
-            engine: AoaEngine::new(&self.cfg.array, &self.cfg.aoa),
+            engine,
             cov: CMat::default(),
+            decim: CMat::default(),
+            snapshot_cap: 0,
             staged: Vec::new(),
         }
     }
@@ -510,6 +629,12 @@ pub struct PacketBatch<'ap> {
     engine: AoaEngine,
     /// Recycled covariance buffer (one per packet, same allocation).
     cov: CMat,
+    /// Recycled snapshot-decimation buffer (see
+    /// [`PacketBatch::set_snapshot_cap`]).
+    decim: CMat,
+    /// Covariance snapshot budget; 0 = use every sample (the default,
+    /// bit-identical to the single-packet path).
+    snapshot_cap: usize,
     staged: Vec<StagedPacket>,
 }
 
@@ -564,6 +689,82 @@ impl PacketBatch<'_> {
         staged
     }
 
+    /// Stage a packet whose stage-1 result is already known — the
+    /// deployment fan-out path: the coordinator runs
+    /// [`decode_reference`] once per client transmission and every AP
+    /// worker stages its *own* capture of that transmission with the
+    /// shared [`DecodedPacket`], skipping the per-AP detect + decode
+    /// cost entirely. The window is extracted from `buffer` at the
+    /// decoded extent (clamped to the buffer, so small per-AP arrival
+    /// offsets are tolerated).
+    ///
+    /// With a [`PacketBatch::set_snapshot_cap`] in force, the window is
+    /// decimated *at extraction*: every DSP stage (calibration,
+    /// covariance, RSS) then works on at most `cap` uniformly-strided
+    /// snapshots, so per-packet cost stops scaling with payload length.
+    /// (Per-chain calibration commutes with subsampling and a CFO
+    /// cancels in `x·xᴴ` regardless of stride, so bearings and
+    /// signatures are those of the capped covariance; `rss_db` becomes
+    /// a subsample estimate and `extent` reports the staged snapshot
+    /// count.)
+    pub fn push_predecoded(
+        &mut self,
+        buffer: &CMat,
+        decoded: &DecodedPacket,
+    ) -> Result<(), ObserveError> {
+        if buffer.rows() != self.ap.cfg.array.len() || buffer.cols() == 0 {
+            return Err(ObserveError::BadBuffer);
+        }
+        if decoded.start >= buffer.cols() {
+            return Err(ObserveError::NoPacket);
+        }
+        let start = decoded.start;
+        let end = (start + decoded.pkt_len).min(buffer.cols());
+        let len = end - start;
+        let window = if self.snapshot_cap > 0 && len > self.snapshot_cap {
+            let stride = len.div_ceil(self.snapshot_cap);
+            let n = len.div_ceil(stride);
+            CMat::from_fn(buffer.rows(), n, |m, t| buffer[(m, start + t * stride)])
+        } else {
+            self.ap.extract_window(buffer, start, decoded.pkt_len)
+        };
+        self.staged.push(StagedPacket {
+            window,
+            frame: decoded.frame.clone(),
+            start,
+            cfo: decoded.cfo,
+        });
+        Ok(())
+    }
+
+    /// Cap the number of covariance snapshots per packet: windows
+    /// longer than `cap` samples are decimated by a uniform stride. A
+    /// few hundred snapshots already saturate an 8×8 sample
+    /// covariance, so deployments trade an invisible accuracy loss for
+    /// a DSP cost that stops scaling with payload length. `0` (the
+    /// default) disables the cap — and is the only setting that keeps
+    /// batched results bit-identical to [`AccessPoint::observe`].
+    ///
+    /// Where the decimation happens differs by ingest path. On
+    /// [`PacketBatch::push_predecoded`] the *staged window itself* is
+    /// decimated, so `rss_db` becomes a strided-subsample estimate and
+    /// `extent` reports the staged snapshot count. On
+    /// [`PacketBatch::push`]/[`PacketBatch::push_all`] the full window
+    /// is staged and only the covariance input is decimated — RSS and
+    /// `extent` still cover the whole packet (`push_all`'s scan cursor
+    /// depends on the full extent).
+    pub fn set_snapshot_cap(&mut self, cap: usize) {
+        self.snapshot_cap = cap;
+    }
+
+    /// Tear the batch down to its [`AoaEngine`] so the engine (manifold,
+    /// steering table, eigensolver buffers) can outlive this borrow of
+    /// the AP — see [`AccessPoint::batch_with_engine`]. Any staged,
+    /// unprocessed packets are dropped.
+    pub fn into_engine(self) -> AoaEngine {
+        self.engine
+    }
+
     /// Number of packets currently staged.
     pub fn len(&self) -> usize {
         self.staged.len()
@@ -589,10 +790,21 @@ impl PacketBatch<'_> {
             } = staged;
             // 2b. Calibrate (per-chain corrections, §2.2).
             self.ap.calibration.apply(&mut window);
-            // 3–4. Covariance into the recycled buffer, then AoA through
-            // the shared engine.
-            sample_covariance_into(&window, &mut self.cov);
-            let estimate = self.engine.estimate_cov(&self.cov, window.cols());
+            // 3–4. Covariance into the recycled buffer (optionally over
+            // a decimated snapshot set), then AoA through the shared
+            // engine.
+            let (cov_src, n_snapshots) =
+                if self.snapshot_cap > 0 && window.cols() > self.snapshot_cap {
+                    let stride = window.cols().div_ceil(self.snapshot_cap);
+                    let n = window.cols().div_ceil(stride);
+                    self.decim
+                        .reset_from_fn(window.rows(), n, |m, t| window[(m, t * stride)]);
+                    (&self.decim, n)
+                } else {
+                    (&window, window.cols())
+                };
+            sample_covariance_into(cov_src, &mut self.cov);
+            let estimate = self.engine.estimate_cov(&self.cov, n_snapshots);
             // 5. Signature + RSS.
             out.push(
                 self.ap

@@ -79,8 +79,15 @@ impl MobilityTracker {
 
     /// Absorb a fix taken `dt` seconds after the previous one.
     /// The first fix initialises the track at zero velocity.
+    ///
+    /// `dt` is clamped at zero: multi-AP observation windows can close
+    /// out of order, so a fix may carry the same (or an earlier)
+    /// timestamp as the previous one. Such a fix is absorbed as a
+    /// **position-only** update — no prediction, no velocity change —
+    /// with the innovation clamped to the static ±1 m envelope, instead
+    /// of panicking or letting `β·i/dt` blow the velocity up.
     pub fn update(&mut self, fix: Point, dt: f64) -> TrackPoint {
-        assert!(dt >= 0.0, "update: negative dt");
+        let dt = dt.max(0.0);
         let next = match &self.state {
             None => TrackPoint {
                 position: fix,
@@ -88,28 +95,32 @@ impl MobilityTracker {
                 outlier: false,
             },
             Some(s) => {
-                let dt_eff = dt.max(1e-6);
-                // Predict.
-                let px = s.position.x + s.velocity.0 * dt_eff;
-                let py = s.position.y + s.velocity.1 * dt_eff;
+                // Predict (a no-op when dt == 0).
+                let px = s.position.x + s.velocity.0 * dt;
+                let py = s.position.y + s.velocity.1 * dt;
                 // Innovation, with outlier clamping: a fix implying an
                 // impossible jump is shrunk to the max-speed envelope.
                 let mut ix = fix.x - px;
                 let mut iy = fix.y - py;
                 let jump = ix.hypot(iy);
-                let limit = self.cfg.max_speed * dt_eff + 1.0;
+                let limit = self.cfg.max_speed * dt + 1.0;
                 let outlier = jump > limit;
                 if outlier {
                     let scale = limit / jump;
                     ix *= scale;
                     iy *= scale;
                 }
+                let velocity = if dt > 0.0 {
+                    (
+                        s.velocity.0 + self.cfg.beta * ix / dt,
+                        s.velocity.1 + self.cfg.beta * iy / dt,
+                    )
+                } else {
+                    s.velocity
+                };
                 TrackPoint {
                     position: pt(px + self.cfg.alpha * ix, py + self.cfg.alpha * iy),
-                    velocity: (
-                        s.velocity.0 + self.cfg.beta * ix / dt_eff,
-                        s.velocity.1 + self.cfg.beta * iy / dt_eff,
-                    ),
+                    velocity,
                     outlier,
                 }
             }
@@ -182,6 +193,45 @@ mod tests {
         assert!(
             s.position.x < 3.0,
             "outlier dragged the track to x = {}",
+            s.position.x
+        );
+    }
+
+    #[test]
+    fn zero_dt_fix_is_position_only() {
+        // Two APs' windows can close simultaneously: the second fix
+        // arrives with dt == 0 and must not panic, spike the velocity,
+        // or trip the outlier gate for a nearby fix.
+        let mut t = MobilityTracker::new(TrackerConfig::default());
+        t.update(pt(0.0, 0.0), 0.0);
+        t.update(pt(1.0, 0.0), 1.0);
+        let v_before = t.state().unwrap().velocity;
+        let s = t.update(pt(1.3, 0.1), 0.0);
+        assert!(!s.outlier, "near fix at dt=0 flagged as outlier");
+        assert_eq!(s.velocity, v_before, "dt=0 must not touch velocity");
+        // Blended toward the fix from the current track position.
+        assert!(s.position.x > 0.5 && s.position.x < 1.3);
+        assert!(s.position.x.is_finite() && s.velocity.0.is_finite());
+    }
+
+    #[test]
+    fn negative_dt_is_clamped_to_position_only() {
+        // An out-of-order window (earlier timestamp than the last fix)
+        // behaves exactly like dt == 0.
+        let mut t = MobilityTracker::new(TrackerConfig::default());
+        t.update(pt(0.0, 0.0), 0.0);
+        t.update(pt(1.0, 0.0), 1.0);
+        let v_before = t.state().unwrap().velocity;
+        let s = t.update(pt(1.2, 0.0), -0.5);
+        assert_eq!(s.velocity, v_before);
+        assert!(s.position.x.is_finite() && s.position.y.is_finite());
+        // A far fix at dt <= 0 is still outlier-clamped to the static
+        // envelope rather than dragging the track.
+        let s = t.update(pt(40.0, 0.0), 0.0);
+        assert!(s.outlier);
+        assert!(
+            s.position.x < 3.0,
+            "outlier dragged track to {}",
             s.position.x
         );
     }

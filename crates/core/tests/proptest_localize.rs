@@ -1,0 +1,89 @@
+//! Property-based tests for `secureangle::localize` — in particular the
+//! near-parallel degenerate geometry that multi-AP deployments hit when
+//! two APs sit almost on the same ray to a client.
+
+use proptest::prelude::*;
+use sa_channel::geom::pt;
+use secureangle::localize::{localize, BearingObservation, LocalizeError};
+
+fn obs(x: f64, y: f64, az: f64) -> BearingObservation {
+    BearingObservation {
+        ap_position: pt(x, y),
+        azimuth: az,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two APs whose bearings agree to within 1e-6 rad are numerically
+    /// parallel: `localize` must reject them cleanly (or, if it ever
+    /// accepts, return a finite high-residual fix) — never NaN/∞
+    /// coordinates that would poison a tracker downstream.
+    #[test]
+    fn near_parallel_two_ap_bearings_never_produce_nan(
+        ax in -50.0f64..50.0,
+        ay in -50.0f64..50.0,
+        bx in -50.0f64..50.0,
+        by in -50.0f64..50.0,
+        az in 0.0f64..std::f64::consts::TAU,
+        delta in -1e-6f64..1e-6,
+    ) {
+        let fix = localize(&[obs(ax, ay, az), obs(bx, by, az + delta)]);
+        match fix {
+            Err(LocalizeError::DegenerateGeometry) => {}
+            Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+            Ok(f) => {
+                prop_assert!(
+                    f.position.x.is_finite() && f.position.y.is_finite(),
+                    "non-finite fix {:?}",
+                    f.position
+                );
+                prop_assert!(f.residual_m.is_finite() && f.residual_m >= 0.0);
+                // If two near-parallel bearings are accepted at all, the
+                // solution must advertise its own unreliability: either
+                // the residual is large or the fix flew implausibly far
+                // from both APs.
+                let far = f.position.dist(pt(ax, ay)).min(f.position.dist(pt(bx, by)));
+                prop_assert!(
+                    f.residual_m > 1.0 || far > 1e3 || f.behind_count > 0,
+                    "near-parallel bearings produced a confident fix: {:?}",
+                    f
+                );
+            }
+        }
+    }
+
+    /// Whatever the geometry — any AP placement, any bearings, up to
+    /// five APs — `localize` never returns non-finite coordinates or a
+    /// negative/NaN residual.
+    #[test]
+    fn localize_output_is_always_finite(
+        aps in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, 0.0f64..std::f64::consts::TAU), 2..5)
+    ) {
+        let bearings: Vec<_> = aps.iter().map(|&(x, y, az)| obs(x, y, az)).collect();
+        if let Ok(f) = localize(&bearings) {
+            prop_assert!(f.position.x.is_finite() && f.position.y.is_finite());
+            prop_assert!(f.residual_m.is_finite() && f.residual_m >= 0.0);
+            prop_assert!(f.behind_count <= bearings.len());
+        }
+    }
+
+    /// Consistent geometry sanity: bearings aimed exactly at a common
+    /// target from well-separated APs recover the target (regression
+    /// guard so the degenerate-case handling never over-rejects).
+    #[test]
+    fn well_separated_consistent_bearings_recover_the_target(
+        tx in -20.0f64..20.0,
+        ty in -20.0f64..20.0,
+    ) {
+        let aps = [pt(-30.0, -25.0), pt(30.0, -25.0), pt(0.0, 30.0)];
+        let bearings: Vec<_> = aps
+            .iter()
+            .map(|&p| BearingObservation { ap_position: p, azimuth: p.azimuth_to(pt(tx, ty)) })
+            .collect();
+        let f = localize(&bearings).expect("non-degenerate geometry");
+        prop_assert!(f.position.dist(pt(tx, ty)) < 1e-6, "fix {:?}", f.position);
+        prop_assert_eq!(f.behind_count, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Deployment configuration and errors.
+
+use secureangle::spoof::ConsensusConfig;
+use secureangle::tracking::TrackerConfig;
+
+/// Configuration for a [`crate::Deployment`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeployConfig {
+    /// Nominal duration of one observation window, seconds — the `dt`
+    /// fed to each client's α–β tracker between fused fixes. Purely
+    /// logical time: the scheduler never reads a wall clock.
+    pub window_dt_s: f64,
+    /// Capacity of each bounded MPSC channel (coordinator → worker and
+    /// worker → fusion). Full channels block the sender after bumping a
+    /// backpressure counter; nothing is ever silently dropped, so runs
+    /// stay deterministic under load.
+    pub channel_capacity: usize,
+    /// Covariance snapshot budget per packet, forwarded to
+    /// [`secureangle::PacketBatch::set_snapshot_cap`]. A few hundred
+    /// snapshots saturate an 8×8 covariance; capping keeps per-AP DSP
+    /// cost flat in payload length. `0` uses every sample.
+    pub snapshot_cap: usize,
+    /// Auto-train per-AP signature profiles: when an ACL-admitted MAC
+    /// is seen untrained, the worker trains its AP's spoof profile from
+    /// that observation (the paper's "initial training stage", run at
+    /// deployment scale).
+    pub auto_train_signatures: bool,
+    /// Auto-train consensus reference positions: a client's first clean
+    /// fused fix (low residual, no behind-AP bearings) becomes its
+    /// reference for the cross-AP spoof consensus.
+    pub auto_train_references: bool,
+    /// Minimum number of distinct APs that must contribute a bearing
+    /// before fusion attempts a localization fix.
+    pub min_aps_for_fix: usize,
+    /// Residual gate for auto-trained reference positions, meters.
+    pub reference_train_max_residual_m: f64,
+    /// Cross-AP consensus thresholds.
+    pub consensus: ConsensusConfig,
+    /// Per-client α–β tracker gains.
+    pub tracker: TrackerConfig,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        Self {
+            window_dt_s: 0.5,
+            channel_capacity: 64,
+            snapshot_cap: 256,
+            auto_train_signatures: true,
+            auto_train_references: true,
+            min_aps_for_fix: 2,
+            reference_train_max_residual_m: 1.0,
+            consensus: ConsensusConfig::default(),
+            tracker: TrackerConfig::default(),
+        }
+    }
+}
+
+/// Why a deployment operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployError {
+    /// A transmission did not carry exactly one capture per AP.
+    ApCountMismatch {
+        /// Number of APs in the deployment.
+        expected: usize,
+        /// Number of captures in the offending transmission.
+        got: usize,
+    },
+    /// `collect_window` was called with no window in flight.
+    NothingSubmitted,
+    /// A worker thread disconnected mid-run (it panicked or was lost).
+    WorkerLost {
+        /// Window being collected when the loss was noticed.
+        window: u64,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::ApCountMismatch { expected, got } => {
+                write!(f, "transmission has {} captures for {} APs", got, expected)
+            }
+            DeployError::NothingSubmitted => write!(f, "no submitted window to collect"),
+            DeployError::WorkerLost { window } => {
+                write!(f, "worker disconnected while collecting window {}", window)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = DeployConfig::default();
+        assert!(cfg.window_dt_s > 0.0);
+        assert!(cfg.channel_capacity > 0);
+        assert!(cfg.min_aps_for_fix >= 2);
+        assert!(cfg.reference_train_max_residual_m <= cfg.consensus.max_residual_m);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = DeployError::ApCountMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("4 APs"));
+        assert!(DeployError::NothingSubmitted
+            .to_string()
+            .contains("collect"));
+        assert!(DeployError::WorkerLost { window: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

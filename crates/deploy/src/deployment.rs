@@ -1,0 +1,334 @@
+//! The deployment coordinator: N AP worker threads, one shared decode
+//! pass, window scheduling and the fusion drain.
+
+use crate::config::{DeployConfig, DeployError};
+use crate::fusion::Fusion;
+use crate::report::{ApStats, DeployMetrics, DeploymentReport, FusedWindow};
+use crate::worker::{run_worker, WindowDone, WorkerCfg, WorkerMsg, WorkerPacket};
+use sa_channel::geom::Point;
+use sa_linalg::CMat;
+use sa_mac::MacAddr;
+use sa_phy::Modulation;
+use secureangle::pipeline::decode_reference;
+use secureangle::AccessPoint;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One client transmission as every AP heard it: `per_ap[k]` is AP
+/// `k`'s multi-antenna capture of the same frame. Captures are
+/// reference-counted so staging a transmission is cheap.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// One capture per AP, in AP order.
+    pub per_ap: Vec<Arc<CMat>>,
+}
+
+impl Transmission {
+    /// Wrap raw per-AP captures (e.g. from
+    /// `sa_testbed::Testbed::transmission`).
+    pub fn new(captures: Vec<CMat>) -> Self {
+        Self {
+            per_ap: captures.into_iter().map(Arc::new).collect(),
+        }
+    }
+}
+
+struct WorkerHandle {
+    tx: SyncSender<WorkerMsg>,
+    join: JoinHandle<(AccessPoint, ApStats)>,
+}
+
+/// Reports buffered for one not-yet-closed window.
+#[derive(Default)]
+struct WindowBin {
+    packets: Vec<crate::report::ApPacket>,
+    ends: usize,
+    end_stats: Vec<(usize, ApStats)>,
+}
+
+/// A running multi-AP deployment (see the crate docs for the data
+/// flow). Construction spawns one worker thread per AP; dropping
+/// without [`Deployment::finish`] shuts the workers down but discards
+/// their state.
+pub struct Deployment {
+    cfg: DeployConfig,
+    modulation: Modulation,
+    ap_positions: Vec<Point>,
+    workers: Vec<WorkerHandle>,
+    up_rx: Receiver<WindowDone>,
+    fusion: Fusion,
+    /// Windows submitted but not yet collected, in order.
+    pending: VecDeque<u64>,
+    next_window: u64,
+    bins: BTreeMap<u64, WindowBin>,
+    metrics: DeployMetrics,
+    per_ap_window_stats: Vec<ApStats>,
+}
+
+impl Deployment {
+    /// Spawn a deployment over the given APs. All APs must share one
+    /// modulation (the shared decode runs once per transmission) and
+    /// have a circular array if their bearings are to contribute global
+    /// azimuths. Panics on an empty AP list or mixed modulations.
+    pub fn new(aps: Vec<AccessPoint>, cfg: DeployConfig) -> Self {
+        assert!(!aps.is_empty(), "deployment needs at least one AP");
+        let modulation = aps[0].config().modulation;
+        assert!(
+            aps.iter().all(|ap| ap.config().modulation == modulation),
+            "deployment APs must share one modulation"
+        );
+        let ap_positions: Vec<Point> = aps.iter().map(|ap| ap.config().position).collect();
+        let n_aps = aps.len();
+
+        let (up_tx, up_rx) = sync_channel(cfg.channel_capacity.max(1));
+        let workers = aps
+            .into_iter()
+            .enumerate()
+            .map(|(ap_id, ap)| {
+                let (tx, rx) = sync_channel(cfg.channel_capacity.max(1));
+                let up = up_tx.clone();
+                let wcfg = WorkerCfg {
+                    snapshot_cap: cfg.snapshot_cap,
+                    auto_train_signatures: cfg.auto_train_signatures,
+                };
+                let join = std::thread::Builder::new()
+                    .name(format!("sa-deploy-ap{}", ap_id))
+                    .spawn(move || run_worker(ap_id, ap, wcfg, rx, up))
+                    .expect("spawn AP worker");
+                WorkerHandle { tx, join }
+            })
+            .collect();
+
+        Self {
+            fusion: Fusion::new(ap_positions.clone(), cfg),
+            cfg,
+            modulation,
+            ap_positions,
+            workers,
+            up_rx,
+            pending: VecDeque::new(),
+            next_window: 0,
+            bins: BTreeMap::new(),
+            metrics: DeployMetrics::default(),
+            per_ap_window_stats: vec![ApStats::default(); n_aps],
+        }
+    }
+
+    /// Number of APs in the deployment.
+    pub fn n_aps(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DeployConfig {
+        &self.cfg
+    }
+
+    /// AP positions, by AP id.
+    pub fn ap_positions(&self) -> &[Point] {
+        &self.ap_positions
+    }
+
+    /// Running deployment-wide counters.
+    pub fn metrics(&self) -> &DeployMetrics {
+        &self.metrics
+    }
+
+    /// Per-AP statistics accumulated so far (from closed windows only;
+    /// the final totals come back in the [`DeploymentReport`]).
+    pub fn per_ap_stats(&self) -> &[ApStats] {
+        &self.per_ap_window_stats
+    }
+
+    /// Train a client's consensus reference position by hand (see
+    /// [`Fusion::train_reference`]).
+    pub fn train_reference(&mut self, mac: MacAddr, position: Point) {
+        self.fusion.train_reference(mac, position);
+    }
+
+    /// A client's trained consensus reference position.
+    pub fn reference(&self, mac: &MacAddr) -> Option<Point> {
+        self.fusion.reference(mac)
+    }
+
+    /// Ingest one observation window of traffic: run the shared stage-1
+    /// decode per transmission and dispatch the per-AP captures (plus
+    /// the shared [`secureangle::DecodedPacket`]) to every worker.
+    /// Returns the window number. Transmissions whose reference capture
+    /// contains no detectable packet are counted in
+    /// [`DeployMetrics::decode_failures`] and skipped fleet-wide.
+    pub fn submit_window(&mut self, transmissions: Vec<Transmission>) -> Result<u64, DeployError> {
+        let n_aps = self.n_aps();
+        for t in &transmissions {
+            if t.per_ap.len() != n_aps {
+                return Err(DeployError::ApCountMismatch {
+                    expected: n_aps,
+                    got: t.per_ap.len(),
+                });
+            }
+        }
+        let window = self.next_window;
+        self.next_window += 1;
+
+        // Stage 1, once per transmission.
+        let mut per_worker: Vec<Vec<WorkerPacket>> = (0..n_aps).map(|_| Vec::new()).collect();
+        for (seq, t) in transmissions.into_iter().enumerate() {
+            self.metrics.transmissions += 1;
+            let decoded = match decode_reference(&t.per_ap[0], self.modulation) {
+                Ok(d) => Arc::new(d),
+                Err(_) => {
+                    self.metrics.decode_failures += 1;
+                    continue;
+                }
+            };
+            for (k, buffer) in t.per_ap.into_iter().enumerate() {
+                per_worker[k].push(WorkerPacket {
+                    buffer,
+                    decoded: decoded.clone(),
+                    seq: seq as u64,
+                });
+            }
+        }
+
+        // Dispatch, with ingest backpressure accounting. A full worker
+        // queue is never waited on blindly: the coordinator keeps
+        // draining the report channel while it waits, so workers stuck
+        // publishing finished windows can always make progress — deep
+        // pipelining backs up gracefully instead of deadlocking on a
+        // full channel cycle.
+        for (k, packets) in per_worker.into_iter().enumerate() {
+            self.metrics.packets_dispatched += packets.len() as u64;
+            let mut msg = WorkerMsg::Window { window, packets };
+            let mut counted = false;
+            loop {
+                match self.workers[k].tx.try_send(msg) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(m)) => {
+                        msg = m;
+                        if !counted {
+                            self.metrics.ingest_backpressure_events += 1;
+                            counted = true;
+                        }
+                        self.wait_for_progress(window)?;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Err(DeployError::WorkerLost { window });
+                    }
+                }
+            }
+        }
+        self.pending.push_back(window);
+        Ok(window)
+    }
+
+    /// Route one worker report batch into its window's bin.
+    fn route(&mut self, done: WindowDone) {
+        let bin = self.bins.entry(done.window).or_default();
+        bin.packets.extend(done.packets);
+        bin.ends += 1;
+        bin.end_stats.push((done.ap_id, done.stats));
+        let depth: usize = self.bins.values().map(|b| b.packets.len()).sum();
+        self.metrics.max_fusion_queue_depth = self.metrics.max_fusion_queue_depth.max(depth);
+    }
+
+    /// Wait a beat for the workers to make progress, draining any
+    /// report that arrives in the meantime. Detects dead workers: a
+    /// worker thread that has exited without a shutdown order means a
+    /// panic, and blocking further would hang forever (the channel
+    /// only disconnects when *every* sender is gone).
+    fn wait_for_progress(&mut self, window: u64) -> Result<(), DeployError> {
+        match self
+            .up_rx
+            .recv_timeout(std::time::Duration::from_millis(10))
+        {
+            Ok(done) => {
+                self.route(done);
+                Ok(())
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if self.workers.iter().any(|w| w.join.is_finished()) {
+                    return Err(DeployError::WorkerLost { window });
+                }
+                Ok(())
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Err(DeployError::WorkerLost { window })
+            }
+        }
+    }
+
+    /// Block until the oldest in-flight window has been fully reported
+    /// by every AP, then fuse and return it. Reports for later windows
+    /// that arrive in the meantime are buffered (their depth shows up
+    /// in [`DeployMetrics::max_fusion_queue_depth`]).
+    pub fn collect_window(&mut self) -> Result<FusedWindow, DeployError> {
+        let window = self
+            .pending
+            .pop_front()
+            .ok_or(DeployError::NothingSubmitted)?;
+        let n_aps = self.n_aps();
+        while self.bins.get(&window).map_or(0, |b| b.ends) < n_aps {
+            self.wait_for_progress(window)?;
+        }
+
+        let bin = self.bins.remove(&window).unwrap_or_default();
+        for (ap_id, stats) in &bin.end_stats {
+            self.per_ap_window_stats[*ap_id].absorb(stats);
+            self.metrics.report_backpressure_events += stats.backpressure_events;
+        }
+        let fused = self.fusion.fuse_window(window, bin.packets);
+        self.metrics.windows += 1;
+        self.metrics.fused_bearings += fused.bearings as u64;
+        self.metrics.localize_failures += fused.localize_failures as u64;
+        for c in &fused.clients {
+            if c.fix.is_some() {
+                self.metrics.fixes += 1;
+            }
+            if c.consensus.is_spoof() {
+                self.metrics.consensus_flags += 1;
+            }
+        }
+        Ok(fused)
+    }
+
+    /// Submit one window and immediately collect it — the synchronous
+    /// convenience path (`submit` + `collect` pipelined manually allow
+    /// several windows in flight instead).
+    pub fn run_window(
+        &mut self,
+        transmissions: Vec<Transmission>,
+    ) -> Result<FusedWindow, DeployError> {
+        self.submit_window(transmissions)?;
+        self.collect_window()
+    }
+
+    /// Drain any in-flight windows, shut the workers down, and return
+    /// the final report together with the APs (whose trained signature
+    /// stores and quarantine state survive the deployment).
+    pub fn finish(mut self) -> (DeploymentReport, Vec<AccessPoint>) {
+        while !self.pending.is_empty() {
+            if self.collect_window().is_err() {
+                break;
+            }
+        }
+        for w in &self.workers {
+            let _ = w.tx.send(WorkerMsg::Shutdown);
+        }
+        let mut per_ap = Vec::with_capacity(self.workers.len());
+        let mut aps = Vec::with_capacity(self.workers.len());
+        for w in self.workers {
+            let (ap, stats) = w.join.join().expect("AP worker panicked");
+            aps.push(ap);
+            per_ap.push(stats);
+        }
+        let report = DeploymentReport {
+            n_aps: aps.len(),
+            metrics: self.metrics,
+            per_ap,
+            clients: self.fusion.client_summaries(),
+        };
+        (report, aps)
+    }
+}

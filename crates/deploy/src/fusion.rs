@@ -1,0 +1,339 @@
+//! The bearing-fusion stage: group per-AP packet reports by client and
+//! window, intersect the bearings, smooth per-client tracks, and run
+//! the cross-AP spoof consensus.
+//!
+//! Fusion is deterministic by construction: reports are sorted by
+//! `(ap, seq)` before fusing and clients are visited in MAC order, so
+//! the output is independent of how the worker threads interleaved on
+//! the report channel.
+
+use crate::config::DeployConfig;
+use crate::report::{ApPacket, ClientFix, ClientSummary, FusedWindow};
+use sa_channel::geom::Point;
+use sa_mac::MacAddr;
+use secureangle::localize::{localize_robust, BearingObservation};
+use secureangle::spoof::{ConsensusVerdict, CrossApConsensus};
+use secureangle::tracking::MobilityTracker;
+use std::collections::BTreeMap;
+
+/// Per-client fusion state.
+struct ClientState {
+    tracker: MobilityTracker,
+    last_window: u64,
+    fixes: u64,
+    residual_sum: f64,
+}
+
+/// The fusion stage. [`crate::Deployment`] owns one, but it is usable
+/// standalone (and benchmarked standalone): feed it one window's
+/// [`ApPacket`]s and it returns the fused result.
+pub struct Fusion {
+    cfg: DeployConfig,
+    ap_positions: Vec<Point>,
+    consensus: CrossApConsensus,
+    clients: BTreeMap<MacAddr, ClientState>,
+}
+
+impl Fusion {
+    /// New fusion stage for APs at the given positions.
+    pub fn new(ap_positions: Vec<Point>, cfg: DeployConfig) -> Self {
+        Self {
+            consensus: CrossApConsensus::new(cfg.consensus),
+            cfg,
+            ap_positions,
+            clients: BTreeMap::new(),
+        }
+    }
+
+    /// Train (or move) a client's consensus reference position by hand
+    /// (e.g. from a commissioning survey instead of auto-training).
+    pub fn train_reference(&mut self, mac: MacAddr, position: Point) {
+        self.consensus.train(mac, position);
+    }
+
+    /// A client's trained consensus reference position.
+    pub fn reference(&self, mac: &MacAddr) -> Option<Point> {
+        self.consensus.reference(mac)
+    }
+
+    /// Consensus flags accumulated for a client.
+    pub fn consensus_flags(&self, mac: &MacAddr) -> usize {
+        self.consensus.flag_count(mac)
+    }
+
+    /// Fuse one closed window. `packets` is everything every AP
+    /// reported for the window, in any order; ordering is normalised
+    /// internally. Tracker `dt` is derived from the gap in window
+    /// numbers (late windows fall back to the tracker's zero-`dt`
+    /// position-only update).
+    pub fn fuse_window(&mut self, window: u64, mut packets: Vec<ApPacket>) -> FusedWindow {
+        packets.sort_by_key(|p| (p.ap_id, p.seq));
+
+        // Group by claimed MAC, preserving the (ap, seq) order.
+        let mut by_mac: BTreeMap<MacAddr, Vec<&ApPacket>> = BTreeMap::new();
+        for p in &packets {
+            if let Some(mac) = p.mac {
+                by_mac.entry(mac).or_default().push(p);
+            }
+        }
+
+        let mut clients = Vec::with_capacity(by_mac.len());
+        let mut bearings_total = 0usize;
+        let mut localize_failures = 0usize;
+        for (mac, reports) in by_mac {
+            let mut bearings = Vec::new();
+            let mut bearing_aps = Vec::new();
+            let mut confidence_sum = 0.0;
+            let mut admitted_aps = 0usize;
+            let mut flagged_aps = 0usize;
+            for r in &reports {
+                if let Some(b) = &r.report {
+                    bearings.push(BearingObservation {
+                        ap_position: self.ap_positions[r.ap_id],
+                        azimuth: b.azimuth,
+                    });
+                    bearing_aps.push(r.ap_id);
+                    confidence_sum += b.confidence;
+                }
+                match r.verdict {
+                    secureangle::pipeline::FrameVerdict::Admit { .. } => admitted_aps += 1,
+                    secureangle::pipeline::FrameVerdict::Drop(
+                        secureangle::pipeline::DropReason::SpoofSuspected { .. },
+                    )
+                    | secureangle::pipeline::FrameVerdict::Drop(
+                        secureangle::pipeline::DropReason::Quarantined,
+                    ) => flagged_aps += 1,
+                    _ => {}
+                }
+            }
+            bearings_total += bearings.len();
+            let distinct_aps = |aps: &[usize]| {
+                let mut seen: Vec<usize> = aps.to_vec();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len()
+            };
+            let n_aps = distinct_aps(&bearing_aps);
+            let mean_confidence = if bearings.is_empty() {
+                0.0
+            } else {
+                confidence_sum / bearings.len() as f64
+            };
+
+            let (fix, track, consensus) = if n_aps >= self.cfg.min_aps_for_fix {
+                // Robust fit: a single AP's multipath ghost (a bearing
+                // the fix lands behind) is dropped and the fix refit.
+                match localize_robust(&bearings, self.cfg.min_aps_for_fix) {
+                    Ok((fix, dropped)) => {
+                        // Smooth the trace.
+                        let state = self.clients.entry(mac).or_insert_with(|| ClientState {
+                            tracker: MobilityTracker::new(self.cfg.tracker),
+                            last_window: window,
+                            fixes: 0,
+                            residual_sum: 0.0,
+                        });
+                        let dt =
+                            window.saturating_sub(state.last_window) as f64 * self.cfg.window_dt_s;
+                        let track = state.tracker.update(fix.position, dt);
+                        state.last_window = window;
+                        state.fixes += 1;
+                        state.residual_sum += fix.residual_m;
+                        // Consensus: check against the reference using
+                        // the APs that actually *support* the robust
+                        // fix (dropped ghost bearings no longer count
+                        // toward the min-APs quorum), or auto-train
+                        // the reference from the first clean fix.
+                        let supporting_aps: Vec<usize> = bearing_aps
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| !dropped.contains(i))
+                            .map(|(_, &ap)| ap)
+                            .collect();
+                        let verdict =
+                            self.consensus
+                                .check(mac, &fix, distinct_aps(&supporting_aps));
+                        if verdict == ConsensusVerdict::Untrained
+                            && self.cfg.auto_train_references
+                            && fix.behind_count == 0
+                            && fix.residual_m <= self.cfg.reference_train_max_residual_m
+                        {
+                            self.consensus.train(mac, fix.position);
+                        }
+                        (Some(fix), Some(track), verdict)
+                    }
+                    Err(_) => {
+                        localize_failures += 1;
+                        (None, None, ConsensusVerdict::Insufficient)
+                    }
+                }
+            } else {
+                (None, None, ConsensusVerdict::Insufficient)
+            };
+
+            clients.push(ClientFix {
+                mac,
+                n_aps,
+                n_bearings: bearings.len(),
+                fix,
+                track,
+                consensus,
+                admitted_aps,
+                flagged_aps,
+                mean_confidence,
+            });
+        }
+
+        FusedWindow {
+            window,
+            clients,
+            packets: packets.len(),
+            bearings: bearings_total,
+            localize_failures,
+        }
+    }
+
+    /// Per-client whole-run summaries, ordered by MAC.
+    pub fn client_summaries(&self) -> Vec<ClientSummary> {
+        self.clients
+            .iter()
+            .map(|(mac, s)| ClientSummary {
+                mac: *mac,
+                fixes: s.fixes,
+                mean_residual_m: if s.fixes > 0 {
+                    s.residual_sum / s.fixes as f64
+                } else {
+                    0.0
+                },
+                consensus_flags: self.consensus.flag_count(mac),
+                reference: self.consensus.reference(mac),
+                last_track: s.tracker.state().copied(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_channel::geom::pt;
+    use secureangle::pipeline::FrameVerdict;
+    use secureangle::spoof::SpoofVerdict;
+
+    fn pkt(ap_id: usize, seq: u64, mac: u32, az: f64) -> ApPacket {
+        ApPacket {
+            ap_id,
+            window: 0,
+            seq,
+            mac: Some(MacAddr::local_from_index(mac)),
+            report: Some(secureangle::pipeline::BearingReport {
+                mac: MacAddr::local_from_index(mac),
+                azimuth: az,
+                confidence: 0.9,
+                rss_db: -40.0,
+                seq,
+            }),
+            bearing_deg: az.to_degrees(),
+            rss_db: -40.0,
+            verdict: FrameVerdict::Admit {
+                spoof: SpoofVerdict::Match { score: 0.9 },
+            },
+        }
+    }
+
+    fn square_aps() -> Vec<Point> {
+        vec![pt(0.0, 0.0), pt(10.0, 0.0), pt(10.0, 10.0), pt(0.0, 10.0)]
+    }
+
+    fn bearings_to(aps: &[Point], target: Point, mac: u32) -> Vec<ApPacket> {
+        aps.iter()
+            .enumerate()
+            .map(|(i, &p)| pkt(i, 0, mac, p.azimuth_to(target)))
+            .collect()
+    }
+
+    #[test]
+    fn fuses_consistent_bearings_into_a_fix() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        let target = pt(4.0, 6.0);
+        let out = fusion.fuse_window(0, bearings_to(&aps, target, 1));
+        assert_eq!(out.clients.len(), 1);
+        let c = &out.clients[0];
+        assert_eq!(c.n_aps, 4);
+        let fix = c.fix.expect("fix");
+        assert!(fix.position.dist(target) < 1e-6, "fix {:?}", fix.position);
+        // First clean fix auto-trains the consensus reference.
+        assert_eq!(c.consensus, ConsensusVerdict::Untrained);
+        assert!(fusion.reference(&MacAddr::local_from_index(1)).is_some());
+        // Second window at the same spot is consistent.
+        let out = fusion.fuse_window(1, bearings_to(&aps, target, 1));
+        assert!(matches!(
+            out.clients[0].consensus,
+            ConsensusVerdict::Consistent { .. }
+        ));
+    }
+
+    #[test]
+    fn displaced_client_is_flagged_by_consensus() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        let home = pt(4.0, 6.0);
+        fusion.fuse_window(0, bearings_to(&aps, home, 1));
+        // The same MAC suddenly transmits from 7 m away.
+        let out = fusion.fuse_window(1, bearings_to(&aps, pt(9.0, 1.0), 1));
+        assert!(
+            out.clients[0].consensus.is_spoof(),
+            "verdict {:?}",
+            out.clients[0].consensus
+        );
+        assert_eq!(fusion.consensus_flags(&MacAddr::local_from_index(1)), 1);
+    }
+
+    #[test]
+    fn single_ap_bearing_is_insufficient() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        let out = fusion.fuse_window(0, vec![pkt(0, 0, 1, 0.5)]);
+        assert_eq!(out.clients[0].consensus, ConsensusVerdict::Insufficient);
+        assert!(out.clients[0].fix.is_none());
+    }
+
+    #[test]
+    fn fusion_is_order_independent() {
+        let aps = square_aps();
+        let target = pt(3.0, 3.0);
+        let mut forward = Fusion::new(aps.clone(), DeployConfig::default());
+        let mut reversed = Fusion::new(aps.clone(), DeployConfig::default());
+        let pkts = bearings_to(&aps, target, 1);
+        let mut rev = pkts.clone();
+        rev.reverse();
+        let a = forward.fuse_window(0, pkts);
+        let b = reversed.fuse_window(0, rev);
+        assert_eq!(a, b, "fusion must not depend on arrival order");
+    }
+
+    #[test]
+    fn parallel_bearings_count_as_localize_failure() {
+        let aps = vec![pt(0.0, 0.0), pt(0.0, 5.0)];
+        let mut fusion = Fusion::new(aps, DeployConfig::default());
+        // Both APs report the exact same azimuth from a vertical
+        // baseline pointing... at the same angle: parallel lines.
+        let out = fusion.fuse_window(0, vec![pkt(0, 0, 1, 0.3), pkt(1, 0, 1, 0.3)]);
+        assert_eq!(out.localize_failures, 1);
+        assert!(out.clients[0].fix.is_none());
+    }
+
+    #[test]
+    fn summaries_track_fix_counts() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        for w in 0..3 {
+            fusion.fuse_window(w, bearings_to(&aps, pt(4.0, 6.0), 7));
+        }
+        let s = fusion.client_summaries();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].fixes, 3);
+        assert!(s[0].mean_residual_m < 0.1);
+        assert!(s[0].last_track.is_some());
+    }
+}

@@ -1,0 +1,64 @@
+//! # sa-deploy — the concurrent multi-AP deployment layer
+//!
+//! SecureAngle's strongest guarantees need *several* APs watching the
+//! same client: "the intersection point of the direct path AoA is
+//! identified as the location of client" (§2.3.1). This crate is the
+//! missing subsystem between the per-AP batched pipeline
+//! (`secureangle::pipeline::PacketBatch`) and that multi-AP story:
+//!
+//! * [`Deployment`] owns N [`secureangle::AccessPoint`]s and drives
+//!   each on its own worker thread. The coordinator runs stage 1
+//!   (detect + decode, [`secureangle::pipeline::decode_reference`])
+//!   **once** per client transmission — the frame is the same at every
+//!   AP — and fans the per-AP captures plus the shared
+//!   [`secureangle::DecodedPacket`] out over bounded MPSC channels.
+//!   Workers run only the per-AP DSP (calibrate → covariance → MUSIC →
+//!   signature → enforcement), so aggregate packet throughput scales
+//!   with AP count instead of re-paying the decode N times.
+//! * Per-AP `(mac, azimuth, confidence, seq)` bearing reports flow back
+//!   through a bounded report channel into the [`fusion`] stage, which
+//!   groups them by client and observation window, least-squares
+//!   intersects them (`secureangle::localize`), smooths each client's
+//!   trace with a per-client α–β tracker (`secureangle::tracking`), and
+//!   runs the **cross-AP spoof consensus**
+//!   ([`secureangle::CrossApConsensus`]) — a detector no single AP can
+//!   express, because it checks position-level geometry rather than one
+//!   pseudospectrum.
+//! * Scheduling is deterministic by construction: windows close when
+//!   every AP has reported end-of-window (no wall clock anywhere), and
+//!   fused results are ordered by `(ap, seq)` and MAC, so a seeded run
+//!   is byte-for-byte reproducible regardless of thread interleaving.
+//! * Backpressure and queue-depth counters plus a final
+//!   [`DeploymentReport`] make the throughput measurable (see the
+//!   `deploy` criterion group in `sa-bench`).
+//!
+//! ```no_run
+//! use sa_deploy::{DeployConfig, Deployment, Transmission};
+//! # fn captures_for_window() -> Vec<Transmission> { Vec::new() }
+//! # fn aps() -> Vec<secureangle::AccessPoint> { Vec::new() }
+//!
+//! let mut deployment = Deployment::new(aps(), DeployConfig::default());
+//! deployment.submit_window(captures_for_window()).unwrap();
+//! let fused = deployment.collect_window().unwrap();
+//! for client in &fused.clients {
+//!     println!("{:?}", client);
+//! }
+//! let (report, _aps) = deployment.finish();
+//! println!("{} fixes over {} windows", report.metrics.fixes, report.metrics.windows);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deployment;
+pub mod fusion;
+pub mod report;
+mod worker;
+
+pub use config::{DeployConfig, DeployError};
+pub use deployment::{Deployment, Transmission};
+pub use fusion::Fusion;
+pub use report::{
+    ApPacket, ApStats, ClientFix, ClientSummary, DeployMetrics, DeploymentReport, FusedWindow,
+};

@@ -1,0 +1,224 @@
+//! Deployment observability: per-packet reports, per-AP statistics,
+//! fused window results and the final [`DeploymentReport`].
+
+use sa_channel::geom::Point;
+use sa_mac::MacAddr;
+use secureangle::localize::Fix;
+use secureangle::pipeline::{BearingReport, FrameVerdict};
+use secureangle::spoof::ConsensusVerdict;
+use secureangle::tracking::TrackPoint;
+
+/// One AP worker's processed packet, as delivered to the fusion stage:
+/// the core crate's `(mac, azimuth, confidence, seq)`
+/// [`BearingReport`] (when the packet yielded one) plus the AP's own
+/// enforcement verdict and presentation bearing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApPacket {
+    /// Which AP observed it (index into the deployment's AP list).
+    pub ap_id: usize,
+    /// Observation window the packet belongs to.
+    pub window: u64,
+    /// Transmission sequence number within the window (assigned by the
+    /// coordinator; identical across APs for the same transmission).
+    pub seq: u64,
+    /// Claimed source MAC, if the frame decoded (kept even when no
+    /// bearing report exists, so enforcement verdicts stay
+    /// attributable).
+    pub mac: Option<MacAddr>,
+    /// The fusion-ready bearing record
+    /// ([`secureangle::Observation::bearing_report`]): present when
+    /// the frame decoded *and* the array gives an unambiguous global
+    /// azimuth.
+    pub report: Option<BearingReport>,
+    /// Bearing in the array's presentation convention, degrees
+    /// (available even without a [`BearingReport`]).
+    pub bearing_deg: f64,
+    /// Received signal strength, dB.
+    pub rss_db: f64,
+    /// This AP's own enforcement verdict for the frame.
+    pub verdict: FrameVerdict,
+}
+
+/// Counters for one AP worker (per window, and summed over the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApStats {
+    /// Windows processed.
+    pub windows: u64,
+    /// Captures handed to this worker.
+    pub packets: u64,
+    /// Captures that produced an observation.
+    pub observed: u64,
+    /// Captures rejected before DSP (bad shape / no packet at the
+    /// decoded extent).
+    pub observe_failures: u64,
+    /// Frames admitted by this AP's enforcement.
+    pub admitted: u64,
+    /// Frames dropped as suspected spoofs (including quarantine).
+    pub dropped_spoof: u64,
+    /// Frames dropped for other reasons (decode, ACL).
+    pub dropped_other: u64,
+    /// Signature profiles auto-trained by this worker.
+    pub trained: u64,
+    /// Fusion-ready bearing reports published (decoded frame + an
+    /// unambiguous global azimuth).
+    pub bearings: u64,
+    /// Times the report channel was full when this worker tried to
+    /// publish (the send then blocked; nothing is dropped).
+    pub backpressure_events: u64,
+}
+
+impl ApStats {
+    /// Fold another stats block into this one.
+    pub fn absorb(&mut self, other: &ApStats) {
+        self.windows += other.windows;
+        self.packets += other.packets;
+        self.observed += other.observed;
+        self.observe_failures += other.observe_failures;
+        self.admitted += other.admitted;
+        self.dropped_spoof += other.dropped_spoof;
+        self.dropped_other += other.dropped_other;
+        self.trained += other.trained;
+        self.bearings += other.bearings;
+        self.backpressure_events += other.backpressure_events;
+    }
+}
+
+/// One client's fused result for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientFix {
+    /// The client (claimed source MAC).
+    pub mac: MacAddr,
+    /// Distinct APs that contributed a bearing.
+    pub n_aps: usize,
+    /// Total bearing observations fused.
+    pub n_bearings: usize,
+    /// Least-squares intersection of the bearings, if the geometry
+    /// allowed one.
+    pub fix: Option<Fix>,
+    /// The client's smoothed track point after absorbing this fix.
+    pub track: Option<TrackPoint>,
+    /// Cross-AP consensus verdict for the fused fix.
+    pub consensus: ConsensusVerdict,
+    /// APs whose own enforcement admitted the client's frame(s).
+    pub admitted_aps: usize,
+    /// APs whose own enforcement flagged a spoof.
+    pub flagged_aps: usize,
+    /// Mean per-bearing confidence.
+    pub mean_confidence: f64,
+}
+
+/// Everything fusion produced for one closed observation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedWindow {
+    /// The window number.
+    pub window: u64,
+    /// Per-client fused results, ordered by MAC.
+    pub clients: Vec<ClientFix>,
+    /// Packet reports that fed this window.
+    pub packets: usize,
+    /// Bearing observations fused.
+    pub bearings: usize,
+    /// Clients whose bearings could not be intersected
+    /// (degenerate geometry).
+    pub localize_failures: usize,
+}
+
+/// Deployment-wide running counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeployMetrics {
+    /// Windows fused.
+    pub windows: u64,
+    /// Client transmissions ingested.
+    pub transmissions: u64,
+    /// Transmissions whose reference capture failed stage 1 (nothing
+    /// was dispatched for them).
+    pub decode_failures: u64,
+    /// Per-AP captures dispatched to workers.
+    pub packets_dispatched: u64,
+    /// Bearing observations fused.
+    pub fused_bearings: u64,
+    /// Localization fixes produced.
+    pub fixes: u64,
+    /// Fusion groups whose geometry was degenerate.
+    pub localize_failures: u64,
+    /// Cross-AP consensus spoof flags raised.
+    pub consensus_flags: u64,
+    /// Times the coordinator found a worker's input channel full (the
+    /// submit then blocked until the worker caught up).
+    pub ingest_backpressure_events: u64,
+    /// Times a worker found the report channel full (summed over
+    /// workers; each send then blocked).
+    pub report_backpressure_events: u64,
+    /// High-water mark of packet reports buffered in the fusion stage
+    /// across all in-flight windows — the fusion queue depth.
+    pub max_fusion_queue_depth: usize,
+}
+
+/// One client's whole-run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSummary {
+    /// The client MAC.
+    pub mac: MacAddr,
+    /// Fixes produced across all windows.
+    pub fixes: u64,
+    /// Mean localization residual over those fixes, meters.
+    pub mean_residual_m: f64,
+    /// Cross-AP consensus flags accumulated.
+    pub consensus_flags: usize,
+    /// The trained consensus reference position, if any.
+    pub reference: Option<Point>,
+    /// Final smoothed track point.
+    pub last_track: Option<TrackPoint>,
+}
+
+/// The final report a [`crate::Deployment`] hands back from
+/// [`crate::Deployment::finish`].
+///
+/// For a seeded run every field is byte-deterministic **except** the
+/// scheduling-observability counters — queue high-water mark and
+/// backpressure event counts — which measure how the worker threads
+/// happened to interleave and legitimately vary run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// Number of APs in the deployment.
+    pub n_aps: usize,
+    /// Deployment-wide counters.
+    pub metrics: DeployMetrics,
+    /// Per-AP worker statistics (index = AP id).
+    pub per_ap: Vec<ApStats>,
+    /// Per-client summaries, ordered by MAC.
+    pub clients: Vec<ClientSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ap_stats_absorb_sums_every_field() {
+        let a = ApStats {
+            windows: 1,
+            packets: 2,
+            observed: 3,
+            observe_failures: 4,
+            admitted: 5,
+            dropped_spoof: 6,
+            dropped_other: 7,
+            trained: 8,
+            bearings: 9,
+            backpressure_events: 10,
+        };
+        let mut b = a;
+        b.absorb(&a);
+        assert_eq!(b.windows, 2);
+        assert_eq!(b.packets, 4);
+        assert_eq!(b.observed, 6);
+        assert_eq!(b.observe_failures, 8);
+        assert_eq!(b.admitted, 10);
+        assert_eq!(b.dropped_spoof, 12);
+        assert_eq!(b.dropped_other, 14);
+        assert_eq!(b.trained, 16);
+        assert_eq!(b.bearings, 18);
+        assert_eq!(b.backpressure_events, 20);
+    }
+}

@@ -1,0 +1,148 @@
+//! The per-AP worker thread: the DSP half of the pipeline, driven by
+//! pre-decoded packets from the coordinator.
+
+use crate::report::{ApPacket, ApStats};
+use sa_linalg::CMat;
+use secureangle::pipeline::{DecodedPacket, DropReason, FrameVerdict};
+use secureangle::spoof::SpoofVerdict;
+use secureangle::AccessPoint;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// One pre-decoded capture for a worker: the AP's own buffer plus the
+/// shared stage-1 result.
+pub(crate) struct WorkerPacket {
+    pub buffer: Arc<CMat>,
+    pub decoded: Arc<DecodedPacket>,
+    pub seq: u64,
+}
+
+/// Coordinator → worker messages.
+pub(crate) enum WorkerMsg {
+    /// Process one window's captures, in `seq` order.
+    Window {
+        window: u64,
+        packets: Vec<WorkerPacket>,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Worker → fusion: one message per `(AP, window)` — the whole
+/// window's packet reports plus the worker's counters. Batching the
+/// reports keeps the channel wake-up cost per *window* instead of per
+/// packet, which matters once windows carry dozens of packets.
+pub(crate) struct WindowDone {
+    pub ap_id: usize,
+    pub window: u64,
+    pub packets: Vec<ApPacket>,
+    pub stats: ApStats,
+}
+
+pub(crate) struct WorkerCfg {
+    pub snapshot_cap: usize,
+    pub auto_train_signatures: bool,
+}
+
+/// The worker loop: for each window, stage every pre-decoded capture
+/// into a `PacketBatch` (the AoA engine survives across windows via
+/// `batch_with_engine`/`into_engine`), run the DSP pass, enforce, and
+/// publish the window's reports to fusion in one bounded send (with
+/// backpressure accounting: a full channel bumps the counter, then the
+/// send blocks — nothing is dropped). Returns the AP (with its trained
+/// state) and the run totals when shut down.
+pub(crate) fn run_worker(
+    ap_id: usize,
+    mut ap: AccessPoint,
+    cfg: WorkerCfg,
+    rx: Receiver<WorkerMsg>,
+    tx: SyncSender<WindowDone>,
+) -> (AccessPoint, ApStats) {
+    let mut engine = None;
+    let mut totals = ApStats::default();
+    while let Ok(msg) = rx.recv() {
+        let (window, packets) = match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Window { window, packets } => (window, packets),
+        };
+        let mut stats = ApStats {
+            windows: 1,
+            ..ApStats::default()
+        };
+
+        // DSP pass over the whole window through one batch; the engine
+        // (manifold, steering table, eigensolver buffers) carries over
+        // from the previous window.
+        let mut batch = match engine.take() {
+            Some(e) => ap.batch_with_engine(e),
+            None => ap.batch(),
+        };
+        batch.set_snapshot_cap(cfg.snapshot_cap);
+        let mut seqs = Vec::with_capacity(packets.len());
+        for p in &packets {
+            stats.packets += 1;
+            match batch.push_predecoded(&p.buffer, &p.decoded) {
+                Ok(()) => seqs.push(p.seq),
+                Err(_) => stats.observe_failures += 1,
+            }
+        }
+        let observations = batch.process();
+        engine = Some(batch.into_engine());
+
+        // Enforcement + report assembly, in seq order.
+        let mut reports = Vec::with_capacity(observations.len());
+        for (obs, &seq) in observations.iter().zip(&seqs) {
+            stats.observed += 1;
+            let verdict = ap.enforce(obs);
+            match verdict {
+                FrameVerdict::Admit { spoof } => {
+                    stats.admitted += 1;
+                    if cfg.auto_train_signatures && spoof == SpoofVerdict::Untrained {
+                        if let Some(frame) = &obs.frame {
+                            ap.train_client(frame.src, obs);
+                            stats.trained += 1;
+                        }
+                    }
+                }
+                FrameVerdict::Drop(DropReason::SpoofSuspected { .. })
+                | FrameVerdict::Drop(DropReason::Quarantined) => stats.dropped_spoof += 1,
+                FrameVerdict::Drop(_) => stats.dropped_other += 1,
+            }
+            let report = obs.bearing_report(seq);
+            if report.is_some() {
+                stats.bearings += 1;
+            }
+            reports.push(ApPacket {
+                ap_id,
+                window,
+                seq,
+                mac: obs.frame.as_ref().map(|f| f.src),
+                report,
+                bearing_deg: obs.bearing_deg,
+                rss_db: obs.rss_db,
+                verdict,
+            });
+        }
+
+        let done = WindowDone {
+            ap_id,
+            window,
+            packets: reports,
+            stats,
+        };
+        let delivered = match tx.try_send(done) {
+            Ok(()) => true,
+            Err(TrySendError::Full(mut msg)) => {
+                msg.stats.backpressure_events += 1;
+                stats.backpressure_events += 1;
+                tx.send(msg).is_ok()
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        };
+        totals.absorb(&stats);
+        if !delivered {
+            break;
+        }
+    }
+    (ap, totals)
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests for the deployment coordinator against the
+//! simulated office testbed.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_deploy::{DeployConfig, DeployError, Deployment, Transmission};
+use sa_testbed::Testbed;
+use secureangle::AccessPoint;
+
+/// Pull the APs out of a testbed, keeping the office around.
+fn split(tb: Testbed) -> (sa_testbed::Office, Vec<AccessPoint>) {
+    let Testbed { office, nodes, .. } = tb;
+    (office, nodes.into_iter().map(|n| n.ap).collect())
+}
+
+fn window(tb: &Testbed, clients: &[usize], seq: u16, rng: &mut ChaCha8Rng) -> Vec<Transmission> {
+    tb.window_traffic(clients, seq, 0.0, rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect()
+}
+
+#[test]
+fn four_ap_deployment_localizes_clients() {
+    let tb = Testbed::deployment(4, 301);
+    let mut rng = ChaCha8Rng::seed_from_u64(302);
+    let clients = [5usize, 7, 9, 16, 19, 20];
+    let windows: Vec<Vec<Transmission>> = (0..2)
+        .map(|w| window(&tb, &clients, w as u16, &mut rng))
+        .collect();
+    let (office, aps) = split(tb);
+
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    for w in windows {
+        let fused = deployment.run_window(w).expect("window");
+        assert_eq!(fused.clients.len(), clients.len());
+        for c in &fused.clients {
+            assert_eq!(c.n_aps, 4, "client {:?} heard by {} APs", c.mac, c.n_aps);
+        }
+    }
+    let (report, aps) = deployment.finish();
+    assert_eq!(report.metrics.windows, 2);
+    assert_eq!(report.metrics.transmissions, 12);
+    assert_eq!(report.metrics.decode_failures, 0);
+    assert_eq!(report.metrics.packets_dispatched, 48);
+    assert_eq!(report.clients.len(), clients.len());
+
+    // Every client's final fix lands near its true position.
+    for (summary, &id) in report.clients.iter().zip(&clients) {
+        assert_eq!(summary.mac, Testbed::client_mac(id));
+        assert_eq!(summary.fixes, 2);
+        let track = summary.last_track.expect("track");
+        let truth = office.client(id).position;
+        assert!(
+            track.position.dist(truth) < 2.0,
+            "client {} fused at {:?}, truth {:?}",
+            id,
+            track.position,
+            truth
+        );
+    }
+
+    // The APs come back with their auto-trained signature stores.
+    for ap in &aps {
+        assert_eq!(ap.spoof.trained_count(), clients.len());
+    }
+}
+
+#[test]
+fn pipelined_windows_buffer_in_fusion() {
+    let tb = Testbed::deployment(2, 303);
+    let mut rng = ChaCha8Rng::seed_from_u64(304);
+    let clients = [5usize, 7];
+    let w0 = window(&tb, &clients, 0, &mut rng);
+    let w1 = window(&tb, &clients, 1, &mut rng);
+    let w2 = window(&tb, &clients, 2, &mut rng);
+    let (_, aps) = split(tb);
+
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    // Three windows in flight before the first collect: later windows'
+    // reports buffer in the fusion stage while window 0 closes.
+    deployment.submit_window(w0).unwrap();
+    deployment.submit_window(w1).unwrap();
+    deployment.submit_window(w2).unwrap();
+    for expect in 0..3u64 {
+        let fused = deployment.collect_window().expect("window");
+        assert_eq!(fused.window, expect);
+        assert_eq!(fused.clients.len(), clients.len());
+    }
+    assert!(deployment.collect_window().is_err());
+    let (report, _) = deployment.finish();
+    assert_eq!(report.metrics.windows, 3);
+}
+
+#[test]
+fn deep_pipelining_on_tiny_channels_does_not_deadlock() {
+    // Regression: with capacity-1 channels and many windows submitted
+    // before any collect, the report channel fills while the worker
+    // input queue is full — the coordinator must drain reports while
+    // it waits instead of deadlocking on a blocking send.
+    let tb = Testbed::deployment(2, 309);
+    let mut rng = ChaCha8Rng::seed_from_u64(310);
+    let windows: Vec<Vec<Transmission>> = (0..6)
+        .map(|w| window(&tb, &[5], w as u16, &mut rng))
+        .collect();
+    let (_, aps) = split(tb);
+    let cfg = DeployConfig {
+        channel_capacity: 1,
+        ..DeployConfig::default()
+    };
+    let mut deployment = Deployment::new(aps, cfg);
+    for w in windows {
+        deployment.submit_window(w).expect("submit");
+    }
+    for expect in 0..6u64 {
+        let fused = deployment.collect_window().expect("collect");
+        assert_eq!(fused.window, expect);
+    }
+    let (report, _) = deployment.finish();
+    assert_eq!(report.metrics.windows, 6);
+}
+
+#[test]
+fn ap_count_mismatch_is_rejected() {
+    let tb = Testbed::deployment(3, 305);
+    let mut rng = ChaCha8Rng::seed_from_u64(306);
+    let mut txs = window(&tb, &[5], 0, &mut rng);
+    txs[0].per_ap.pop();
+    let (_, aps) = split(tb);
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    assert_eq!(
+        deployment.submit_window(txs).unwrap_err(),
+        DeployError::ApCountMismatch {
+            expected: 3,
+            got: 2
+        }
+    );
+    assert_eq!(
+        deployment.collect_window().unwrap_err(),
+        DeployError::NothingSubmitted
+    );
+}
+
+#[test]
+fn undecodable_transmissions_are_counted_and_skipped() {
+    let tb = Testbed::deployment(2, 307);
+    let mut rng = ChaCha8Rng::seed_from_u64(308);
+    let mut txs = window(&tb, &[5], 0, &mut rng);
+    // A noise-only "transmission" no AP can decode.
+    let noise: Vec<sa_linalg::CMat> = (0..2)
+        .map(|_| {
+            sa_linalg::CMat::from_fn(8, 600, |_, _| sa_sigproc::noise::cn_sample(&mut rng, 1.0))
+        })
+        .collect();
+    txs.push(Transmission::new(noise));
+    let (_, aps) = split(tb);
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    let fused = deployment.run_window(txs).expect("window");
+    assert_eq!(fused.clients.len(), 1);
+    let (report, _) = deployment.finish();
+    assert_eq!(report.metrics.transmissions, 2);
+    assert_eq!(report.metrics.decode_failures, 1);
+}

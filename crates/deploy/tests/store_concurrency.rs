@@ -1,0 +1,141 @@
+//! Multi-thread smoke tests for `ShardedSignatureStore` under the
+//! deployment's concurrency model: one store per AP worker thread,
+//! disjoint MAC populations, loom-free (plain `std::thread`).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_aoa::pseudospectrum::Pseudospectrum;
+use sa_deploy::{DeployConfig, Deployment, Transmission};
+use sa_mac::{AccessControlList, AclPolicy, MacAddr};
+use sa_testbed::Testbed;
+use secureangle::signature::{AoaSignature, SignatureTracker};
+use secureangle::store::ShardedSignatureStore;
+
+fn sig(center: f64) -> AoaSignature {
+    let angles: Vec<f64> = (0..360).map(|i| i as f64).collect();
+    let values: Vec<f64> = angles
+        .iter()
+        .map(|&a| {
+            let d = sa_aoa::pseudospectrum::angle_diff_deg(a, center, true);
+            (-d * d / 40.0).exp() + 1e-4
+        })
+        .collect();
+    AoaSignature::from_spectrum(&Pseudospectrum::new(angles, values, true))
+}
+
+/// Eight raw threads, each hammering its own store with a disjoint
+/// 64-MAC population (insert, flag, churn): shard occupancy totals must
+/// match the surviving insert counts on every thread, and shard
+/// assignment must agree across threads (the seedless FNV-1a hash has
+/// no per-process or per-thread state).
+#[test]
+fn eight_threads_hammer_disjoint_macs() {
+    const THREADS: u32 = 8;
+    const MACS_PER_THREAD: u32 = 64;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut store = ShardedSignatureStore::new(16);
+                let base = 1000 + t * MACS_PER_THREAD;
+                // Hammer: train everyone, flag half, churn a third.
+                for i in 0..MACS_PER_THREAD {
+                    let mac = MacAddr::local_from_index(base + i);
+                    store.insert(mac, SignatureTracker::new(sig(i as f64), 0.2));
+                    if i % 2 == 0 {
+                        store.add_flag(mac);
+                        store.add_flag(mac);
+                    }
+                    if i % 3 == 0 {
+                        // Remove and re-insert (retrain churn).
+                        assert!(store.remove(&mac).is_some());
+                        store.insert(mac, SignatureTracker::new(sig(i as f64 + 1.0), 0.2));
+                    }
+                }
+                let assignments: Vec<usize> = (0..MACS_PER_THREAD)
+                    .map(|i| store.shard_of(&MacAddr::local_from_index(base + i)))
+                    .collect();
+                (store, assignments)
+            })
+        })
+        .collect();
+
+    let reference = ShardedSignatureStore::new(16);
+    for (t, h) in handles.into_iter().enumerate() {
+        let (store, assignments) = h.join().expect("hammer thread panicked");
+        let occ = store.shard_occupancy();
+        assert_eq!(
+            occ.iter().sum::<usize>(),
+            MACS_PER_THREAD as usize,
+            "thread {}: occupancy {:?} does not total the inserts",
+            t,
+            occ
+        );
+        assert_eq!(store.len(), MACS_PER_THREAD as usize);
+        // Flags survived the churn accounting: re-inserted MACs lost
+        // theirs, the rest kept exactly two.
+        let base = 1000 + t as u32 * MACS_PER_THREAD;
+        for i in 0..MACS_PER_THREAD {
+            let mac = MacAddr::local_from_index(base + i);
+            let expected = if i % 2 == 0 && i % 3 != 0 { 2 } else { 0 };
+            assert_eq!(store.flag_count(&mac), expected, "thread {} mac {}", t, i);
+        }
+        // Cross-thread shard-assignment agreement.
+        for (i, &shard) in assignments.iter().enumerate() {
+            let mac = MacAddr::local_from_index(base + i as u32);
+            assert_eq!(shard, reference.shard_of(&mac));
+        }
+    }
+}
+
+/// The same property through real `sa-deploy` workers: eight AP threads
+/// auto-train disjoint MAC subsets (disjoint per-AP ACLs), and every
+/// AP's sharded store comes back with occupancy totals matching exactly
+/// the clients its worker trained.
+#[test]
+fn deployment_workers_train_disjoint_stores() {
+    const N_APS: usize = 8;
+    let tb = Testbed::deployment(N_APS, 401);
+    let mut rng = ChaCha8Rng::seed_from_u64(402);
+    let clients: Vec<usize> = (1..=20).collect();
+    let txs: Vec<Transmission> = tb
+        .window_traffic(&clients, 0, 0.0, &mut rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect();
+
+    // AP k admits only clients with id % N_APS == k: disjoint
+    // populations across the eight worker threads.
+    let mut aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
+    for (k, ap) in aps.iter_mut().enumerate() {
+        let mut acl = AccessControlList::new(AclPolicy::AllowListed);
+        for &id in clients.iter().filter(|&&id| id % N_APS == k) {
+            acl.add(Testbed::client_mac(id));
+        }
+        ap.acl = acl;
+    }
+    let expected: Vec<usize> = (0..N_APS)
+        .map(|k| clients.iter().filter(|&&id| id % N_APS == k).count())
+        .collect();
+
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    deployment.submit_window(txs).expect("submit");
+    let fused = deployment.collect_window().expect("collect");
+    assert_eq!(fused.clients.len(), clients.len());
+
+    let (report, aps) = deployment.finish();
+    let mut total_trained = 0usize;
+    for (k, ap) in aps.iter().enumerate() {
+        let occ = ap.spoof.store().shard_occupancy();
+        let occupancy_total: usize = occ.iter().sum();
+        assert_eq!(
+            occupancy_total, expected[k],
+            "AP {}: occupancy {:?} vs expected {} trained clients",
+            k, occ, expected[k]
+        );
+        assert_eq!(ap.spoof.trained_count(), expected[k]);
+        assert_eq!(report.per_ap[k].trained, expected[k] as u64);
+        total_trained += occupancy_total;
+    }
+    assert_eq!(total_trained, clients.len());
+}

@@ -223,6 +223,33 @@ impl Office {
         }
     }
 
+    /// AP positions for an `n`-AP deployment (§2.3.1 scale-out): the
+    /// primary Fig-4 AP first, then the two extra multi-AP positions,
+    /// then further corners and mid-walls of the floor. Note the
+    /// primary and the two extras all sit near the line `y = x/2 +
+    /// 0.5`, so 3-AP deployments are ill-conditioned for clients along
+    /// it (e.g. client 1) — the fourth AP breaks the collinearity;
+    /// deployments that care about localization accuracy should run
+    /// four or more. Supports up to eight APs; panics outside `1..=8`.
+    pub fn deployment_ap_positions(&self, n: usize) -> Vec<Point> {
+        assert!(
+            (1..=8).contains(&n),
+            "deployment supports 1..=8 APs, asked for {}",
+            n
+        );
+        let mut all = vec![self.ap_position];
+        all.extend(self.extra_ap_positions.iter().copied());
+        all.extend([
+            pt(5.0, 13.0),
+            pt(25.0, 3.0),
+            pt(15.0, 2.0),
+            pt(15.0, 14.0),
+            pt(2.0, 8.0),
+        ]);
+        all.truncate(n);
+        all
+    }
+
     /// Client spec by paper id (1–20). Panics on unknown ids.
     pub fn client(&self, id: usize) -> &ClientSpec {
         self.clients
@@ -385,6 +412,29 @@ mod tests {
         assert!((o.ground_truth_azimuth_deg(11) - 135.0).abs() < 0.1);
         assert!((o.ground_truth_azimuth_deg(15) - 0.0).abs() < 0.1);
         assert!((o.ground_truth_azimuth_deg(7) - 236.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn deployment_positions_are_distinct_and_inside() {
+        let o = Office::paper_figure4();
+        for n in 1..=8 {
+            let aps = o.deployment_ap_positions(n);
+            assert_eq!(aps.len(), n);
+            assert_eq!(aps[0], o.ap_position, "primary AP must come first");
+            for (i, &a) in aps.iter().enumerate() {
+                assert!(point_in_polygon(a, &o.outline), "AP {} outside", i);
+                for &b in &aps[..i] {
+                    assert!(a.dist(b) > 3.0, "APs too close: {:?} vs {:?}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn too_many_deployment_aps_panics() {
+        let o = Office::paper_figure4();
+        let _ = o.deployment_ap_positions(9);
     }
 
     #[test]

@@ -100,15 +100,28 @@ impl Testbed {
         Self::build(ApArray::Circular, true, seed)
     }
 
+    /// An `n_aps`-node deployment testbed: circular arrays at
+    /// [`Office::deployment_ap_positions`], every AP calibrated against
+    /// its own front end, all 20 clients on every ACL. Node 0 is the
+    /// primary Fig-4 AP. Deterministic in `seed`.
+    pub fn deployment(n_aps: usize, seed: u64) -> Self {
+        let office = Office::paper_figure4();
+        let positions = office.deployment_ap_positions(n_aps);
+        Self::build_at(ApArray::Circular, office, positions, seed)
+    }
+
     fn build(array: ApArray, multi: bool, seed: u64) -> Self {
         let office = Office::paper_figure4();
-        let cfg = SimConfig::default();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-
         let mut positions = vec![office.ap_position];
         if multi {
             positions.extend(office.extra_ap_positions.iter().copied());
         }
+        Self::build_at(array, office, positions, seed)
+    }
+
+    fn build_at(array: ApArray, office: Office, positions: Vec<Point>, seed: u64) -> Self {
+        let cfg = SimConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
         let mut nodes = Vec::with_capacity(positions.len());
         for pos in positions {
@@ -221,6 +234,54 @@ impl Testbed {
         )
     }
 
+    /// Captures of **one** transmission at **every** AP node: the same
+    /// frame from the same position, carried to each node over its own
+    /// traced channel with its own front-end noise. This is the unit a
+    /// multi-AP deployment ingests — `result[k]` is what node `k`
+    /// recorded. Order of nodes is fixed, so the draw sequence (and the
+    /// captures) are deterministic in `rng`.
+    pub fn transmission(
+        &self,
+        from: Point,
+        antenna: &TxAntenna,
+        tx_power: f64,
+        frame: &Frame,
+        dt_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<CMat> {
+        (0..self.nodes.len())
+            .map(|node| self.capture(node, from, antenna, tx_power, frame, dt_s, rng))
+            .collect()
+    }
+
+    /// One observation window of deployment traffic: each listed client
+    /// transmits once (omni, unit power, frame sequence `seq`), in
+    /// order, at environment time `dt_s`. Returns one
+    /// transmission-worth of per-node captures per client —
+    /// `result[i][k]` is node `k`'s capture of client `clients[i]`.
+    pub fn window_traffic(
+        &self,
+        clients: &[usize],
+        seq: u16,
+        dt_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<CMat>> {
+        clients
+            .iter()
+            .map(|&id| {
+                let frame = self.client_frame(id, seq);
+                self.transmission(
+                    self.office.client(id).position,
+                    &TxAntenna::Omni,
+                    1.0,
+                    &frame,
+                    dt_s,
+                    rng,
+                )
+            })
+            .collect()
+    }
+
     /// Total received power (linear) node `node` would measure from a
     /// unit-power transmitter at `from` — used by RSS experiments and
     /// attackers probing for power matching.
@@ -321,6 +382,40 @@ mod tests {
         let b1 = tb.client_capture(0, 7, 1, 0.0, &mut r1);
         let b2 = tb.client_capture(0, 7, 1, 0.0, &mut r2);
         assert!(b1.approx_eq(&b2, 0.0));
+    }
+
+    #[test]
+    fn deployment_testbed_spreads_aps_and_stays_deterministic() {
+        let tb = Testbed::deployment(4, 21);
+        assert_eq!(tb.nodes.len(), 4);
+        let expected = tb.office.deployment_ap_positions(4);
+        for (node, &want) in tb.nodes.iter().zip(&expected) {
+            assert_eq!(node.ap.config().position, want);
+        }
+        // Window traffic is deterministic in the rng and covers every node.
+        let mut r1 = ChaCha8Rng::seed_from_u64(22);
+        let mut r2 = ChaCha8Rng::seed_from_u64(22);
+        let w1 = tb.window_traffic(&[5, 7], 1, 0.0, &mut r1);
+        let w2 = tb.window_traffic(&[5, 7], 1, 0.0, &mut r2);
+        assert_eq!(w1.len(), 2);
+        assert_eq!(w1[0].len(), 4);
+        for (a, b) in w1.iter().flatten().zip(w2.iter().flatten()) {
+            assert!(a.approx_eq(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn every_node_hears_a_window_transmission() {
+        let tb = Testbed::deployment(4, 23);
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let w = tb.window_traffic(&[5], 1, 0.0, &mut rng);
+        for (node, cap) in w[0].iter().enumerate() {
+            let obs = tb.nodes[node]
+                .ap
+                .observe(cap)
+                .unwrap_or_else(|e| panic!("node {}: {}", node, e));
+            assert_eq!(obs.frame.unwrap().src, Testbed::client_mac(5));
+        }
     }
 
     #[test]

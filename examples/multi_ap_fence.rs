@@ -1,0 +1,251 @@
+//! Multi-AP deployment demo: N APs fence the Figure-4 office.
+//!
+//! A [`sa_deploy::Deployment`] drives N access points concurrently over
+//! the office testbed: window 0 trains every client's signature profile
+//! and consensus reference, steady-state windows fuse bearings into
+//! localization fixes, and the final window injects two intruders —
+//! a MAC spoofer sitting on the AP0→victim ray (fooling AP0's own
+//! signature check) and a parking-lot transmitter outside the virtual
+//! fence. Cross-AP consensus catches the first; the fence catches the
+//! second.
+//!
+//! ```text
+//! cargo run --release --example multi_ap_fence [-- --aps 4 --windows 3 --seed 2010 --smoke]
+//! ```
+//!
+//! `--smoke` asserts the headline claims (used by CI) and exits
+//! non-zero on failure.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_channel::geom::pt;
+use sa_channel::pattern::TxAntenna;
+use sa_deploy::{DeployConfig, Deployment, Transmission};
+use sa_testbed::Testbed;
+use secureangle::fence::{FenceConfig, VirtualFence};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let n_aps: usize = arg("--aps").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let n_windows: u64 = arg("--windows").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2010);
+    let smoke = flag("--smoke");
+    let victim = 5usize;
+
+    println!(
+        "Multi-AP fence: {} APs x 20 clients x {} windows (seed {})",
+        n_aps, n_windows, seed
+    );
+
+    let tb = Testbed::deployment(n_aps, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfe9ce);
+    let fence = VirtualFence::new(tb.office.fence_polygon(), FenceConfig::default());
+    let clients: Vec<usize> = (1..=20).collect();
+    let truth: Vec<_> = clients
+        .iter()
+        .map(|&id| tb.office.client(id).position)
+        .collect();
+
+    // Traffic: training window, steady-state windows, then the attack
+    // window (everyone but the victim, plus the two intruders).
+    let mut windows: Vec<Vec<Transmission>> = Vec::new();
+    for w in 0..n_windows.max(2) - 1 {
+        windows.push(
+            tb.window_traffic(&clients, w as u16, 0.0, &mut rng)
+                .into_iter()
+                .map(Transmission::new)
+                .collect(),
+        );
+    }
+    let others: Vec<usize> = clients.iter().copied().filter(|&c| c != victim).collect();
+    let mut last: Vec<Transmission> = tb
+        .window_traffic(&others, n_windows as u16, 0.0, &mut rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect();
+    // Intruder 1: MAC spoofer on the AP0→victim ray, 3.5 m beyond the
+    // victim, power-matched at AP0 — close enough in angle that AP0's
+    // own signature check passes.
+    let vpos = tb.office.client(victim).position;
+    let ap0 = tb.nodes[0].ap.config().position;
+    let az = ap0.azimuth_to(vpos);
+    let apos = pt(vpos.x + 3.5 * az.cos(), vpos.y + 3.5 * az.sin());
+    let tx_power = tb.rx_power_from(0, vpos) / tb.rx_power_from(0, apos);
+    let spoof_frame = tb.client_frame(victim, 99);
+    last.push(Transmission::new(tb.transmission(
+        apos,
+        &TxAntenna::Omni,
+        tx_power,
+        &spoof_frame,
+        0.0,
+        &mut rng,
+    )));
+    // Intruder 2: parking-lot transmitter outside the building, +20 dB,
+    // using an unlisted MAC (id 77 is on no ACL).
+    let outsider_pos = pt(36.0, 2.0);
+    let outsider_frame = sa_mac::Frame::data(
+        sa_mac::MacAddr::local_from_index(77),
+        sa_mac::MacAddr::BROADCAST,
+        sa_mac::MacAddr::local_from_index(0),
+        1,
+        b"outside",
+    );
+    last.push(Transmission::new(tb.transmission(
+        outsider_pos,
+        &TxAntenna::Omni,
+        100.0,
+        &outsider_frame,
+        0.0,
+        &mut rng,
+    )));
+    windows.push(last);
+
+    // Run the deployment.
+    let aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
+    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    let mut fused = Vec::new();
+    for w in windows {
+        deployment.submit_window(w).expect("submit window");
+    }
+    while let Ok(f) = deployment.collect_window() {
+        fused.push(f);
+    }
+
+    // Steady-state survey (last all-legitimate window).
+    let survey = &fused[fused.len() - 2];
+    println!(
+        "\nwindow {} (steady state): fused fixes vs truth",
+        survey.window
+    );
+    let mut within_3m = 0usize;
+    let mut fixed = 0usize;
+    for c in &survey.clients {
+        let id = clients
+            .iter()
+            .position(|&i| Testbed::client_mac(i) == c.mac)
+            .map(|i| clients[i])
+            .unwrap_or(0);
+        match (c.fix, c.track) {
+            (Some(fix), Some(track)) => {
+                let err = fix.position.dist(truth[id - 1]);
+                fixed += 1;
+                if err <= 3.0 {
+                    within_3m += 1;
+                }
+                println!(
+                    "  client {:2}: fix ({:5.1},{:5.1})  err {:4.1} m  residual {:4.1} m  {} APs  fence: {}",
+                    id,
+                    fix.position.x,
+                    fix.position.y,
+                    err,
+                    fix.residual_m,
+                    c.n_aps,
+                    if fence.contains(track.position) { "inside" } else { "OUTSIDE" },
+                );
+            }
+            _ => println!("  client {:2}: no fix ({} APs)", id, c.n_aps),
+        }
+    }
+    println!(
+        "  => {}/{} clients fixed, {} within 3 m",
+        fixed,
+        survey.clients.len(),
+        within_3m
+    );
+
+    // Attack window.
+    let attack = fused.last().expect("attack window");
+    println!("\nwindow {} (attack):", attack.window);
+    let victim_mac = Testbed::client_mac(victim);
+    let outsider_mac = sa_mac::MacAddr::local_from_index(77);
+    let mut spoof_caught = false;
+    let mut outsider_outside = false;
+    for c in &attack.clients {
+        if c.mac == victim_mac {
+            println!(
+                "  spoofer (as client {}): {} APs admitted, {} flagged, consensus {:?}",
+                victim, c.admitted_aps, c.flagged_aps, c.consensus
+            );
+            spoof_caught = c.consensus.is_spoof();
+        } else if c.mac == outsider_mac {
+            let inside = c.fix.map(|f| fence.contains(f.position)).unwrap_or(false);
+            println!(
+                "  outsider: fix {:?}, fence: {}",
+                c.fix.map(|f| (f.position.x, f.position.y)),
+                if inside {
+                    "inside?!"
+                } else {
+                    "OUTSIDE — rejected"
+                }
+            );
+            outsider_outside = !inside && c.fix.is_some();
+        }
+    }
+
+    // Report.
+    let (report, aps) = deployment.finish();
+    println!("\ndeployment report:");
+    println!(
+        "  {} APs, {} windows, {} transmissions, {} packets ({} decode failures)",
+        report.n_aps,
+        report.metrics.windows,
+        report.metrics.transmissions,
+        report.metrics.packets_dispatched,
+        report.metrics.decode_failures
+    );
+    println!(
+        "  {} bearings fused -> {} fixes ({} degenerate), {} consensus flags",
+        report.metrics.fused_bearings,
+        report.metrics.fixes,
+        report.metrics.localize_failures,
+        report.metrics.consensus_flags
+    );
+    println!(
+        "  backpressure: ingest {}, report {}; fusion queue high-water {}",
+        report.metrics.ingest_backpressure_events,
+        report.metrics.report_backpressure_events,
+        report.metrics.max_fusion_queue_depth
+    );
+    for (k, s) in report.per_ap.iter().enumerate() {
+        println!(
+            "  ap{}: {} packets, {} observed, {} admitted, {} spoof-dropped, {} trained",
+            k, s.packets, s.observed, s.admitted, s.dropped_spoof, s.trained
+        );
+    }
+    for c in report.clients.iter().filter(|c| c.consensus_flags > 0) {
+        println!(
+            "  consensus-flagged: {} ({} flags, reference {:?})",
+            c.mac,
+            c.consensus_flags,
+            c.reference.map(|p| (p.x, p.y))
+        );
+    }
+    let store = aps[0].spoof.store();
+    println!(
+        "  ap0 signature store: {} clients over {} shards, occupancy {:?}",
+        store.len(),
+        store.shard_count(),
+        store.shard_occupancy()
+    );
+
+    if smoke {
+        let ok_fixes = 10 * within_3m >= 9 * survey.clients.len();
+        let ok_windows = report.metrics.windows == n_windows.max(2);
+        if !(ok_fixes && spoof_caught && outsider_outside && ok_windows) {
+            eprintln!(
+                "SMOKE FAILED: fixes_ok={} spoof_caught={} outsider_outside={} windows_ok={}",
+                ok_fixes, spoof_caught, outsider_outside, ok_windows
+            );
+            std::process::exit(1);
+        }
+        println!("\nsmoke: OK");
+    }
+}

@@ -9,9 +9,9 @@
 //! assert_eq!(office.clients.len(), 20);
 //! ```
 //!
-//! See the workspace `README.md` for the project tour, `DESIGN.md` for
-//! the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
-//! record of every figure.
+//! See the workspace `README.md` for the project tour,
+//! `docs/ARCHITECTURE.md` for the crate DAG and data flows, and
+//! `docs/BENCHMARKS.md` for the measured numbers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +19,7 @@
 pub use sa_aoa as aoa;
 pub use sa_array as array;
 pub use sa_channel as channel;
+pub use sa_deploy as deploy;
 pub use sa_linalg as linalg;
 pub use sa_mac as mac;
 pub use sa_phy as phy;
@@ -35,6 +36,7 @@ pub mod prelude {
     pub use sa_channel::pattern::TxAntenna;
     pub use sa_channel::plan::FloorPlan;
     pub use sa_channel::trace::{trace_paths, TraceConfig};
+    pub use sa_deploy::{DeployConfig, Deployment, DeploymentReport, Transmission};
     pub use sa_mac::{Frame, MacAddr};
     pub use sa_phy::Modulation;
     pub use sa_testbed::{ApArray, Office, Testbed};
