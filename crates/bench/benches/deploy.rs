@@ -15,11 +15,18 @@
 //! `deploy_fusion/window_20_clients_4_aps` isolates the fusion stage:
 //! grouping, least-squares intersection, tracker updates and consensus
 //! for one closed window, no signal processing involved.
+//!
+//! `deploy_degraded/*` prices the deployment-realism machinery: the
+//! same 4-AP window pushed through a clean deployment, a lossy report
+//! link (with and without retransmit recovery), skewed AP clocks (the
+//! aligner's remap path), and confidence-weighted fusion. The group
+//! also prints an `info:` line per operating point with the fused fix
+//! accuracy, so throughput and accuracy degrade visibly side by side.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sa_deploy::{DeployConfig, Deployment, Fusion, Transmission};
+use sa_deploy::{ApSkew, DeployConfig, Deployment, Fusion, LinkConfig, Transmission};
 use sa_testbed::Testbed;
 
 /// Clients spread around the office, cycled to fill a window.
@@ -69,6 +76,106 @@ fn bench_deploy_throughput(c: &mut Criterion) {
         group.bench_function(format!("aps_{}", n_aps), |b| {
             b.iter(|| deployment.run_window(txs.clone()).expect("bench window"))
         });
+    }
+    group.finish();
+}
+
+/// One named degraded operating point for the 4-AP workload.
+struct Degraded {
+    label: &'static str,
+    link: LinkConfig,
+    skew: i64,
+    weighted: bool,
+}
+
+fn bench_deploy_degraded(c: &mut Criterion) {
+    let reliable = LinkConfig {
+        loss_rate: 0.0,
+        retry_limit: 3,
+        seed: 7005,
+    };
+    let points = [
+        Degraded {
+            label: "clean",
+            link: reliable,
+            skew: 0,
+            weighted: false,
+        },
+        Degraded {
+            label: "loss_10_retry_3",
+            link: LinkConfig {
+                loss_rate: 0.10,
+                ..reliable
+            },
+            skew: 0,
+            weighted: false,
+        },
+        Degraded {
+            label: "loss_30_retry_0",
+            link: LinkConfig {
+                loss_rate: 0.30,
+                retry_limit: 0,
+                ..reliable
+            },
+            skew: 0,
+            weighted: false,
+        },
+        Degraded {
+            label: "skew_2",
+            link: reliable,
+            skew: 2,
+            weighted: false,
+        },
+        Degraded {
+            label: "weighted_fusion",
+            link: reliable,
+            skew: 0,
+            weighted: true,
+        },
+    ];
+
+    let n_aps = 4;
+    let mut group = c.benchmark_group("deploy_degraded");
+    for p in points {
+        let (aps, txs) = window_for(n_aps, 7001);
+        let cfg = DeployConfig {
+            snapshot_cap: 128,
+            link: p.link,
+            max_skew_windows: 2,
+            weight_bearings_by_confidence: p.weighted,
+            ..DeployConfig::default()
+        };
+        let mut deployment = if p.skew != 0 {
+            let skews: Vec<ApSkew> = Testbed::skew_profile(n_aps, p.skew, 7006)
+                .into_iter()
+                .map(|(window_offset, seq_offset)| ApSkew {
+                    window_offset,
+                    seq_offset,
+                    drift_ppw: 0.0,
+                })
+                .collect();
+            Deployment::with_skews(aps, cfg, skews)
+        } else {
+            Deployment::new(aps, cfg)
+        };
+        for _ in 0..4 {
+            deployment.run_window(txs.clone()).expect("warmup window");
+        }
+        group.bench_function(p.label, |b| {
+            b.iter(|| deployment.run_window(txs.clone()).expect("bench window"))
+        });
+        // Accuracy at this operating point, over the windows the bench
+        // actually ran (stderr info line, not part of the baseline).
+        let (report, _aps) = deployment.finish();
+        let windows = report.metrics.windows.max(1);
+        eprintln!(
+            "info: deploy_degraded/{}: {:.1} fixes/window, {} reports lost, {} degraded windows / {}",
+            p.label,
+            report.metrics.fixes as f64 / windows as f64,
+            report.metrics.reports_lost,
+            report.metrics.degraded_windows,
+            windows,
+        );
     }
     group.finish();
 }
@@ -139,5 +246,10 @@ fn bench_fusion_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_deploy_throughput, bench_fusion_latency);
+criterion_group!(
+    benches,
+    bench_deploy_throughput,
+    bench_deploy_degraded,
+    bench_fusion_latency
+);
 criterion_main!(benches);

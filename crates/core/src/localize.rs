@@ -60,18 +60,62 @@ impl std::error::Error for LocalizeError {}
 /// Solves `(Σ (I − uᵢuᵢᵀ)) x = Σ (I − uᵢuᵢᵀ) pᵢ` where `uᵢ` is the unit
 /// bearing vector of AP `i` at position `pᵢ`.
 pub fn localize(bearings: &[BearingObservation]) -> Result<Fix, LocalizeError> {
+    solve_weighted(bearings, None)
+}
+
+/// Weighted least-squares intersection of bearing lines.
+///
+/// Like [`localize`], but each bearing's normal-equation contribution is
+/// scaled by `weights[i]` (its perpendicular distance enters the cost as
+/// `wᵢ·dᵢ²`), so low-confidence bearings pull the fix less. Degraded
+/// multi-AP windows use this to keep a marginal through-wall bearing from
+/// dragging a fix that two confident line-of-sight APs agree on. Weights
+/// must be finite and positive; the residual is the weighted RMS
+/// perpendicular distance. With unit weights the result is bit-identical
+/// to [`localize`].
+pub fn localize_weighted(
+    bearings: &[BearingObservation],
+    weights: &[f64],
+) -> Result<Fix, LocalizeError> {
+    assert_eq!(
+        bearings.len(),
+        weights.len(),
+        "one weight per bearing required"
+    );
+    solve_weighted(bearings, Some(weights))
+}
+
+fn solve_weighted(
+    bearings: &[BearingObservation],
+    weights: Option<&[f64]>,
+) -> Result<Fix, LocalizeError> {
     if bearings.len() < 2 {
         return Err(LocalizeError::NotEnoughBearings);
     }
+    let weight = |i: usize| -> f64 {
+        match weights {
+            // Guard against zero/NaN confidences poisoning the normal
+            // equations: a bearing never weighs less than 1e-3.
+            Some(w) => {
+                if w[i].is_finite() {
+                    w[i].max(1e-3)
+                } else {
+                    1e-3
+                }
+            }
+            None => 1.0,
+        }
+    };
     // Accumulate A (2×2 symmetric) and b (2-vector).
     let (mut a11, mut a12, mut a22) = (0.0f64, 0.0f64, 0.0f64);
     let (mut b1, mut b2) = (0.0f64, 0.0f64);
-    for obs in bearings {
+    for (i, obs) in bearings.iter().enumerate() {
+        let w = weight(i);
         let (ux, uy) = (obs.azimuth.cos(), obs.azimuth.sin());
-        // I − uuᵀ
-        let m11 = 1.0 - ux * ux;
-        let m12 = -ux * uy;
-        let m22 = 1.0 - uy * uy;
+        // w · (I − uuᵀ)
+        let m11 = w * (1.0 - ux * ux);
+        let m12 = w * (-ux * uy);
+        let m22 = w * (1.0 - uy * uy);
         a11 += m11;
         a12 += m12;
         a22 += m22;
@@ -79,7 +123,12 @@ pub fn localize(bearings: &[BearingObservation]) -> Result<Fix, LocalizeError> {
         b2 += m12 * obs.ap_position.x + m22 * obs.ap_position.y;
     }
     let det = a11 * a22 - a12 * a12;
-    if det.abs() < 1e-9 {
+    // The degeneracy threshold scales with the squared mean weight so
+    // that uniformly down-weighted copies of a well-posed problem are
+    // not misdiagnosed as parallel.
+    let wsum: f64 = (0..bearings.len()).map(weight).sum();
+    let wmean = wsum / bearings.len() as f64;
+    if det.abs() < 1e-9 * (wmean * wmean).max(f64::MIN_POSITIVE) {
         return Err(LocalizeError::DegenerateGeometry);
     }
     let x = (b1 * a22 - b2 * a12) / det;
@@ -89,20 +138,20 @@ pub fn localize(bearings: &[BearingObservation]) -> Result<Fix, LocalizeError> {
     // Residual and front/back consistency.
     let mut ssq = 0.0;
     let mut behind = 0usize;
-    for obs in bearings {
+    for (i, obs) in bearings.iter().enumerate() {
         let (ux, uy) = (obs.azimuth.cos(), obs.azimuth.sin());
         let dx = position.x - obs.ap_position.x;
         let dy = position.y - obs.ap_position.y;
         let along = dx * ux + dy * uy;
         let perp = -dx * uy + dy * ux;
-        ssq += perp * perp;
+        ssq += weight(i) * perp * perp;
         if along < 0.0 {
             behind += 1;
         }
     }
     Ok(Fix {
         position,
-        residual_m: (ssq / bearings.len() as f64).sqrt(),
+        residual_m: (ssq / wsum).sqrt(),
         behind_count: behind,
     })
 }
@@ -123,13 +172,45 @@ pub fn localize_robust(
     bearings: &[BearingObservation],
     min_keep: usize,
 ) -> Result<(Fix, Vec<usize>), LocalizeError> {
+    robust_weighted(bearings, None, min_keep)
+}
+
+/// Weighted robust intersection: [`localize_robust`]'s ghost-dropping
+/// refit loop over [`localize_weighted`]'s confidence-weighted solve.
+/// `weights[i]` weighs `bearings[i]`; dropped indices refer to
+/// `bearings`. With unit weights the result is bit-identical to
+/// [`localize_robust`].
+pub fn localize_robust_weighted(
+    bearings: &[BearingObservation],
+    weights: &[f64],
+    min_keep: usize,
+) -> Result<(Fix, Vec<usize>), LocalizeError> {
+    assert_eq!(
+        bearings.len(),
+        weights.len(),
+        "one weight per bearing required"
+    );
+    robust_weighted(bearings, Some(weights), min_keep)
+}
+
+fn robust_weighted(
+    bearings: &[BearingObservation],
+    weights: Option<&[f64]>,
+    min_keep: usize,
+) -> Result<(Fix, Vec<usize>), LocalizeError> {
     let min_keep = min_keep.max(2);
     // (original index, bearing) pairs, so drops can be reported in the
     // caller's index space.
     let mut kept: Vec<(usize, BearingObservation)> = bearings.iter().copied().enumerate().collect();
     let solve = |kept: &[(usize, BearingObservation)]| {
         let obs: Vec<BearingObservation> = kept.iter().map(|&(_, b)| b).collect();
-        localize(&obs)
+        match weights {
+            Some(w) => {
+                let kept_w: Vec<f64> = kept.iter().map(|&(i, _)| w[i]).collect();
+                localize_weighted(&obs, &kept_w)
+            }
+            None => localize(&obs),
+        }
     };
     let mut fix = solve(&kept)?;
     let mut dropped = Vec::new();
@@ -300,6 +381,74 @@ mod tests {
         let (fix, dropped) = localize_robust(&bearings, 2).unwrap();
         assert!(dropped.is_empty());
         assert_eq!(fix, localize(&bearings).unwrap());
+    }
+
+    #[test]
+    fn unit_weights_are_bit_identical_to_unweighted() {
+        let bearings = [
+            obs(0.0, 0.0, 5.0),
+            obs(4.0, -3.0, 95.0),
+            obs(-2.0, 4.0, -40.0),
+        ];
+        let plain = localize(&bearings).unwrap();
+        let weighted = localize_weighted(&bearings, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(plain, weighted);
+        let (rp, dp) = localize_robust(&bearings, 2).unwrap();
+        let (rw, dw) = localize_robust_weighted(&bearings, &[1.0; 3], 2).unwrap();
+        assert_eq!(rp, rw);
+        assert_eq!(dp, dw);
+    }
+
+    #[test]
+    fn down_weighting_a_biased_bearing_pulls_the_fix_toward_truth() {
+        // Two confident APs agree on (5, 5); a third, badly biased
+        // bearing drags the unweighted fix. Down-weighting it recovers
+        // most of the error.
+        let target = pt(5.0, 5.0);
+        let bearings = [
+            obs(0.0, 0.0, pt(0.0, 0.0).azimuth_to(target).to_degrees()),
+            obs(10.0, 0.0, pt(10.0, 0.0).azimuth_to(target).to_degrees()),
+            obs(
+                0.0,
+                10.0,
+                pt(0.0, 10.0).azimuth_to(target).to_degrees() + 25.0,
+            ),
+        ];
+        let plain = localize(&bearings).unwrap();
+        let weighted = localize_weighted(&bearings, &[1.0, 1.0, 0.05]).unwrap();
+        assert!(
+            weighted.position.dist(target) < plain.position.dist(target) / 2.0,
+            "weighted {:?} vs plain {:?}",
+            weighted.position,
+            plain.position
+        );
+    }
+
+    #[test]
+    fn uniform_scaling_of_weights_does_not_change_the_fix() {
+        let bearings = [
+            obs(0.0, 0.0, 10.0),
+            obs(8.0, 0.0, 120.0),
+            obs(0.0, 8.0, -30.0),
+        ];
+        let a = localize_weighted(&bearings, &[0.9, 0.5, 0.2]).unwrap();
+        let b = localize_weighted(&bearings, &[0.09, 0.05, 0.02]).unwrap();
+        assert!(a.position.dist(b.position) < 1e-9);
+        assert!((a.residual_m - b.residual_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_weights_are_clamped_not_fatal() {
+        // Zero and NaN confidences must not produce NaN fixes: they are
+        // clamped to a small positive floor.
+        let target = pt(3.0, 4.0);
+        let bearings = [
+            obs(0.0, 0.0, pt(0.0, 0.0).azimuth_to(target).to_degrees()),
+            obs(9.0, 0.0, pt(9.0, 0.0).azimuth_to(target).to_degrees()),
+        ];
+        let fix = localize_weighted(&bearings, &[0.0, f64::NAN]).unwrap();
+        assert!(fix.position.x.is_finite() && fix.position.y.is_finite());
+        assert!(fix.position.dist(target) < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Skew-tolerant window alignment: the pure state machine behind the
+//! coordinator's reorder buffer.
+//!
+//! Workers stamp their reports with *local* window and sequence labels
+//! (see [`crate::ApSkew`]): real APs free-run on their own clocks, so
+//! the label an AP puts on a window is `global + offset + drift`. The
+//! coordinator cannot fuse on labels — it must map each report back to
+//! the global window it was dispatched for, and it must do so
+//! deterministically so seeded runs stay byte-reproducible.
+//!
+//! Two facts make robust alignment possible without synchronized
+//! clocks:
+//!
+//! 1. **Per-AP delivery is FIFO.** A worker processes dispatched
+//!    windows in order and reports (or abandons) them in order, so the
+//!    *n*-th end-of-window marker from an AP corresponds to the *n*-th
+//!    window dispatched **to that AP** — churn-safe, because the
+//!    aligner tracks dispatches per AP.
+//! 2. **Offsets are learnable at association.** The first report from
+//!    an AP reveals its constant epoch offset (the deployment-scale
+//!    analogue of 802.11 TSF sync at association). Later labels are
+//!    checked against `global + learned_offset`; a label that has
+//!    drifted beyond the configured tolerance is *rejected* — the
+//!    window still closes (the FIFO marker is trusted), but the
+//!    bearings stamped with the wandering clock are kept out of fusion
+//!    rather than being fused into the wrong window.
+//!
+//! The aligner is deliberately pure (no channels, no threads) so the
+//! alignment policy itself is property-testable: see
+//! `tests/proptest_alignment.rs`.
+
+use std::collections::VecDeque;
+
+/// One dispatched window awaiting its report from one AP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DispatchRecord {
+    /// Global window number.
+    global: u64,
+    /// Global sequence number of the first packet dispatched for the
+    /// window (`None` when the window carried no packets for this AP).
+    first_seq: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct ApAlignState {
+    /// FIFO of windows dispatched to this AP, not yet reported.
+    dispatched: VecDeque<DispatchRecord>,
+    /// Learned constant window offset (`local label − global`), set by
+    /// the AP's first report.
+    window_offset: Option<i64>,
+}
+
+/// The result of aligning one worker report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aligned {
+    /// The global window this report belongs to (FIFO ground truth).
+    pub global: u64,
+    /// Whether the report's window label sits within tolerance of the
+    /// learned offset. Rejected reports still close their window — only
+    /// their packet payload is excluded from fusion.
+    pub accepted: bool,
+    /// Label deviation from `global + learned offset`, windows. Zero
+    /// for a skew-free or constant-offset AP; grows with drift.
+    pub deviation: i64,
+    /// Sequence-label delta for this window: subtract it from a local
+    /// sequence label to recover the global sequence. `0` when the
+    /// window carried no packets.
+    pub seq_delta: i64,
+}
+
+/// Maps per-AP locally-stamped window labels back to global window
+/// numbers, tolerating bounded clock skew and drift.
+///
+/// ```
+/// use sa_deploy::align::SkewAligner;
+/// let mut aligner = SkewAligner::new(2);
+/// let ap = aligner.add_ap();
+/// // Global windows 0 and 1 dispatched; the AP's clock runs 5 ahead.
+/// aligner.note_dispatch(ap, 0, Some(0));
+/// aligner.note_dispatch(ap, 1, Some(0));
+/// let a = aligner.align(ap, 5, Some(40)).unwrap();
+/// assert!((a.global, a.accepted, a.seq_delta) == (0, true, 40));
+/// let b = aligner.align(ap, 6, Some(40)).unwrap();
+/// assert!((b.global, b.accepted) == (1, true));
+/// ```
+#[derive(Debug, Default)]
+pub struct SkewAligner {
+    tolerance: u64,
+    aps: Vec<ApAlignState>,
+}
+
+impl SkewAligner {
+    /// New aligner with the given label tolerance
+    /// ([`crate::DeployConfig::max_skew_windows`]).
+    pub fn new(tolerance: u64) -> Self {
+        Self {
+            tolerance,
+            aps: Vec::new(),
+        }
+    }
+
+    /// Register a new AP; returns its id (ids are never reused).
+    pub fn add_ap(&mut self) -> usize {
+        self.aps.push(ApAlignState::default());
+        self.aps.len() - 1
+    }
+
+    /// Number of registered APs (live or not).
+    pub fn n_aps(&self) -> usize {
+        self.aps.len()
+    }
+
+    /// Record that global window `global` was dispatched to AP `ap`,
+    /// with `first_seq` the global sequence of its first packet (if
+    /// any). Must be called in dispatch order.
+    pub fn note_dispatch(&mut self, ap: usize, global: u64, first_seq: Option<u64>) {
+        self.aps[ap]
+            .dispatched
+            .push_back(DispatchRecord { global, first_seq });
+    }
+
+    /// Windows dispatched to AP `ap` still awaiting a report.
+    pub fn pending(&self, ap: usize) -> usize {
+        self.aps[ap].dispatched.len()
+    }
+
+    /// Drop AP `ap`'s outstanding dispatches (the worker died or was
+    /// removed; its reports are never coming).
+    pub fn forget_ap(&mut self, ap: usize) {
+        self.aps[ap].dispatched.clear();
+    }
+
+    /// Align one report from AP `ap`: `window_label` is the worker's
+    /// local window stamp, `seq_base` the local sequence label of the
+    /// window's first dispatched packet. Returns `None` if nothing is
+    /// outstanding for the AP (a protocol violation — the report is
+    /// unattributable and must be discarded).
+    pub fn align(
+        &mut self,
+        ap: usize,
+        window_label: i64,
+        seq_base: Option<u64>,
+    ) -> Option<Aligned> {
+        let state = &mut self.aps[ap];
+        let record = state.dispatched.pop_front()?;
+        let offset = *state
+            .window_offset
+            .get_or_insert(window_label - record.global as i64);
+        let deviation = window_label - (record.global as i64 + offset);
+        let seq_delta = match (seq_base, record.first_seq) {
+            (Some(local), Some(global)) => local as i64 - global as i64,
+            _ => 0,
+        };
+        Some(Aligned {
+            global: record.global,
+            accepted: deviation.unsigned_abs() <= self.tolerance,
+            deviation,
+            seq_delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_offset_is_learned_and_accepted() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        for w in 0..5 {
+            a.note_dispatch(ap, w, Some(w * 10));
+        }
+        for w in 0..5i64 {
+            let r = a.align(ap, w - 7, Some((w as u64 * 10) + 3)).unwrap();
+            assert_eq!(r.global, w as u64);
+            assert!(r.accepted, "window {} rejected: {:?}", w, r);
+            assert_eq!(r.deviation, 0);
+            assert_eq!(r.seq_delta, 3);
+        }
+        assert_eq!(a.pending(ap), 0);
+    }
+
+    #[test]
+    fn drift_within_tolerance_is_accepted_beyond_is_rejected() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        for w in 0..8 {
+            a.note_dispatch(ap, w, None);
+        }
+        // Label gains one window of drift per window after the first.
+        for w in 0..8i64 {
+            let label = w + w; // offset learned as 0 at w=0, deviation = w
+            let r = a.align(ap, label, None).unwrap();
+            assert_eq!(r.global, w as u64);
+            assert_eq!(r.deviation, w);
+            assert_eq!(r.accepted, w <= 2, "window {}: {:?}", w, r);
+        }
+    }
+
+    #[test]
+    fn per_ap_offsets_are_independent() {
+        let mut a = SkewAligner::new(1);
+        let ap0 = a.add_ap();
+        let ap1 = a.add_ap();
+        a.note_dispatch(ap0, 0, None);
+        a.note_dispatch(ap1, 0, None);
+        assert!(a.align(ap0, 100, None).unwrap().accepted);
+        assert!(a.align(ap1, -100, None).unwrap().accepted);
+    }
+
+    #[test]
+    fn unattributable_report_is_refused() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        assert!(a.align(ap, 0, None).is_none());
+    }
+
+    #[test]
+    fn forget_ap_clears_outstanding_dispatches() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        a.note_dispatch(ap, 0, None);
+        a.note_dispatch(ap, 1, None);
+        assert_eq!(a.pending(ap), 2);
+        a.forget_ap(ap);
+        assert_eq!(a.pending(ap), 0);
+        assert!(a.align(ap, 0, None).is_none());
+    }
+}

@@ -3,7 +3,122 @@
 use secureangle::spoof::ConsensusConfig;
 use secureangle::tracking::TrackerConfig;
 
+/// Per-AP clock skew model: how an AP's *local* window and sequence
+/// labels relate to the coordinator's global ones. Real APs free-run on
+/// their own oscillators — their window counters start at arbitrary
+/// epochs (`window_offset`), their packet counters at arbitrary values
+/// (`seq_offset`), and cheap clocks drift (`drift_ppw`). Workers stamp
+/// their reports with these *local* labels; the coordinator's
+/// [`crate::align::SkewAligner`] maps them back, rejecting labels that
+/// wander beyond [`DeployConfig::max_skew_windows`].
+///
+/// ```
+/// use sa_deploy::ApSkew;
+/// let skew = ApSkew { window_offset: -2, seq_offset: 7, drift_ppw: 0.0 };
+/// assert_eq!(skew.window_label(5), 3);
+/// assert_eq!(skew.seq_label(0), 7);
+/// assert_eq!(ApSkew::NONE.window_label(5), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApSkew {
+    /// Constant window-epoch offset, windows (may be negative: the AP's
+    /// clock runs behind the coordinator's).
+    pub window_offset: i64,
+    /// Constant sequence-counter offset (an AP's packet counter since
+    /// boot — non-negative by construction).
+    pub seq_offset: u64,
+    /// Drift, in windows of additional skew accumulated per elapsed
+    /// window (e.g. `0.01` gains one extra window of skew every 100
+    /// windows). Drift is what eventually walks a worker outside the
+    /// alignment tolerance.
+    pub drift_ppw: f64,
+}
+
+impl ApSkew {
+    /// A perfectly synchronized AP.
+    pub const NONE: ApSkew = ApSkew {
+        window_offset: 0,
+        seq_offset: 0,
+        drift_ppw: 0.0,
+    };
+
+    /// The local window label this AP stamps on global window `w`.
+    pub fn window_label(&self, w: u64) -> i64 {
+        w as i64 + self.window_offset + (self.drift_ppw * w as f64).trunc() as i64
+    }
+
+    /// The local sequence label this AP stamps on global sequence `s`.
+    pub fn seq_label(&self, s: u64) -> u64 {
+        s + self.seq_offset
+    }
+}
+
+impl Default for ApSkew {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// Report-channel link model: the worker → fusion path as a lossy
+/// datagram link with bounded retransmission, instead of the perfectly
+/// reliable in-process channel.
+///
+/// Every delivery *attempt* of a window report is dropped independently
+/// with probability `loss_rate`; the worker retries up to `retry_limit`
+/// more times. If every attempt is lost the report's *data* is gone for
+/// good ([`crate::ApStats::reports_lost`]) — only the AP's tiny
+/// end-of-window marker (modeled as riding the reliable control path,
+/// like a TCP heartbeat next to a UDP bulk channel) reaches the
+/// coordinator, so the window still closes deterministically and fusion
+/// degrades to the bearings that survived. Loss draws come from a
+/// per-AP deterministic generator seeded by `seed ^ ap_id`, so seeded
+/// runs stay byte-reproducible regardless of thread interleaving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Per-attempt drop probability in `[0, 1]`. `0.0` (the default)
+    /// short-circuits the whole lossy path: no draws, no retries —
+    /// byte-identical behavior to a reliable channel.
+    pub loss_rate: f64,
+    /// Retransmit attempts after the first send (so `retry_limit = 3`
+    /// means up to 4 attempts per report).
+    pub retry_limit: u32,
+    /// Base seed for the per-AP loss streams.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            loss_rate: 0.0,
+            retry_limit: 3,
+            seed: 0x11_4b5e,
+        }
+    }
+}
+
 /// Configuration for a [`crate::Deployment`].
+///
+/// The default is a clean, synchronized deployment (reliable report
+/// link, ±2-window skew tolerance, unit-weight fusion) — byte-
+/// compatible with earlier releases. Degraded modes are opted into per
+/// field; see `docs/DEPLOYMENT.md` for tuning guidance.
+///
+/// ```
+/// use sa_deploy::{DeployConfig, LinkConfig};
+///
+/// // A deployment expecting rough infrastructure: 10% report loss
+/// // with 3 retransmits, 3-AP fix quorum, confidence-weighted fusion.
+/// let cfg = DeployConfig {
+///     link: LinkConfig { loss_rate: 0.10, retry_limit: 3, seed: 7 },
+///     min_aps_for_fix: 3,
+///     weight_bearings_by_confidence: true,
+///     ..DeployConfig::default()
+/// };
+/// assert_eq!(cfg.max_skew_windows, 2); // default skew tolerance
+/// // Per-report residual loss after retransmits: loss^(retries+1).
+/// let residual = cfg.link.loss_rate.powi(cfg.link.retry_limit as i32 + 1);
+/// assert!(residual < 1e-3);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct DeployConfig {
     /// Nominal duration of one observation window, seconds — the `dt`
@@ -38,6 +153,23 @@ pub struct DeployConfig {
     pub consensus: ConsensusConfig,
     /// Per-client α–β tracker gains.
     pub tracker: TrackerConfig,
+    /// Clock-skew alignment tolerance, windows: a worker report whose
+    /// local window label deviates from the learned per-AP offset by
+    /// more than this is rejected (its bearings are excluded from
+    /// fusion, counted in [`crate::DeployMetrics::skew_rejections`])
+    /// rather than fused into the wrong window. This also bounds the
+    /// coordinator's reorder buffer: aligned reports can only target
+    /// windows within `max_skew_windows` of each AP's expected position.
+    pub max_skew_windows: u64,
+    /// Report-channel loss model (defaults to a reliable channel).
+    pub link: LinkConfig,
+    /// Weight each bearing by its report confidence in the fused
+    /// least-squares fix ([`secureangle::localize::localize_weighted`])
+    /// instead of weighting all bearings equally. Off by default:
+    /// unit-weight fusion is bit-compatible with earlier releases; turn
+    /// it on for degraded deployments where marginal through-wall
+    /// bearings should pull fixes less.
+    pub weight_bearings_by_confidence: bool,
 }
 
 impl Default for DeployConfig {
@@ -52,6 +184,9 @@ impl Default for DeployConfig {
             reference_train_max_residual_m: 1.0,
             consensus: ConsensusConfig::default(),
             tracker: TrackerConfig::default(),
+            max_skew_windows: 2,
+            link: LinkConfig::default(),
+            weight_bearings_by_confidence: false,
         }
     }
 }
@@ -73,6 +208,14 @@ pub enum DeployError {
         /// Window being collected when the loss was noticed.
         window: u64,
     },
+    /// An AP id that is not (or no longer) a live member of the
+    /// deployment was named in a churn operation.
+    UnknownAp {
+        /// The offending AP id.
+        ap_id: usize,
+    },
+    /// Removing the AP would leave the deployment empty.
+    LastAp,
 }
 
 impl std::fmt::Display for DeployError {
@@ -85,6 +228,10 @@ impl std::fmt::Display for DeployError {
             DeployError::WorkerLost { window } => {
                 write!(f, "worker disconnected while collecting window {}", window)
             }
+            DeployError::UnknownAp { ap_id } => {
+                write!(f, "AP {} is not a live member of the deployment", ap_id)
+            }
+            DeployError::LastAp => write!(f, "cannot remove the deployment's last live AP"),
         }
     }
 }
@@ -102,6 +249,28 @@ mod tests {
         assert!(cfg.channel_capacity > 0);
         assert!(cfg.min_aps_for_fix >= 2);
         assert!(cfg.reference_train_max_residual_m <= cfg.consensus.max_residual_m);
+        // Degraded-mode defaults: reliable link, ±2 window tolerance,
+        // unit-weight fusion — the PR-3 behavior exactly.
+        assert_eq!(cfg.link.loss_rate, 0.0);
+        assert!(cfg.link.retry_limit >= 1);
+        assert_eq!(cfg.max_skew_windows, 2);
+        assert!(!cfg.weight_bearings_by_confidence);
+    }
+
+    #[test]
+    fn skew_labels_offset_and_drift() {
+        let skew = ApSkew {
+            window_offset: -2,
+            seq_offset: 40,
+            drift_ppw: 0.1,
+        };
+        assert_eq!(skew.window_label(0), -2);
+        assert_eq!(skew.window_label(9), 7); // 9 − 2 + trunc(0.9)
+        assert_eq!(skew.window_label(10), 9); // 10 − 2 + trunc(1.0)
+        assert_eq!(skew.window_label(25), 25); // 25 − 2 + 2
+        assert_eq!(skew.seq_label(3), 43);
+        assert_eq!(ApSkew::NONE.window_label(7), 7);
+        assert_eq!(ApSkew::default(), ApSkew::NONE);
     }
 
     #[test]
@@ -117,5 +286,9 @@ mod tests {
         assert!(DeployError::WorkerLost { window: 3 }
             .to_string()
             .contains('3'));
+        assert!(DeployError::UnknownAp { ap_id: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(DeployError::LastAp.to_string().contains("last"));
     }
 }

@@ -1,7 +1,17 @@
 //! The deployment coordinator: N AP worker threads, one shared decode
-//! pass, window scheduling and the fusion drain.
+//! pass, skew-tolerant window scheduling, AP churn, and the fusion
+//! drain.
+//!
+//! Windows close on end-of-window markers (never wall clocks), but the
+//! markers are no longer assumed perfect: workers stamp them with their
+//! own skewed clocks (aligned back by [`crate::align::SkewAligner`]),
+//! their payloads may be lost on the lossy report link (the window
+//! closes anyway, with that AP's bearings missing), and workers may
+//! join, leave, or die mid-run (a window never waits on an AP that is
+//! no longer live). All of it is deterministic for a seeded run.
 
-use crate::config::{DeployConfig, DeployError};
+use crate::align::SkewAligner;
+use crate::config::{ApSkew, DeployConfig, DeployError};
 use crate::fusion::Fusion;
 use crate::report::{ApStats, DeployMetrics, DeploymentReport, FusedWindow};
 use crate::worker::{run_worker, WindowDone, WorkerCfg, WorkerMsg, WorkerPacket};
@@ -16,12 +26,12 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One client transmission as every AP heard it: `per_ap[k]` is AP
-/// `k`'s multi-antenna capture of the same frame. Captures are
-/// reference-counted so staging a transmission is cheap.
+/// One client transmission as every live AP heard it: `per_ap[k]` is
+/// the `k`-th *live* AP's multi-antenna capture of the same frame.
+/// Captures are reference-counted so staging a transmission is cheap.
 #[derive(Debug, Clone)]
 pub struct Transmission {
-    /// One capture per AP, in AP order.
+    /// One capture per live AP, in live-AP order.
     pub per_ap: Vec<Arc<CMat>>,
 }
 
@@ -35,30 +45,78 @@ impl Transmission {
     }
 }
 
-struct WorkerHandle {
-    tx: SyncSender<WorkerMsg>,
-    join: JoinHandle<(AccessPoint, ApStats)>,
+/// One AP's slot in the deployment. AP ids are stable for the life of
+/// the deployment and never reused; a removed or crashed AP keeps its
+/// slot (for stats attribution) with `alive = false`.
+struct WorkerSlot {
+    tx: Option<SyncSender<WorkerMsg>>,
+    join: Option<JoinHandle<(AccessPoint, ApStats)>>,
+    alive: bool,
+    /// Run totals captured when the worker left early (removed or
+    /// reaped); `None` while running or if the thread panicked.
+    final_stats: Option<ApStats>,
 }
 
-/// Reports buffered for one not-yet-closed window.
+/// Reports buffered for one not-yet-closed window — one cell of the
+/// coordinator's reorder buffer.
 #[derive(Default)]
 struct WindowBin {
+    /// AP ids that were live when the window was submitted: the close
+    /// condition. An AP that dies afterward stops being waited on.
+    expected: Vec<usize>,
+    /// AP ids whose end-of-window marker has arrived.
+    reported: Vec<usize>,
     packets: Vec<crate::report::ApPacket>,
-    ends: usize,
     end_stats: Vec<(usize, ApStats)>,
+    lost_reports: usize,
+    skew_rejected: usize,
 }
 
 /// A running multi-AP deployment (see the crate docs for the data
 /// flow). Construction spawns one worker thread per AP; dropping
 /// without [`Deployment::finish`] shuts the workers down but discards
 /// their state.
+///
+/// ```no_run
+/// use sa_deploy::{ApSkew, DeployConfig, Deployment, LinkConfig, Transmission};
+/// # fn aps() -> Vec<secureangle::AccessPoint> { Vec::new() }
+/// # fn spare_ap() -> secureangle::AccessPoint { unimplemented!() }
+/// # fn captures(_n: usize) -> Vec<Transmission> { Vec::new() }
+///
+/// // A degraded-mode deployment: 10% report loss with 3 retransmits,
+/// // tolerate up to ±2 windows of per-AP clock skew.
+/// let cfg = DeployConfig {
+///     link: LinkConfig { loss_rate: 0.10, retry_limit: 3, seed: 7 },
+///     max_skew_windows: 2,
+///     ..DeployConfig::default()
+/// };
+/// let skews = vec![ApSkew { window_offset: 2, seq_offset: 40, drift_ppw: 0.0 }; 4];
+/// let mut deployment = Deployment::with_skews(aps(), cfg, skews);
+///
+/// deployment.submit_window(captures(deployment.live_aps())).unwrap();
+/// let fused = deployment.collect_window().unwrap();
+/// assert!(fused.lost_reports <= fused.expected_aps);
+///
+/// // Mid-run churn: a new AP joins (consensus re-baselines), a flaky
+/// // one is pulled. Windows already in flight still close.
+/// let new_id = deployment.add_ap(spare_ap());
+/// let _flaky = deployment.remove_ap(0).unwrap();
+/// assert!(new_id > 0);
+///
+/// let (report, _aps) = deployment.finish();
+/// println!("{} windows, {} degraded", report.metrics.windows,
+///          report.metrics.degraded_windows);
+/// ```
 pub struct Deployment {
     cfg: DeployConfig,
     modulation: Modulation,
+    /// Positions by stable AP id (retired ids keep their entry).
     ap_positions: Vec<Point>,
-    workers: Vec<WorkerHandle>,
+    slots: Vec<WorkerSlot>,
+    up_tx: SyncSender<WindowDone>,
     up_rx: Receiver<WindowDone>,
     fusion: Fusion,
+    aligner: SkewAligner,
     /// Windows submitted but not yet collected, in order.
     pending: VecDeque<u64>,
     next_window: u64,
@@ -68,12 +126,21 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Spawn a deployment over the given APs. All APs must share one
-    /// modulation (the shared decode runs once per transmission) and
-    /// have a circular array if their bearings are to contribute global
-    /// azimuths. Panics on an empty AP list or mixed modulations.
+    /// Spawn a deployment over the given APs with synchronized clocks.
+    /// All APs must share one modulation (the shared decode runs once
+    /// per transmission) and have a circular array if their bearings
+    /// are to contribute global azimuths. Panics on an empty AP list or
+    /// mixed modulations.
     pub fn new(aps: Vec<AccessPoint>, cfg: DeployConfig) -> Self {
+        let skews = vec![ApSkew::NONE; aps.len()];
+        Self::with_skews(aps, cfg, skews)
+    }
+
+    /// [`Deployment::new`] with a per-AP clock-skew model: `skews[k]`
+    /// is AP `k`'s [`ApSkew`]. Panics if the lengths differ.
+    pub fn with_skews(aps: Vec<AccessPoint>, cfg: DeployConfig, skews: Vec<ApSkew>) -> Self {
         assert!(!aps.is_empty(), "deployment needs at least one AP");
+        assert_eq!(aps.len(), skews.len(), "one ApSkew per AP required");
         let modulation = aps[0].config().modulation;
         assert!(
             aps.iter().all(|ap| ap.config().modulation == modulation),
@@ -83,21 +150,14 @@ impl Deployment {
         let n_aps = aps.len();
 
         let (up_tx, up_rx) = sync_channel(cfg.channel_capacity.max(1));
-        let workers = aps
+        let mut aligner = SkewAligner::new(cfg.max_skew_windows);
+        let slots = aps
             .into_iter()
+            .zip(skews)
             .enumerate()
-            .map(|(ap_id, ap)| {
-                let (tx, rx) = sync_channel(cfg.channel_capacity.max(1));
-                let up = up_tx.clone();
-                let wcfg = WorkerCfg {
-                    snapshot_cap: cfg.snapshot_cap,
-                    auto_train_signatures: cfg.auto_train_signatures,
-                };
-                let join = std::thread::Builder::new()
-                    .name(format!("sa-deploy-ap{}", ap_id))
-                    .spawn(move || run_worker(ap_id, ap, wcfg, rx, up))
-                    .expect("spawn AP worker");
-                WorkerHandle { tx, join }
+            .map(|(ap_id, (ap, skew))| {
+                aligner.add_ap();
+                spawn_worker(ap_id, ap, &cfg, skew, up_tx.clone())
             })
             .collect();
 
@@ -106,8 +166,10 @@ impl Deployment {
             cfg,
             modulation,
             ap_positions,
-            workers,
+            slots,
+            up_tx,
             up_rx,
+            aligner,
             pending: VecDeque::new(),
             next_window: 0,
             bins: BTreeMap::new(),
@@ -116,9 +178,26 @@ impl Deployment {
         }
     }
 
-    /// Number of APs in the deployment.
+    /// Number of *live* APs — the capture count
+    /// [`Deployment::submit_window`] expects per transmission.
+    pub fn live_aps(&self) -> usize {
+        self.slots.iter().filter(|s| s.alive).count()
+    }
+
+    /// Size of the stable AP id space (live + removed + lost APs).
     pub fn n_aps(&self) -> usize {
-        self.workers.len()
+        self.slots.len()
+    }
+
+    /// The ids of the live APs, ascending — `live_ap_ids()[k]` is the
+    /// AP that hears `Transmission::per_ap[k]`.
+    pub fn live_ap_ids(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// The configuration in use.
@@ -126,7 +205,7 @@ impl Deployment {
         &self.cfg
     }
 
-    /// AP positions, by AP id.
+    /// AP positions, by stable AP id (including retired APs).
     pub fn ap_positions(&self) -> &[Point] {
         &self.ap_positions
     }
@@ -153,18 +232,122 @@ impl Deployment {
         self.fusion.reference(mac)
     }
 
+    /// Add an AP to the running deployment (synchronized clock). The
+    /// new AP participates from the next submitted window; windows
+    /// already in flight close with their original membership. Returns
+    /// the new AP's stable id. Consensus references re-baseline: fused
+    /// geometry shifts with membership, so every client retrains its
+    /// reference from its next clean fix.
+    pub fn add_ap(&mut self, ap: AccessPoint) -> usize {
+        self.add_ap_with_skew(ap, ApSkew::NONE)
+    }
+
+    /// [`Deployment::add_ap`] with a clock-skew model for the joiner.
+    /// Panics if the AP's modulation differs from the deployment's.
+    pub fn add_ap_with_skew(&mut self, ap: AccessPoint, skew: ApSkew) -> usize {
+        assert_eq!(
+            ap.config().modulation,
+            self.modulation,
+            "deployment APs must share one modulation"
+        );
+        let ap_id = self.slots.len();
+        self.aligner.add_ap();
+        self.ap_positions.push(ap.config().position);
+        self.fusion.add_ap(ap.config().position);
+        self.per_ap_window_stats.push(ApStats::default());
+        self.slots
+            .push(spawn_worker(ap_id, ap, &self.cfg, skew, self.up_tx.clone()));
+        self.metrics.aps_added += 1;
+        self.fusion.rebaseline();
+        ap_id
+    }
+
+    /// Remove a live AP from the running deployment, returning it with
+    /// its trained state. The worker first drains every window already
+    /// dispatched to it — a mid-run removal never stalls or abandons an
+    /// in-flight window — then shuts down. Windows submitted afterward
+    /// expect one fewer capture. Consensus references re-baseline.
+    ///
+    /// Errors: [`DeployError::UnknownAp`] if the id is not live,
+    /// [`DeployError::LastAp`] if this is the last live AP, and
+    /// [`DeployError::WorkerLost`] if the worker dies while draining.
+    pub fn remove_ap(&mut self, ap_id: usize) -> Result<AccessPoint, DeployError> {
+        if !self.slots.get(ap_id).is_some_and(|s| s.alive) {
+            return Err(DeployError::UnknownAp { ap_id });
+        }
+        if self.live_aps() == 1 {
+            return Err(DeployError::LastAp);
+        }
+        // Drain: its dispatched-but-unreported windows must be routed
+        // before the worker may exit.
+        while self.aligner.pending(ap_id) > 0 && self.slots[ap_id].alive {
+            self.wait_for_progress();
+        }
+        let slot = &mut self.slots[ap_id];
+        if !slot.alive {
+            // Died while draining (reaped as a worker loss).
+            return Err(DeployError::WorkerLost {
+                window: self.next_window,
+            });
+        }
+        if let Some(tx) = slot.tx.take() {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        slot.alive = false;
+        let joined = slot.join.take().map(|j| j.join());
+        // Membership ended either way — a panic during shutdown must
+        // still retire the AP from fusion and re-baseline, or stale
+        // references would false-flag every client under the new
+        // geometry.
+        self.fusion.retire_ap(ap_id);
+        self.fusion.rebaseline();
+        self.aligner.forget_ap(ap_id);
+        let (ap, stats) = match joined {
+            Some(Ok(pair)) => pair,
+            _ => {
+                self.metrics.worker_losses += 1;
+                return Err(DeployError::WorkerLost {
+                    window: self.next_window,
+                });
+            }
+        };
+        self.slots[ap_id].final_stats = Some(stats);
+        self.metrics.aps_removed += 1;
+        Ok(ap)
+    }
+
+    /// Make AP `ap_id`'s worker die abruptly without reporting — test
+    /// fault injection for the crash-tolerance path (a real panic or
+    /// power loss looks identical to the coordinator: the thread is
+    /// gone and its windows must close without it).
+    #[doc(hidden)]
+    pub fn crash_worker(&mut self, ap_id: usize) -> Result<(), DeployError> {
+        match self.slots.get(ap_id).and_then(|s| s.tx.as_ref()) {
+            Some(tx) => {
+                let _ = tx.send(WorkerMsg::Crash);
+                Ok(())
+            }
+            None => Err(DeployError::UnknownAp { ap_id }),
+        }
+    }
+
     /// Ingest one observation window of traffic: run the shared stage-1
     /// decode per transmission and dispatch the per-AP captures (plus
-    /// the shared [`secureangle::DecodedPacket`]) to every worker.
+    /// the shared [`secureangle::DecodedPacket`]) to every live worker.
     /// Returns the window number. Transmissions whose reference capture
     /// contains no detectable packet are counted in
     /// [`DeployMetrics::decode_failures`] and skipped fleet-wide.
     pub fn submit_window(&mut self, transmissions: Vec<Transmission>) -> Result<u64, DeployError> {
-        let n_aps = self.n_aps();
+        let live = self.live_ap_ids();
+        if live.is_empty() {
+            return Err(DeployError::WorkerLost {
+                window: self.next_window,
+            });
+        }
         for t in &transmissions {
-            if t.per_ap.len() != n_aps {
+            if t.per_ap.len() != live.len() {
                 return Err(DeployError::ApCountMismatch {
-                    expected: n_aps,
+                    expected: live.len(),
                     got: t.per_ap.len(),
                 });
             }
@@ -172,8 +355,9 @@ impl Deployment {
         let window = self.next_window;
         self.next_window += 1;
 
-        // Stage 1, once per transmission.
-        let mut per_worker: Vec<Vec<WorkerPacket>> = (0..n_aps).map(|_| Vec::new()).collect();
+        // Stage 1, once per transmission (reference capture = the first
+        // live AP's).
+        let mut per_worker: Vec<Vec<WorkerPacket>> = (0..live.len()).map(|_| Vec::new()).collect();
         for (seq, t) in transmissions.into_iter().enumerate() {
             self.metrics.transmissions += 1;
             let decoded = match decode_reference(&t.per_ap[0], self.modulation) {
@@ -192,18 +376,38 @@ impl Deployment {
             }
         }
 
+        self.bins.insert(
+            window,
+            WindowBin {
+                expected: live.clone(),
+                ..WindowBin::default()
+            },
+        );
+
         // Dispatch, with ingest backpressure accounting. A full worker
         // queue is never waited on blindly: the coordinator keeps
         // draining the report channel while it waits, so workers stuck
         // publishing finished windows can always make progress — deep
         // pipelining backs up gracefully instead of deadlocking on a
-        // full channel cycle.
+        // full channel cycle. A worker found dead here is reaped and
+        // skipped; the window will close without it.
         for (k, packets) in per_worker.into_iter().enumerate() {
-            self.metrics.packets_dispatched += packets.len() as u64;
+            let ap_id = live[k];
+            // A worker reaped earlier in this dispatch loop (its death
+            // noticed while waiting out another AP's backpressure) gets
+            // nothing dispatched — and, crucially, no dispatch record,
+            // which would never be answered.
+            let tx = self.slots[ap_id].tx.clone();
+            let Some(tx) = tx else {
+                continue;
+            };
+            self.aligner
+                .note_dispatch(ap_id, window, packets.first().map(|p| p.seq));
+            let mut dispatched_packets = packets.len() as u64;
             let mut msg = WorkerMsg::Window { window, packets };
             let mut counted = false;
             loop {
-                match self.workers[k].tx.try_send(msg) {
+                match tx.try_send(msg) {
                     Ok(()) => break,
                     Err(TrySendError::Full(m)) => {
                         msg = m;
@@ -211,23 +415,52 @@ impl Deployment {
                             self.metrics.ingest_backpressure_events += 1;
                             counted = true;
                         }
-                        self.wait_for_progress(window)?;
+                        self.wait_for_progress();
                     }
                     Err(TrySendError::Disconnected(_)) => {
-                        return Err(DeployError::WorkerLost { window });
+                        self.drain_reports_and_reap(ap_id);
+                        dispatched_packets = 0;
+                        break;
                     }
                 }
             }
+            self.metrics.packets_dispatched += dispatched_packets;
         }
         self.pending.push_back(window);
         Ok(window)
     }
 
-    /// Route one worker report batch into its window's bin.
+    /// Route one worker report batch into its window's bin, aligning
+    /// the worker's local window label back to the global window and
+    /// rejecting labels beyond the skew tolerance.
     fn route(&mut self, done: WindowDone) {
-        let bin = self.bins.entry(done.window).or_default();
-        bin.packets.extend(done.packets);
-        bin.ends += 1;
+        let Some(aligned) = self.aligner.align(done.ap_id, done.label, done.seq_base) else {
+            // Unattributable (nothing outstanding for the AP — e.g. it
+            // was reaped and forgotten): discard.
+            return;
+        };
+        let Some(bin) = self.bins.get_mut(&aligned.global) else {
+            return;
+        };
+        if done.lost {
+            bin.lost_reports += 1;
+            self.metrics.reports_lost += 1;
+        } else if !aligned.accepted {
+            bin.skew_rejected += 1;
+            self.metrics.skew_rejections += 1;
+            self.per_ap_window_stats[done.ap_id].skew_rejections += 1;
+        } else {
+            let mut packets = done.packets;
+            for p in &mut packets {
+                p.window = aligned.global;
+                p.seq = (p.seq as i64 - aligned.seq_delta) as u64;
+                if let Some(r) = &mut p.report {
+                    r.seq = p.seq;
+                }
+            }
+            bin.packets.extend(packets);
+        }
+        bin.reported.push(done.ap_id);
         bin.end_stats.push((done.ap_id, done.stats));
         let depth: usize = self.bins.values().map(|b| b.packets.len()).sum();
         self.metrics.max_fusion_queue_depth = self.metrics.max_fusion_queue_depth.max(depth);
@@ -236,41 +469,96 @@ impl Deployment {
     /// Wait a beat for the workers to make progress, draining any
     /// report that arrives in the meantime. Detects dead workers: a
     /// worker thread that has exited without a shutdown order means a
-    /// panic, and blocking further would hang forever (the channel
-    /// only disconnects when *every* sender is gone).
-    fn wait_for_progress(&mut self, window: u64) -> Result<(), DeployError> {
+    /// panic or injected crash; it is reaped — its buffered reports are
+    /// drained first (they were sent before the thread exited, so they
+    /// are already in the channel), then its membership ends so no
+    /// window ever waits on it.
+    fn wait_for_progress(&mut self) {
         match self
             .up_rx
             .recv_timeout(std::time::Duration::from_millis(10))
         {
-            Ok(done) => {
-                self.route(done);
-                Ok(())
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                if self.workers.iter().any(|w| w.join.is_finished()) {
-                    return Err(DeployError::WorkerLost { window });
+            Ok(done) => self.route(done),
+            Err(_) => {
+                let finished: Vec<usize> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.alive && s.join.as_ref().is_some_and(|j| j.is_finished()))
+                    .map(|(id, _)| id)
+                    .collect();
+                if finished.is_empty() {
+                    return;
                 }
-                Ok(())
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                Err(DeployError::WorkerLost { window })
+                for ap_id in finished {
+                    self.drain_reports_and_reap(ap_id);
+                }
             }
         }
     }
 
-    /// Block until the oldest in-flight window has been fully reported
-    /// by every AP, then fuse and return it. Reports for later windows
-    /// that arrive in the meantime are buffered (their depth shows up
-    /// in [`DeployMetrics::max_fusion_queue_depth`]).
+    /// Drain every report already in flight, then reap a dead worker.
+    /// The order matters for determinism: a dead thread's sends all
+    /// happened before it exited, so they are already in the channel —
+    /// draining first salvages them no matter *where* the death was
+    /// noticed (timeout scan or a `Disconnected` send error), instead
+    /// of the salvage depending on which path won the race.
+    fn drain_reports_and_reap(&mut self, ap_id: usize) {
+        while let Ok(done) = self.up_rx.try_recv() {
+            self.route(done);
+        }
+        self.reap_worker(ap_id);
+    }
+
+    /// Mark a dead worker's slot: absorb what can be salvaged, forget
+    /// its outstanding dispatches, end its membership, re-baseline.
+    fn reap_worker(&mut self, ap_id: usize) {
+        let slot = &mut self.slots[ap_id];
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        slot.tx = None;
+        if let Some(join) = slot.join.take() {
+            if let Ok((_ap, stats)) = join.join() {
+                // The AP object itself is dropped: a crashed worker's
+                // state is not trusted. Its counters are still real.
+                slot.final_stats = Some(stats);
+            }
+        }
+        self.aligner.forget_ap(ap_id);
+        self.fusion.retire_ap(ap_id);
+        self.metrics.worker_losses += 1;
+        self.fusion.rebaseline();
+    }
+
+    /// Is window `w`'s bin closable: every AP expected at submit has
+    /// either delivered its end-of-window marker or is no longer live.
+    fn closable(&self, window: u64) -> bool {
+        match self.bins.get(&window) {
+            Some(bin) => bin
+                .expected
+                .iter()
+                .all(|&k| bin.reported.contains(&k) || !self.slots[k].alive),
+            None => true,
+        }
+    }
+
+    /// Block until the oldest in-flight window has closed — every AP
+    /// that was live at submit has reported (or died) — then fuse and
+    /// return it. Reports for later windows that arrive in the meantime
+    /// are buffered in the reorder buffer (their depth shows up in
+    /// [`DeployMetrics::max_fusion_queue_depth`]). A window whose data
+    /// is partial (lost reports, skew rejections, dead APs) is fused
+    /// from the bearings that survived; see [`FusedWindow::lost_reports`]
+    /// and [`FusedWindow::skew_rejected`].
     pub fn collect_window(&mut self) -> Result<FusedWindow, DeployError> {
         let window = self
             .pending
             .pop_front()
             .ok_or(DeployError::NothingSubmitted)?;
-        let n_aps = self.n_aps();
-        while self.bins.get(&window).map_or(0, |b| b.ends) < n_aps {
-            self.wait_for_progress(window)?;
+        while !self.closable(window) {
+            self.wait_for_progress();
         }
 
         let bin = self.bins.remove(&window).unwrap_or_default();
@@ -278,7 +566,23 @@ impl Deployment {
             self.per_ap_window_stats[*ap_id].absorb(stats);
             self.metrics.report_backpressure_events += stats.backpressure_events;
         }
-        let fused = self.fusion.fuse_window(window, bin.packets);
+        let dead_aps = bin
+            .expected
+            .iter()
+            .filter(|&&k| !bin.reported.contains(&k))
+            .count();
+        // Degradation the coordinator *knows* about — and the only
+        // thing that earns consensus slack downstream: reports lost on
+        // the link, rejected for skew, or never coming (dead worker).
+        let missing_aps = bin.lost_reports + bin.skew_rejected + dead_aps;
+        if missing_aps > 0 {
+            self.metrics.degraded_windows += 1;
+        }
+        let mut fused =
+            self.fusion
+                .fuse_window_expecting(window, bin.packets, bin.expected.len(), missing_aps);
+        fused.lost_reports = bin.lost_reports;
+        fused.skew_rejected = bin.skew_rejected;
         self.metrics.windows += 1;
         self.metrics.fused_bearings += fused.bearings as u64;
         self.metrics.localize_failures += fused.localize_failures as u64;
@@ -305,30 +609,73 @@ impl Deployment {
     }
 
     /// Drain any in-flight windows, shut the workers down, and return
-    /// the final report together with the APs (whose trained signature
-    /// stores and quarantine state survive the deployment).
+    /// the final report together with the still-live APs (whose trained
+    /// signature stores and quarantine state survive the deployment;
+    /// APs removed mid-run were already handed back by
+    /// [`Deployment::remove_ap`], and crashed APs' state is gone).
     pub fn finish(mut self) -> (DeploymentReport, Vec<AccessPoint>) {
         while !self.pending.is_empty() {
             if self.collect_window().is_err() {
                 break;
             }
         }
-        for w in &self.workers {
-            let _ = w.tx.send(WorkerMsg::Shutdown);
+        for slot in &self.slots {
+            if let Some(tx) = &slot.tx {
+                let _ = tx.send(WorkerMsg::Shutdown);
+            }
         }
-        let mut per_ap = Vec::with_capacity(self.workers.len());
-        let mut aps = Vec::with_capacity(self.workers.len());
-        for w in self.workers {
-            let (ap, stats) = w.join.join().expect("AP worker panicked");
-            aps.push(ap);
+        let mut per_ap = Vec::with_capacity(self.slots.len());
+        let mut aps = Vec::new();
+        for (ap_id, slot) in self.slots.into_iter().enumerate() {
+            let mut stats = match slot.join.map(|j| j.join()) {
+                Some(Ok((ap, stats))) => {
+                    aps.push(ap);
+                    stats
+                }
+                // Removed or reaped earlier: use the captured totals,
+                // falling back to the closed-window view for a panicked
+                // worker whose totals died with it.
+                _ => slot.final_stats.unwrap_or(self.per_ap_window_stats[ap_id]),
+            };
+            // Skew rejections are counted by the coordinator (a worker
+            // cannot see its own clock error), so graft them onto the
+            // worker-side totals here.
+            stats.skew_rejections = self.per_ap_window_stats[ap_id].skew_rejections;
             per_ap.push(stats);
         }
         let report = DeploymentReport {
-            n_aps: aps.len(),
+            n_aps: per_ap.len(),
             metrics: self.metrics,
             per_ap,
             clients: self.fusion.client_summaries(),
         };
         (report, aps)
+    }
+}
+
+/// Spawn one AP worker thread.
+fn spawn_worker(
+    ap_id: usize,
+    ap: AccessPoint,
+    cfg: &DeployConfig,
+    skew: ApSkew,
+    up: SyncSender<WindowDone>,
+) -> WorkerSlot {
+    let (tx, rx) = sync_channel(cfg.channel_capacity.max(1));
+    let wcfg = WorkerCfg {
+        snapshot_cap: cfg.snapshot_cap,
+        auto_train_signatures: cfg.auto_train_signatures,
+        skew,
+        link: cfg.link,
+    };
+    let join = std::thread::Builder::new()
+        .name(format!("sa-deploy-ap{}", ap_id))
+        .spawn(move || run_worker(ap_id, ap, wcfg, rx, up))
+        .expect("spawn AP worker");
+    WorkerSlot {
+        tx: Some(tx),
+        join: Some(join),
+        alive: true,
+        final_stats: None,
     }
 }

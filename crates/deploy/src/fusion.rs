@@ -11,7 +11,7 @@ use crate::config::DeployConfig;
 use crate::report::{ApPacket, ClientFix, ClientSummary, FusedWindow};
 use sa_channel::geom::Point;
 use sa_mac::MacAddr;
-use secureangle::localize::{localize_robust, BearingObservation};
+use secureangle::localize::{localize_robust, localize_robust_weighted, BearingObservation};
 use secureangle::spoof::{ConsensusVerdict, CrossApConsensus};
 use secureangle::tracking::MobilityTracker;
 use std::collections::BTreeMap;
@@ -27,22 +27,75 @@ struct ClientState {
 /// The fusion stage. [`crate::Deployment`] owns one, but it is usable
 /// standalone (and benchmarked standalone): feed it one window's
 /// [`ApPacket`]s and it returns the fused result.
+///
+/// ```
+/// use sa_channel::geom::pt;
+/// use sa_deploy::{DeployConfig, Fusion};
+///
+/// let aps = vec![pt(0.0, 0.0), pt(10.0, 0.0), pt(10.0, 10.0)];
+/// let mut fusion = Fusion::new(aps, DeployConfig::default());
+/// assert_eq!(fusion.live_aps(), 3);
+/// // Feed one closed window's ApPackets (normally from the workers):
+/// let fused = fusion.fuse_window(0, Vec::new());
+/// assert_eq!(fused.expected_aps, 3);
+/// // Membership can change mid-run; consensus references re-baseline.
+/// fusion.retire_ap(2);
+/// assert_eq!(fusion.live_aps(), 2);
+/// ```
 pub struct Fusion {
     cfg: DeployConfig,
     ap_positions: Vec<Point>,
+    /// Live-membership flags, indexed by stable AP id. Retired APs keep
+    /// their position slot (historical packets may still reference it)
+    /// but stop counting toward the expected quorum.
+    live: Vec<bool>,
     consensus: CrossApConsensus,
     clients: BTreeMap<MacAddr, ClientState>,
 }
 
 impl Fusion {
-    /// New fusion stage for APs at the given positions.
+    /// New fusion stage for APs at the given positions (all live).
     pub fn new(ap_positions: Vec<Point>, cfg: DeployConfig) -> Self {
         Self {
             consensus: CrossApConsensus::new(cfg.consensus),
             cfg,
+            live: vec![true; ap_positions.len()],
             ap_positions,
             clients: BTreeMap::new(),
         }
+    }
+
+    /// Register a new AP at `position`; returns its stable id. Does
+    /// **not** re-baseline — callers decide (a [`crate::Deployment`]
+    /// re-baselines on every membership change).
+    pub fn add_ap(&mut self, position: Point) -> usize {
+        self.ap_positions.push(position);
+        self.live.push(true);
+        self.ap_positions.len() - 1
+    }
+
+    /// Mark an AP as no longer a member: it stops counting toward the
+    /// expected quorum. Idempotent; unknown ids are ignored.
+    pub fn retire_ap(&mut self, ap_id: usize) {
+        if let Some(flag) = self.live.get_mut(ap_id) {
+            *flag = false;
+        }
+    }
+
+    /// Number of live APs.
+    pub fn live_aps(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Forget every trained consensus reference (flag history is kept)
+    /// so clients re-baseline from their next clean fix. Deployments
+    /// call this on AP membership change: the fused-fix geometry shifts
+    /// with the contributing AP set, and references trained under the
+    /// old membership would read as displacement — i.e. as spoofs.
+    /// Mobility trackers are *not* reset (a client's position estimate
+    /// stays valid; only the spoof baseline is geometry-dependent).
+    pub fn rebaseline(&mut self) {
+        self.consensus.rebaseline();
     }
 
     /// Train (or move) a client's consensus reference position by hand
@@ -65,8 +118,39 @@ impl Fusion {
     /// reported for the window, in any order; ordering is normalised
     /// internally. Tracker `dt` is derived from the gap in window
     /// numbers (late windows fall back to the tracker's zero-`dt`
-    /// position-only update).
-    pub fn fuse_window(&mut self, window: u64, mut packets: Vec<ApPacket>) -> FusedWindow {
+    /// position-only update). The expected quorum is the current live
+    /// membership, with no missing-report slack; a coordinator that
+    /// tracks per-window degradation uses
+    /// [`Fusion::fuse_window_expecting`] instead.
+    pub fn fuse_window(&mut self, window: u64, packets: Vec<ApPacket>) -> FusedWindow {
+        let expected = self.live_aps();
+        self.fuse_window_expecting(window, packets, expected, 0)
+    }
+
+    /// [`Fusion::fuse_window`] with the coordinator's per-window
+    /// degradation knowledge: `expected_aps` is the live membership
+    /// *when the window was submitted* (it may differ from the current
+    /// membership under churn) and sets the effective fix quorum
+    /// (`min_aps_for_fix`, clamped to what the membership can deliver,
+    /// never below 2); `missing_aps` is how many of those APs'
+    /// reports are *known* not to have arrived (lost on the link,
+    /// rejected for skew, or the worker died). Only `missing_aps`
+    /// earns the consensus displacement slack
+    /// ([`secureangle::spoof::CrossApConsensus::check_degraded`]) — a
+    /// client that some delivered AP simply could not hear is a
+    /// coverage fact, not link degradation, and gets no slack.
+    pub fn fuse_window_expecting(
+        &mut self,
+        window: u64,
+        mut packets: Vec<ApPacket>,
+        expected_aps: usize,
+        missing_aps: usize,
+    ) -> FusedWindow {
+        // Degrade the fix quorum with the membership: a 4-AP policy on
+        // a deployment temporarily down to 2 live APs must still fix
+        // (two bearings are the geometric minimum), but never fix on a
+        // single bearing.
+        let quorum = self.cfg.min_aps_for_fix.min(expected_aps).max(2);
         packets.sort_by_key(|p| (p.ap_id, p.seq));
 
         // Group by claimed MAC, preserving the (ap, seq) order.
@@ -83,6 +167,7 @@ impl Fusion {
         for (mac, reports) in by_mac {
             let mut bearings = Vec::new();
             let mut bearing_aps = Vec::new();
+            let mut confidences = Vec::new();
             let mut confidence_sum = 0.0;
             let mut admitted_aps = 0usize;
             let mut flagged_aps = 0usize;
@@ -93,6 +178,7 @@ impl Fusion {
                         azimuth: b.azimuth,
                     });
                     bearing_aps.push(r.ap_id);
+                    confidences.push(b.confidence);
                     confidence_sum += b.confidence;
                 }
                 match r.verdict {
@@ -120,10 +206,17 @@ impl Fusion {
                 confidence_sum / bearings.len() as f64
             };
 
-            let (fix, track, consensus) = if n_aps >= self.cfg.min_aps_for_fix {
+            let (fix, track, consensus) = if n_aps >= quorum {
                 // Robust fit: a single AP's multipath ghost (a bearing
                 // the fix lands behind) is dropped and the fix refit.
-                match localize_robust(&bearings, self.cfg.min_aps_for_fix) {
+                // Optionally confidence-weighted, so marginal bearings
+                // pull degraded windows less.
+                let solved = if self.cfg.weight_bearings_by_confidence {
+                    localize_robust_weighted(&bearings, &confidences, quorum)
+                } else {
+                    localize_robust(&bearings, quorum)
+                };
+                match solved {
                     Ok((fix, dropped)) => {
                         // Smooth the trace.
                         let state = self.clients.entry(mac).or_insert_with(|| ClientState {
@@ -149,9 +242,18 @@ impl Fusion {
                             .filter(|(i, _)| !dropped.contains(i))
                             .map(|(_, &ap)| ap)
                             .collect();
-                        let verdict =
-                            self.consensus
-                                .check(mac, &fix, distinct_aps(&supporting_aps));
+                        // Slack only for reports the coordinator knows
+                        // went missing: the supporting count plus the
+                        // missing count is "what this fix would have
+                        // had on a healthy link", so range-limited
+                        // clients and robust-dropped ghosts earn none.
+                        let supporting = distinct_aps(&supporting_aps);
+                        let verdict = self.consensus.check_degraded(
+                            mac,
+                            &fix,
+                            supporting,
+                            supporting + missing_aps,
+                        );
                         if verdict == ConsensusVerdict::Untrained
                             && self.cfg.auto_train_references
                             && fix.behind_count == 0
@@ -180,6 +282,7 @@ impl Fusion {
                 admitted_aps,
                 flagged_aps,
                 mean_confidence,
+                expected_aps,
             });
         }
 
@@ -189,6 +292,12 @@ impl Fusion {
             packets: packets.len(),
             bearings: bearings_total,
             localize_failures,
+            expected_aps,
+            // Link-health fields are filled by the coordinator, which
+            // owns the per-window loss/skew accounting; a standalone
+            // fusion stage reports zeros.
+            lost_reports: 0,
+            skew_rejected: 0,
         }
     }
 
@@ -220,6 +329,10 @@ mod tests {
     use secureangle::spoof::SpoofVerdict;
 
     fn pkt(ap_id: usize, seq: u64, mac: u32, az: f64) -> ApPacket {
+        pkt_conf(ap_id, seq, mac, az, 0.9)
+    }
+
+    fn pkt_conf(ap_id: usize, seq: u64, mac: u32, az: f64, confidence: f64) -> ApPacket {
         ApPacket {
             ap_id,
             window: 0,
@@ -228,7 +341,7 @@ mod tests {
             report: Some(secureangle::pipeline::BearingReport {
                 mac: MacAddr::local_from_index(mac),
                 azimuth: az,
-                confidence: 0.9,
+                confidence,
                 rss_db: -40.0,
                 seq,
             }),
@@ -321,6 +434,127 @@ mod tests {
         let out = fusion.fuse_window(0, vec![pkt(0, 0, 1, 0.3), pkt(1, 0, 1, 0.3)]);
         assert_eq!(out.localize_failures, 1);
         assert!(out.clients[0].fix.is_none());
+    }
+
+    #[test]
+    fn quorum_degrades_with_live_membership() {
+        let aps = square_aps();
+        let target = pt(4.0, 6.0);
+        let cfg = DeployConfig {
+            min_aps_for_fix: 3,
+            ..DeployConfig::default()
+        };
+        let mut fusion = Fusion::new(aps.clone(), cfg);
+        // Full membership: two bearings miss the 3-AP quorum.
+        let two = vec![
+            pkt(0, 0, 1, aps[0].azimuth_to(target)),
+            pkt(1, 0, 1, aps[1].azimuth_to(target)),
+        ];
+        let out = fusion.fuse_window(0, two.clone());
+        assert!(out.clients[0].fix.is_none());
+        assert_eq!(out.expected_aps, 4);
+        // Two APs retire: the quorum clamps to what the membership can
+        // deliver and the same two bearings now fix.
+        fusion.retire_ap(2);
+        fusion.retire_ap(3);
+        let out = fusion.fuse_window(1, two);
+        assert_eq!(out.expected_aps, 2);
+        let fix = out.clients[0].fix.expect("degraded quorum fix");
+        assert!(fix.position.dist(target) < 1e-6);
+        assert_eq!(out.clients[0].expected_aps, 2);
+    }
+
+    #[test]
+    fn rebaseline_forgets_references_until_the_next_clean_fix() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        let mac = MacAddr::local_from_index(1);
+        fusion.fuse_window(0, bearings_to(&aps, pt(4.0, 6.0), 1));
+        assert!(fusion.reference(&mac).is_some());
+        fusion.rebaseline();
+        assert!(fusion.reference(&mac).is_none());
+        // The next clean fix retrains — even at a different position,
+        // without raising a (false) spoof flag.
+        let out = fusion.fuse_window(1, bearings_to(&aps, pt(8.0, 2.0), 1));
+        assert_eq!(out.clients[0].consensus, ConsensusVerdict::Untrained);
+        let newref = fusion.reference(&mac).expect("retrained");
+        assert!(newref.dist(pt(8.0, 2.0)) < 1e-6);
+        assert_eq!(fusion.consensus_flags(&mac), 0);
+    }
+
+    #[test]
+    fn partial_windows_get_consensus_slack_but_attacks_still_flag() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        let home = pt(4.0, 6.0);
+        fusion.fuse_window(0, bearings_to(&aps, home, 1));
+        // A 2-of-4 window 2.4 m off because two AP reports were LOST:
+        // over the 2 m full-quorum gate, inside the degraded-window
+        // slack (2 + 2×0.5 = 3 m).
+        let nearby = pt(6.4, 6.0);
+        let partial: Vec<ApPacket> = aps[..2]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| pkt(i, 0, 1, p.azimuth_to(nearby)))
+            .collect();
+        let out = fusion.fuse_window_expecting(1, partial.clone(), 4, 2);
+        assert!(
+            matches!(
+                out.clients[0].consensus,
+                ConsensusVerdict::Consistent { .. }
+            ),
+            "lost-report window should get slack: {:?}",
+            out.clients[0].consensus
+        );
+        // The same 2-AP view with every report DELIVERED (the client is
+        // merely out of the other APs' range) earns no slack: coverage
+        // is not degradation, and the displacement is flagged.
+        let out = fusion.fuse_window_expecting(2, partial, 4, 0);
+        assert!(
+            out.clients[0].consensus.is_spoof(),
+            "range-limited client must not get loss slack: {:?}",
+            out.clients[0].consensus
+        );
+        // A real displacement is caught even with lost-report slack.
+        let far = pt(9.0, 1.0);
+        let attack: Vec<ApPacket> = aps[..2]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| pkt(i, 0, 1, p.azimuth_to(far)))
+            .collect();
+        let out = fusion.fuse_window_expecting(3, attack, 4, 2);
+        assert!(out.clients[0].consensus.is_spoof());
+    }
+
+    #[test]
+    fn confidence_weighting_pulls_fix_toward_confident_bearings() {
+        let aps = square_aps();
+        let target = pt(4.0, 6.0);
+        let biased = |fusion: &mut Fusion| {
+            // Three confident bearings on the target plus one marginal,
+            // badly biased bearing from AP 3.
+            let mut pkts: Vec<ApPacket> = aps[..3]
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| pkt_conf(i, 0, 1, p.azimuth_to(target), 0.95))
+                .collect();
+            pkts.push(pkt_conf(3, 0, 1, aps[3].azimuth_to(target) + 0.35, 0.05));
+            fusion.fuse_window(0, pkts)
+        };
+        let mut unweighted = Fusion::new(aps.clone(), DeployConfig::default());
+        let cfg = DeployConfig {
+            weight_bearings_by_confidence: true,
+            ..DeployConfig::default()
+        };
+        let mut weighted = Fusion::new(aps.clone(), cfg);
+        let u = biased(&mut unweighted).clients[0].fix.expect("fix");
+        let w = biased(&mut weighted).clients[0].fix.expect("fix");
+        assert!(
+            w.position.dist(target) < u.position.dist(target),
+            "weighted {:?} vs unweighted {:?}",
+            w.position,
+            u.position
+        );
     }
 
     #[test]

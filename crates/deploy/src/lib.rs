@@ -25,12 +25,24 @@
 //!   express, because it checks position-level geometry rather than one
 //!   pseudospectrum.
 //! * Scheduling is deterministic by construction: windows close when
-//!   every AP has reported end-of-window (no wall clock anywhere), and
-//!   fused results are ordered by `(ap, seq)` and MAC, so a seeded run
-//!   is byte-for-byte reproducible regardless of thread interleaving.
-//! * Backpressure and queue-depth counters plus a final
-//!   [`DeploymentReport`] make the throughput measurable (see the
-//!   `deploy` criterion group in `sa-bench`).
+//!   every *live* AP has reported end-of-window (no wall clock
+//!   anywhere), and fused results are ordered by `(ap, seq)` and MAC,
+//!   so a seeded run is byte-for-byte reproducible regardless of
+//!   thread interleaving.
+//! * The deployment survives imperfect infrastructure, deterministically:
+//!   per-AP **clock skew** ([`ApSkew`]) is aligned away by the
+//!   coordinator's reorder buffer ([`align::SkewAligner`], bounded by
+//!   [`DeployConfig::max_skew_windows`]); the report path can be a
+//!   **lossy link** ([`LinkConfig`]) with bounded retransmit, where an
+//!   exhausted retry budget costs that AP's bearings for the window but
+//!   never stalls the window close; and APs can **join or leave
+//!   mid-run** ([`Deployment::add_ap`] / [`Deployment::remove_ap`]),
+//!   with the cross-AP consensus re-baselining on every membership
+//!   change and a panicked worker reaped instead of deadlocking the
+//!   fleet. See `docs/DEPLOYMENT.md` for the operator's view.
+//! * Backpressure, queue-depth, loss, skew and churn counters plus a
+//!   final [`DeploymentReport`] make the behavior measurable (see the
+//!   `deploy` and `deploy_degraded` criterion groups in `sa-bench`).
 //!
 //! ```no_run
 //! use sa_deploy::{DeployConfig, Deployment, Transmission};
@@ -50,13 +62,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod align;
 pub mod config;
 pub mod deployment;
 pub mod fusion;
 pub mod report;
 mod worker;
 
-pub use config::{DeployConfig, DeployError};
+pub use config::{ApSkew, DeployConfig, DeployError, LinkConfig};
 pub use deployment::{Deployment, Transmission};
 pub use fusion::Fusion;
 pub use report::{

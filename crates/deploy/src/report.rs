@@ -65,6 +65,21 @@ pub struct ApStats {
     /// Times the report channel was full when this worker tried to
     /// publish (the send then blocked; nothing is dropped).
     pub backpressure_events: u64,
+    /// Report delivery attempts lost on the lossy link (every dropped
+    /// attempt, including ones later recovered by a retransmit).
+    pub report_drops: u64,
+    /// Retransmit attempts performed after a dropped delivery.
+    pub report_retransmits: u64,
+    /// Whole window reports abandoned after the retry budget ran out:
+    /// the window's bearing data from this AP never reached fusion
+    /// (only the end-of-window marker did).
+    pub reports_lost: u64,
+    /// Window reports from this AP excluded because their label
+    /// drifted beyond the skew tolerance. Counted by the *coordinator*
+    /// (the worker cannot see its own clock error); a steady climb
+    /// here is the drifting-clock signature — see the failure-mode
+    /// table in `docs/DEPLOYMENT.md`.
+    pub skew_rejections: u64,
 }
 
 impl ApStats {
@@ -80,6 +95,10 @@ impl ApStats {
         self.trained += other.trained;
         self.bearings += other.bearings;
         self.backpressure_events += other.backpressure_events;
+        self.report_drops += other.report_drops;
+        self.report_retransmits += other.report_retransmits;
+        self.reports_lost += other.reports_lost;
+        self.skew_rejections += other.skew_rejections;
     }
 }
 
@@ -105,6 +124,11 @@ pub struct ClientFix {
     pub flagged_aps: usize,
     /// Mean per-bearing confidence.
     pub mean_confidence: f64,
+    /// Live APs the deployment fielded when the window was submitted —
+    /// the denominator for "how partial was this client's view"
+    /// (`n_aps < expected_aps` means lost reports, skew rejections, or
+    /// the client simply being out of range of some APs).
+    pub expected_aps: usize,
 }
 
 /// Everything fusion produced for one closed observation window.
@@ -121,6 +145,15 @@ pub struct FusedWindow {
     /// Clients whose bearings could not be intersected
     /// (degenerate geometry).
     pub localize_failures: usize,
+    /// Live APs expected to report when the window was submitted.
+    pub expected_aps: usize,
+    /// APs whose report data for this window was lost on the link
+    /// (retries exhausted — fusion saw only their end-of-window
+    /// marker).
+    pub lost_reports: usize,
+    /// AP reports excluded because their window label drifted beyond
+    /// the skew tolerance.
+    pub skew_rejected: usize,
 }
 
 /// Deployment-wide running counters.
@@ -152,6 +185,22 @@ pub struct DeployMetrics {
     /// High-water mark of packet reports buffered in the fusion stage
     /// across all in-flight windows — the fusion queue depth.
     pub max_fusion_queue_depth: usize,
+    /// Window reports whose data was lost on the lossy link (summed
+    /// over APs; each cost one AP's bearings for one window).
+    pub reports_lost: u64,
+    /// Window reports rejected because their label drifted beyond the
+    /// skew tolerance.
+    pub skew_rejections: u64,
+    /// Windows fused with at least one live AP's data missing (lost,
+    /// rejected, or the AP died mid-window).
+    pub degraded_windows: u64,
+    /// Worker threads that died without a shutdown order (panic or
+    /// channel loss). Their windows closed without them.
+    pub worker_losses: u64,
+    /// APs added to the deployment mid-run.
+    pub aps_added: u64,
+    /// APs removed from the deployment mid-run.
+    pub aps_removed: u64,
 }
 
 /// One client's whole-run summary.
@@ -177,14 +226,43 @@ pub struct ClientSummary {
 /// For a seeded run every field is byte-deterministic **except** the
 /// scheduling-observability counters — queue high-water mark and
 /// backpressure event counts — which measure how the worker threads
-/// happened to interleave and legitimately vary run to run.
+/// happened to interleave and legitimately vary run to run. The
+/// link-health counters (`report_drops`, `reports_lost`,
+/// `skew_rejections`, `degraded_windows`) *are* deterministic: loss
+/// draws come from per-AP seeded streams, not from scheduling.
+///
+/// Reading the counters (see `docs/DEPLOYMENT.md` for the full
+/// failure-mode table):
+///
+/// ```
+/// use sa_deploy::{ApStats, DeployMetrics, DeploymentReport};
+/// # let report = DeploymentReport {
+/// #     n_aps: 2,
+/// #     metrics: DeployMetrics::default(),
+/// #     per_ap: vec![ApStats::default(); 2],
+/// #     clients: Vec::new(),
+/// # };
+/// for (ap, stats) in report.per_ap.iter().enumerate() {
+///     let attempts = stats.packets.max(1);
+///     if stats.reports_lost > 0 || stats.report_drops * 10 > attempts {
+///         println!("ap{ap}: lossy uplink ({} drops, {} windows lost)",
+///                  stats.report_drops, stats.reports_lost);
+///     }
+/// }
+/// if report.metrics.degraded_windows > 0 {
+///     println!("{} windows fused with missing APs", report.metrics.degraded_windows);
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentReport {
-    /// Number of APs in the deployment.
+    /// Size of the AP id space: every AP that was ever a member,
+    /// including ones removed (or lost) mid-run. Live membership at
+    /// finish is `n_aps − metrics.aps_removed − metrics.worker_losses`.
     pub n_aps: usize,
     /// Deployment-wide counters.
     pub metrics: DeployMetrics,
-    /// Per-AP worker statistics (index = AP id).
+    /// Per-AP worker statistics (index = stable AP id; removed APs keep
+    /// their slot with the stats they accumulated before leaving).
     pub per_ap: Vec<ApStats>,
     /// Per-client summaries, ordered by MAC.
     pub clients: Vec<ClientSummary>,
@@ -207,6 +285,10 @@ mod tests {
             trained: 8,
             bearings: 9,
             backpressure_events: 10,
+            report_drops: 11,
+            report_retransmits: 12,
+            reports_lost: 13,
+            skew_rejections: 14,
         };
         let mut b = a;
         b.absorb(&a);
@@ -220,5 +302,9 @@ mod tests {
         assert_eq!(b.trained, 16);
         assert_eq!(b.bearings, 18);
         assert_eq!(b.backpressure_events, 20);
+        assert_eq!(b.report_drops, 22);
+        assert_eq!(b.report_retransmits, 24);
+        assert_eq!(b.reports_lost, 26);
+        assert_eq!(b.skew_rejections, 28);
     }
 }

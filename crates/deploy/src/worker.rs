@@ -1,6 +1,15 @@
 //! The per-AP worker thread: the DSP half of the pipeline, driven by
 //! pre-decoded packets from the coordinator.
+//!
+//! Deployment realism lives at this layer's edges: the worker stamps
+//! its reports with *local* window/sequence labels (its own clock, see
+//! [`ApSkew`]) and publishes them over a lossy link model
+//! ([`LinkConfig`]) with bounded retransmission. Both are deterministic
+//! per AP — the skew is a pure function of the window number and the
+//! loss stream is seeded per AP — so a seeded deployment run stays
+//! byte-reproducible no matter how the threads interleave.
 
+use crate::config::{ApSkew, LinkConfig};
 use crate::report::{ApPacket, ApStats};
 use sa_linalg::CMat;
 use secureangle::pipeline::{DecodedPacket, DropReason, FrameVerdict};
@@ -24,6 +33,9 @@ pub(crate) enum WorkerMsg {
         window: u64,
         packets: Vec<WorkerPacket>,
     },
+    /// Die abruptly without reporting anything (test-only fault
+    /// injection: models a worker crash / power loss mid-run).
+    Crash,
     /// Drain and exit.
     Shutdown,
 }
@@ -32,25 +44,76 @@ pub(crate) enum WorkerMsg {
 /// window's packet reports plus the worker's counters. Batching the
 /// reports keeps the channel wake-up cost per *window* instead of per
 /// packet, which matters once windows carry dozens of packets.
+///
+/// The window is identified by the worker's **local** `label` (skewed
+/// clock); the coordinator's aligner maps it back to the global window
+/// by per-AP FIFO order and checks the label against the learned
+/// offset. `lost: true` means the report's packet payload was dropped
+/// by the lossy link after exhausting retries — the marker itself
+/// models the reliable control path, so windows still close.
 pub(crate) struct WindowDone {
     pub ap_id: usize,
-    pub window: u64,
+    /// Local window label (global + skew).
+    pub label: i64,
+    /// Local sequence label of the window's first *dispatched* packet
+    /// (`None` for an empty window) — lets the aligner recover the
+    /// per-window sequence delta exactly.
+    pub seq_base: Option<u64>,
     pub packets: Vec<ApPacket>,
     pub stats: ApStats,
+    /// The packet payload was lost on the link (packets is empty).
+    pub lost: bool,
 }
 
 pub(crate) struct WorkerCfg {
     pub snapshot_cap: usize,
     pub auto_train_signatures: bool,
+    pub skew: ApSkew,
+    pub link: LinkConfig,
+}
+
+/// Deterministic per-AP loss stream: splitmix64 over `seed ^ ap_id`.
+/// Self-contained so the deploy crate keeps its runtime dependency set
+/// free of RNG crates (`rand`/`rand_chacha` are dev-dependencies here,
+/// used only by tests). The stream advances once per delivery attempt,
+/// in the worker's own FIFO order, making loss decisions independent
+/// of thread interleaving.
+struct LossStream {
+    state: u64,
+}
+
+impl LossStream {
+    fn new(seed: u64, ap_id: usize) -> Self {
+        Self {
+            state: seed ^ (ap_id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p` (draws one word even at p = 0 or 1, so
+    /// counter-less callers can reason about stream position; callers
+    /// short-circuit `p == 0` for byte-compat with reliable links).
+    fn dropped(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
 }
 
 /// The worker loop: for each window, stage every pre-decoded capture
 /// into a `PacketBatch` (the AoA engine survives across windows via
 /// `batch_with_engine`/`into_engine`), run the DSP pass, enforce, and
-/// publish the window's reports to fusion in one bounded send (with
-/// backpressure accounting: a full channel bumps the counter, then the
-/// send blocks — nothing is dropped). Returns the AP (with its trained
-/// state) and the run totals when shut down.
+/// publish the window's reports to fusion. The publish path models the
+/// lossy report link: each delivery attempt may drop (deterministic
+/// per-AP stream), the worker retries up to the configured budget, and
+/// an exhausted budget abandons the payload — the end-of-window marker
+/// still goes out so the coordinator never stalls on this AP. Returns
+/// the AP (with its trained state) and the run totals when shut down.
 pub(crate) fn run_worker(
     ap_id: usize,
     mut ap: AccessPoint,
@@ -60,15 +123,19 @@ pub(crate) fn run_worker(
 ) -> (AccessPoint, ApStats) {
     let mut engine = None;
     let mut totals = ApStats::default();
+    let mut loss = LossStream::new(cfg.link.seed, ap_id);
     while let Ok(msg) = rx.recv() {
         let (window, packets) = match msg {
             WorkerMsg::Shutdown => break,
+            WorkerMsg::Crash => return (ap, totals),
             WorkerMsg::Window { window, packets } => (window, packets),
         };
         let mut stats = ApStats {
             windows: 1,
             ..ApStats::default()
         };
+        let label = cfg.skew.window_label(window);
+        let seq_base = packets.first().map(|p| cfg.skew.seq_label(p.seq));
 
         // DSP pass over the whole window through one batch; the engine
         // (manifold, steering table, eigensolver buffers) carries over
@@ -89,7 +156,9 @@ pub(crate) fn run_worker(
         let observations = batch.process();
         engine = Some(batch.into_engine());
 
-        // Enforcement + report assembly, in seq order.
+        // Enforcement + report assembly, in seq order. Reports carry
+        // the worker's local labels — the coordinator's aligner maps
+        // them back to global numbering.
         let mut reports = Vec::with_capacity(observations.len());
         for (obs, &seq) in observations.iter().zip(&seqs) {
             stats.observed += 1;
@@ -108,14 +177,15 @@ pub(crate) fn run_worker(
                 | FrameVerdict::Drop(DropReason::Quarantined) => stats.dropped_spoof += 1,
                 FrameVerdict::Drop(_) => stats.dropped_other += 1,
             }
-            let report = obs.bearing_report(seq);
+            let local_seq = cfg.skew.seq_label(seq);
+            let report = obs.bearing_report(local_seq);
             if report.is_some() {
                 stats.bearings += 1;
             }
             reports.push(ApPacket {
                 ap_id,
-                window,
-                seq,
+                window: label.max(0) as u64,
+                seq: local_seq,
                 mac: obs.frame.as_ref().map(|f| f.src),
                 report,
                 bearing_deg: obs.bearing_deg,
@@ -124,11 +194,32 @@ pub(crate) fn run_worker(
             });
         }
 
+        // Lossy-link publish: roll each delivery attempt; an exhausted
+        // retry budget abandons the payload but still sends the marker.
+        let mut payload = Some(reports);
+        if cfg.link.loss_rate > 0.0 {
+            for attempt in 0..=cfg.link.retry_limit {
+                if loss.dropped(cfg.link.loss_rate) {
+                    stats.report_drops += 1;
+                    if attempt < cfg.link.retry_limit {
+                        stats.report_retransmits += 1;
+                    } else {
+                        stats.reports_lost += 1;
+                        payload = None;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        let lost = payload.is_none();
         let done = WindowDone {
             ap_id,
-            window,
-            packets: reports,
+            label,
+            seq_base,
+            packets: payload.unwrap_or_default(),
             stats,
+            lost,
         };
         let delivered = match tx.try_send(done) {
             Ok(()) => true,

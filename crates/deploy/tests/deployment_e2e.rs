@@ -3,7 +3,7 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sa_deploy::{DeployConfig, DeployError, Deployment, Transmission};
+use sa_deploy::{DeployConfig, DeployError, Deployment, LinkConfig, Transmission};
 use sa_testbed::Testbed;
 use secureangle::AccessPoint;
 
@@ -118,6 +118,161 @@ fn deep_pipelining_on_tiny_channels_does_not_deadlock() {
     }
     let (report, _) = deployment.finish();
     assert_eq!(report.metrics.windows, 6);
+}
+
+/// A harshly lossy report link with no retries: windows still close
+/// (the end-of-window marker rides the reliable control path), fusion
+/// degrades to the surviving bearings, and the loss accounting is
+/// deterministic across runs.
+#[test]
+fn lossy_reports_degrade_windows_without_stalling() {
+    let run = || {
+        let tb = Testbed::deployment(3, 311);
+        let mut rng = ChaCha8Rng::seed_from_u64(312);
+        let windows: Vec<Vec<Transmission>> = (0..6)
+            .map(|w| window(&tb, &[5, 7], w as u16, &mut rng))
+            .collect();
+        let (_, aps) = split(tb);
+        let cfg = DeployConfig {
+            link: LinkConfig {
+                loss_rate: 0.5,
+                retry_limit: 0,
+                seed: 99,
+            },
+            ..DeployConfig::default()
+        };
+        let mut deployment = Deployment::new(aps, cfg);
+        let mut fused = Vec::new();
+        for w in windows {
+            fused.push(deployment.run_window(w).expect("window closes"));
+        }
+        let (report, _) = deployment.finish();
+        (fused, report)
+    };
+    let (fused, report) = run();
+    assert_eq!(report.metrics.windows, 6);
+    // At 50% loss over 18 (ap, window) reports, losses are certain.
+    assert!(report.metrics.reports_lost > 0, "{:?}", report.metrics);
+    assert!(report.metrics.degraded_windows > 0);
+    assert_eq!(
+        report.per_ap.iter().map(|s| s.reports_lost).sum::<u64>(),
+        report.metrics.reports_lost
+    );
+    // No retries configured: every drop is a lost report, none are
+    // retransmits.
+    for s in &report.per_ap {
+        assert_eq!(s.report_retransmits, 0);
+        assert_eq!(s.report_drops, s.reports_lost);
+    }
+    for f in &fused {
+        assert!(f.lost_reports <= 3);
+        assert_eq!(f.expected_aps, 3);
+        // Degraded windows carry fewer bearings but never block: each
+        // client appears with whatever APs survived.
+        for c in &f.clients {
+            assert!(c.n_aps + f.lost_reports >= 1);
+        }
+    }
+    // Loss draws are seeded per AP: the whole degraded run is
+    // byte-deterministic.
+    let (fused2, report2) = run();
+    assert_eq!(format!("{:?}", fused), format!("{:?}", fused2));
+    assert_eq!(report.metrics.reports_lost, report2.metrics.reports_lost);
+    assert_eq!(
+        report.metrics.degraded_windows,
+        report2.metrics.degraded_windows
+    );
+}
+
+/// With a retry budget, retransmission recovers every drop at moderate
+/// loss: the fused output is byte-identical to a reliable-link run,
+/// and the drops show up only in the link-health counters.
+#[test]
+fn retransmits_recover_moderate_loss_exactly() {
+    let run = |link: LinkConfig| {
+        let tb = Testbed::deployment(2, 313);
+        let mut rng = ChaCha8Rng::seed_from_u64(314);
+        let windows: Vec<Vec<Transmission>> = (0..8)
+            .map(|w| window(&tb, &[5, 7], w as u16, &mut rng))
+            .collect();
+        let (_, aps) = split(tb);
+        let cfg = DeployConfig {
+            link,
+            ..DeployConfig::default()
+        };
+        let mut deployment = Deployment::new(aps, cfg);
+        let fused: Vec<_> = windows
+            .into_iter()
+            .map(|w| deployment.run_window(w).expect("window"))
+            .collect();
+        let (report, _) = deployment.finish();
+        (fused, report)
+    };
+    let (clean_fused, clean_report) = run(LinkConfig::default());
+    let lossy = LinkConfig {
+        loss_rate: 0.3,
+        retry_limit: 8,
+        seed: 41,
+    };
+    let (lossy_fused, lossy_report) = run(lossy);
+    // 16 reports at 30% loss: some first attempts drop…
+    assert!(
+        lossy_report.per_ap.iter().any(|s| s.report_retransmits > 0),
+        "no retransmits at 30% loss: {:?}",
+        lossy_report.per_ap
+    );
+    // …but an 8-retry budget recovers them all (p_lose ≈ 0.3⁹ ≈ 2e-5).
+    assert_eq!(lossy_report.metrics.reports_lost, 0);
+    assert_eq!(
+        format!("{:?}", clean_fused),
+        format!("{:?}", lossy_fused),
+        "recovered loss must not change fused output"
+    );
+    assert_eq!(clean_report.metrics.fixes, lossy_report.metrics.fixes);
+}
+
+/// A drifting AP clock walks past the tolerance: its later reports are
+/// rejected (attributed per AP so the operator can find the bad
+/// clock), windows still close, and the other AP keeps fusing.
+#[test]
+fn drifting_clock_is_rejected_per_ap_without_stalling() {
+    let tb = Testbed::deployment(2, 315);
+    let mut rng = ChaCha8Rng::seed_from_u64(316);
+    let windows: Vec<Vec<Transmission>> = (0..4)
+        .map(|w| window(&tb, &[5], w as u16, &mut rng))
+        .collect();
+    let (_, aps) = split(tb);
+    let cfg = DeployConfig {
+        max_skew_windows: 1,
+        ..DeployConfig::default()
+    };
+    // AP 1 gains a full window of skew every window: deviations
+    // 0, 1, 2, 3 → windows 2 and 3 are beyond the ±1 tolerance.
+    let skews = vec![
+        sa_deploy::ApSkew::NONE,
+        sa_deploy::ApSkew {
+            window_offset: 0,
+            seq_offset: 0,
+            drift_ppw: 1.0,
+        },
+    ];
+    let mut deployment = Deployment::with_skews(aps, cfg, skews);
+    let fused: Vec<_> = windows
+        .into_iter()
+        .map(|w| deployment.run_window(w).expect("window closes"))
+        .collect();
+    assert_eq!(fused[0].skew_rejected + fused[1].skew_rejected, 0);
+    assert_eq!(fused[2].skew_rejected, 1);
+    assert_eq!(fused[3].skew_rejected, 1);
+    // The drifting AP's bearings vanish from the rejected windows; the
+    // healthy AP's are still there.
+    assert_eq!(fused[2].bearings, 1);
+    let (report, _) = deployment.finish();
+    assert_eq!(report.metrics.skew_rejections, 2);
+    assert_eq!(report.metrics.degraded_windows, 2);
+    // Attribution: the failure-mode table's "which AP is drifting".
+    assert_eq!(report.per_ap[0].skew_rejections, 0);
+    assert_eq!(report.per_ap[1].skew_rejections, 2);
 }
 
 #[test]

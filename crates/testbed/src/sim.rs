@@ -249,8 +249,31 @@ impl Testbed {
         dt_s: f64,
         rng: &mut ChaCha8Rng,
     ) -> Vec<CMat> {
-        (0..self.nodes.len())
-            .map(|node| self.capture(node, from, antenna, tx_power, frame, dt_s, rng))
+        let nodes: Vec<usize> = (0..self.nodes.len()).collect();
+        self.transmission_for(&nodes, from, antenna, tx_power, frame, dt_s, rng)
+    }
+
+    /// [`Testbed::transmission`] for a *subset* of the AP nodes —
+    /// `result[k]` is what `nodes[k]` recorded. This is the capture
+    /// unit for a deployment under churn: after an AP is removed (or
+    /// before a joiner is added), windows carry captures for the live
+    /// membership only. RNG draws happen only for the listed nodes, in
+    /// list order, so the captures are deterministic in `rng` given the
+    /// same node list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transmission_for(
+        &self,
+        nodes: &[usize],
+        from: Point,
+        antenna: &TxAntenna,
+        tx_power: f64,
+        frame: &Frame,
+        dt_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<CMat> {
+        nodes
+            .iter()
+            .map(|&node| self.capture(node, from, antenna, tx_power, frame, dt_s, rng))
             .collect()
     }
 
@@ -266,11 +289,28 @@ impl Testbed {
         dt_s: f64,
         rng: &mut ChaCha8Rng,
     ) -> Vec<Vec<CMat>> {
+        let nodes: Vec<usize> = (0..self.nodes.len()).collect();
+        self.window_traffic_for(&nodes, clients, seq, dt_s, rng)
+    }
+
+    /// [`Testbed::window_traffic`] heard by a *subset* of the AP nodes
+    /// (`result[i][k]` is `nodes[k]`'s capture of client `clients[i]`)
+    /// — the churn-scenario generator: drive a deployment whose live
+    /// membership no longer matches the full testbed.
+    pub fn window_traffic_for(
+        &self,
+        nodes: &[usize],
+        clients: &[usize],
+        seq: u16,
+        dt_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<CMat>> {
         clients
             .iter()
             .map(|&id| {
                 let frame = self.client_frame(id, seq);
-                self.transmission(
+                self.transmission_for(
+                    nodes,
                     self.office.client(id).position,
                     &TxAntenna::Omni,
                     1.0,
@@ -278,6 +318,29 @@ impl Testbed {
                     dt_s,
                     rng,
                 )
+            })
+            .collect()
+    }
+
+    /// A deterministic per-AP clock-skew profile for an `n_aps`
+    /// deployment: returns `(window_offset, seq_offset)` per AP, with
+    /// window offsets alternating `±max_offset_windows` (scaled down
+    /// across the fleet so not every AP sits at the extreme) and seq
+    /// offsets spread as if each AP's packet counter had been running
+    /// since a different boot time. Deterministic in `seed`; node 0 is
+    /// left unskewed (the reference the paper's prototype would sync
+    /// against).
+    pub fn skew_profile(n_aps: usize, max_offset_windows: i64, seed: u64) -> Vec<(i64, u64)> {
+        (0..n_aps)
+            .map(|k| {
+                if k == 0 {
+                    (0, 0)
+                } else {
+                    let magnitude = 1 + (k as i64 + seed as i64) % max_offset_windows.max(1);
+                    let sign = if k % 2 == 1 { 1 } else { -1 };
+                    let seq = (seed ^ k as u64).wrapping_mul(2654435761) % 1000;
+                    (sign * magnitude, seq)
+                }
             })
             .collect()
     }
@@ -416,6 +479,40 @@ mod tests {
                 .unwrap_or_else(|e| panic!("node {}: {}", node, e));
             assert_eq!(obs.frame.unwrap().src, Testbed::client_mac(5));
         }
+    }
+
+    #[test]
+    fn subset_traffic_matches_the_listed_nodes() {
+        let tb = Testbed::deployment(4, 25);
+        let mut rng = ChaCha8Rng::seed_from_u64(26);
+        let w = tb.window_traffic_for(&[0, 2, 3], &[5, 7], 1, 0.0, &mut rng);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].len(), 3);
+        // Every listed node decodes the right client.
+        for (slot, &node) in [0usize, 2, 3].iter().enumerate() {
+            let obs = tb.nodes[node].ap.observe(&w[0][slot]).expect("observation");
+            assert_eq!(obs.frame.unwrap().src, Testbed::client_mac(5));
+        }
+        // Deterministic in the rng given the same node list.
+        let mut r2 = ChaCha8Rng::seed_from_u64(26);
+        let w2 = tb.window_traffic_for(&[0, 2, 3], &[5, 7], 1, 0.0, &mut r2);
+        for (a, b) in w.iter().flatten().zip(w2.iter().flatten()) {
+            assert!(a.approx_eq(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn skew_profile_is_bounded_and_deterministic() {
+        let p = Testbed::skew_profile(6, 2, 42);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], (0, 0), "node 0 is the unskewed reference");
+        assert!(p.iter().any(|&(w, _)| w > 0));
+        assert!(p.iter().any(|&(w, _)| w < 0));
+        for &(w, _) in &p {
+            assert!(w.abs() <= 2, "offset {} beyond bound", w);
+        }
+        assert_eq!(p, Testbed::skew_profile(6, 2, 42));
+        assert_ne!(p, Testbed::skew_profile(6, 2, 43));
     }
 
     #[test]

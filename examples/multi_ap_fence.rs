@@ -11,16 +11,22 @@
 //!
 //! ```text
 //! cargo run --release --example multi_ap_fence [-- --aps 4 --windows 3 --seed 2010 --smoke]
+//!     [--loss 0.1] [--retries 3] [--skew 2] [--churn]
 //! ```
 //!
-//! `--smoke` asserts the headline claims (used by CI) and exits
-//! non-zero on failure.
+//! Degraded-mode knobs: `--loss R` runs the worker report links at drop
+//! probability `R` per attempt with `--retries` retransmits; `--skew W`
+//! gives every AP a deterministic clock offset of up to ±`W` windows
+//! (tolerance grows to match); `--churn` removes the last AP before the
+//! attack window, exercising mid-run membership change. `--smoke`
+//! asserts the headline claims (used by CI, with and without the
+//! degraded knobs) and exits non-zero on failure.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sa_channel::geom::pt;
 use sa_channel::pattern::TxAntenna;
-use sa_deploy::{DeployConfig, Deployment, Transmission};
+use sa_deploy::{ApSkew, DeployConfig, Deployment, LinkConfig, Transmission};
 use sa_testbed::Testbed;
 use secureangle::fence::{FenceConfig, VirtualFence};
 
@@ -37,6 +43,10 @@ fn main() {
     let n_aps: usize = arg("--aps").and_then(|s| s.parse().ok()).unwrap_or(4);
     let n_windows: u64 = arg("--windows").and_then(|s| s.parse().ok()).unwrap_or(3);
     let seed: u64 = arg("--seed").and_then(|s| s.parse().ok()).unwrap_or(2010);
+    let loss: f64 = arg("--loss").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let retries: u32 = arg("--retries").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let skew: i64 = arg("--skew").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let churn = flag("--churn");
     let smoke = flag("--smoke");
     let victim = 5usize;
 
@@ -44,6 +54,15 @@ fn main() {
         "Multi-AP fence: {} APs x 20 clients x {} windows (seed {})",
         n_aps, n_windows, seed
     );
+    if loss > 0.0 || skew != 0 || churn {
+        println!(
+            "degraded mode: loss {:.0}% x{} retries, clock skew ±{} windows, churn {}",
+            loss * 100.0,
+            retries,
+            skew,
+            if churn { "on" } else { "off" }
+        );
+    }
 
     let tb = Testbed::deployment(n_aps, seed);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfe9ce);
@@ -55,7 +74,14 @@ fn main() {
         .collect();
 
     // Traffic: training window, steady-state windows, then the attack
-    // window (everyone but the victim, plus the two intruders).
+    // window (everyone but the victim, plus the two intruders). With
+    // --churn the last AP is removed before the attack window, so its
+    // captures cover only the surviving membership.
+    let last_nodes: Vec<usize> = if churn {
+        (0..n_aps - 1).collect()
+    } else {
+        (0..n_aps).collect()
+    };
     let mut windows: Vec<Vec<Transmission>> = Vec::new();
     for w in 0..n_windows.max(2) - 1 {
         windows.push(
@@ -66,8 +92,18 @@ fn main() {
         );
     }
     let others: Vec<usize> = clients.iter().copied().filter(|&c| c != victim).collect();
+    // After churn the consensus re-baselines (references trained under
+    // the old membership are geometry-stale), so the fleet needs one
+    // clean steady window on the new membership before it can catch a
+    // displaced spoofer again.
+    let rebaseline_window: Option<Vec<Transmission>> = churn.then(|| {
+        tb.window_traffic_for(&last_nodes, &clients, (n_windows + 1) as u16, 0.0, &mut rng)
+            .into_iter()
+            .map(Transmission::new)
+            .collect()
+    });
     let mut last: Vec<Transmission> = tb
-        .window_traffic(&others, n_windows as u16, 0.0, &mut rng)
+        .window_traffic_for(&last_nodes, &others, n_windows as u16, 0.0, &mut rng)
         .into_iter()
         .map(Transmission::new)
         .collect();
@@ -80,7 +116,8 @@ fn main() {
     let apos = pt(vpos.x + 3.5 * az.cos(), vpos.y + 3.5 * az.sin());
     let tx_power = tb.rx_power_from(0, vpos) / tb.rx_power_from(0, apos);
     let spoof_frame = tb.client_frame(victim, 99);
-    last.push(Transmission::new(tb.transmission(
+    last.push(Transmission::new(tb.transmission_for(
+        &last_nodes,
         apos,
         &TxAntenna::Omni,
         tx_power,
@@ -98,7 +135,8 @@ fn main() {
         1,
         b"outside",
     );
-    last.push(Transmission::new(tb.transmission(
+    last.push(Transmission::new(tb.transmission_for(
+        &last_nodes,
         outsider_pos,
         &TxAntenna::Omni,
         100.0,
@@ -106,15 +144,61 @@ fn main() {
         0.0,
         &mut rng,
     )));
-    windows.push(last);
 
-    // Run the deployment.
+    // Run the deployment, with the degraded-mode knobs applied: a lossy
+    // report link with bounded retransmit, and per-AP clock skews from
+    // the testbed's deterministic profile (aligned away by the
+    // coordinator as long as they stay within tolerance).
+    let cfg = DeployConfig {
+        link: LinkConfig {
+            loss_rate: loss,
+            retry_limit: retries,
+            seed: seed ^ 0x105e,
+        },
+        max_skew_windows: skew.unsigned_abs().max(2),
+        ..DeployConfig::default()
+    };
     let aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
-    let mut deployment = Deployment::new(aps, DeployConfig::default());
+    let mut deployment = if skew != 0 {
+        let skews: Vec<ApSkew> = Testbed::skew_profile(n_aps, skew, seed)
+            .into_iter()
+            .map(|(window_offset, seq_offset)| ApSkew {
+                window_offset,
+                seq_offset,
+                drift_ppw: 0.0,
+            })
+            .collect();
+        Deployment::with_skews(aps, cfg, skews)
+    } else {
+        Deployment::new(aps, cfg)
+    };
     let mut fused = Vec::new();
     for w in windows {
         deployment.submit_window(w).expect("submit window");
     }
+    if churn {
+        // Close the steady-state windows, then pull the last AP before
+        // the attack window: in-flight windows drain, membership
+        // shrinks, consensus re-baselines.
+        while let Ok(f) = deployment.collect_window() {
+            fused.push(f);
+        }
+        let removed = deployment.remove_ap(n_aps - 1).expect("mid-run AP removal");
+        println!(
+            "churn: removed ap{} mid-run ({} trained profiles ride along), {} APs live",
+            n_aps - 1,
+            removed.spoof.trained_count(),
+            deployment.live_aps()
+        );
+        // One clean window on the new membership retrains the
+        // re-baselined consensus references.
+        if let Some(w) = rebaseline_window {
+            fused.push(deployment.run_window(w).expect("re-baseline window"));
+        }
+    }
+    deployment
+        .submit_window(last)
+        .expect("submit attack window");
     while let Ok(f) = deployment.collect_window() {
         fused.push(f);
     }
@@ -214,10 +298,24 @@ fn main() {
         report.metrics.report_backpressure_events,
         report.metrics.max_fusion_queue_depth
     );
+    println!(
+        "  link health: {} drops / {} retransmits / {} reports lost; {} skew rejections; {} degraded windows",
+        report.per_ap.iter().map(|s| s.report_drops).sum::<u64>(),
+        report.per_ap.iter().map(|s| s.report_retransmits).sum::<u64>(),
+        report.metrics.reports_lost,
+        report.metrics.skew_rejections,
+        report.metrics.degraded_windows
+    );
+    if report.metrics.aps_added + report.metrics.aps_removed + report.metrics.worker_losses > 0 {
+        println!(
+            "  churn: {} added, {} removed, {} worker losses",
+            report.metrics.aps_added, report.metrics.aps_removed, report.metrics.worker_losses
+        );
+    }
     for (k, s) in report.per_ap.iter().enumerate() {
         println!(
-            "  ap{}: {} packets, {} observed, {} admitted, {} spoof-dropped, {} trained",
-            k, s.packets, s.observed, s.admitted, s.dropped_spoof, s.trained
+            "  ap{}: {} packets, {} observed, {} admitted, {} spoof-dropped, {} trained, {} reports lost",
+            k, s.packets, s.observed, s.admitted, s.dropped_spoof, s.trained, s.reports_lost
         );
     }
     for c in report.clients.iter().filter(|c| c.consensus_flags > 0) {
@@ -238,7 +336,8 @@ fn main() {
 
     if smoke {
         let ok_fixes = 10 * within_3m >= 9 * survey.clients.len();
-        let ok_windows = report.metrics.windows == n_windows.max(2);
+        let expected_windows = n_windows.max(2) + u64::from(churn);
+        let ok_windows = report.metrics.windows == expected_windows;
         if !(ok_fixes && spoof_caught && outsider_outside && ok_windows) {
             eprintln!(
                 "SMOKE FAILED: fixes_ok={} spoof_caught={} outsider_outside={} windows_ok={}",

@@ -36,7 +36,9 @@ pub mod prelude {
     pub use sa_channel::pattern::TxAntenna;
     pub use sa_channel::plan::FloorPlan;
     pub use sa_channel::trace::{trace_paths, TraceConfig};
-    pub use sa_deploy::{DeployConfig, Deployment, DeploymentReport, Transmission};
+    pub use sa_deploy::{
+        ApSkew, DeployConfig, Deployment, DeploymentReport, LinkConfig, Transmission,
+    };
     pub use sa_mac::{Frame, MacAddr};
     pub use sa_phy::Modulation;
     pub use sa_testbed::{ApArray, Office, Testbed};
