@@ -34,9 +34,9 @@ use crate::music::music_spectrum_from_table;
 use crate::pseudospectrum::Pseudospectrum;
 use crate::source_count::SourceCount;
 use sa_array::geometry::{Array, ArrayKind};
-use sa_linalg::eigen::{EigH, EighWorkspace};
+use sa_linalg::eigen::{EigBackend, EigH, EighWorkspace};
 use sa_linalg::CMat;
-use sa_sigproc::covariance::{forward_backward, sample_covariance, spatial_smooth};
+use sa_sigproc::covariance::{forward_backward_into, sample_covariance, smooth_fb_into};
 
 /// Spectrum estimation algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +95,11 @@ pub struct AoaConfig {
     pub grid_step_deg: f64,
     /// Capon diagonal loading (fraction of mean eigenvalue).
     pub capon_loading: f64,
+    /// Eigensolver backend. The default tridiagonal path is the fast
+    /// one; [`EigBackend::Jacobi`] selects the reference oracle (same
+    /// bearings to well below the grid resolution — pinned by the
+    /// estimator oracle test — at several times the per-packet cost).
+    pub eig_backend: EigBackend,
 }
 
 impl Default for AoaConfig {
@@ -106,6 +111,7 @@ impl Default for AoaConfig {
             circular: CircularHandling::ModeSpace,
             grid_step_deg: 1.0,
             capon_loading: 1e-6,
+            eig_backend: EigBackend::Tridiagonal,
         }
     }
 }
@@ -239,6 +245,12 @@ pub struct AoaEngine {
     eig_ws: EighWorkspace,
     /// Reusable eigendecomposition output.
     eig: EigH,
+    /// Analysis-domain covariance scratch (mode-space output).
+    cov_a: CMat,
+    /// Mode-space transform intermediate (`T·R`).
+    cov_tmp: CMat,
+    /// Smoothed covariance scratch.
+    cov_s: CMat,
 }
 
 impl AoaEngine {
@@ -288,11 +300,14 @@ impl AoaEngine {
             space,
             table,
             plan,
-            eig_ws: EighWorkspace::new(),
+            eig_ws: EighWorkspace::with_backend(cfg.eig_backend),
             eig: EigH {
                 values: Vec::new(),
                 vectors: CMat::default(),
             },
+            cov_a: CMat::default(),
+            cov_tmp: CMat::default(),
+            cov_s: CMat::default(),
         }
     }
 
@@ -327,17 +342,29 @@ impl AoaEngine {
             self.array_len
         );
 
-        // 1. Move to the analysis domain.
-        let ra = match self.space.modespace() {
-            Some(ms) => ms.transform_cov(r),
-            None => r.clone(),
+        // 1. Move to the analysis domain. Both stages run through the
+        // engine's scratch matrices — the per-packet hot path allocates
+        // nothing once the buffers have grown to the problem size.
+        let ra: &CMat = match self.space.modespace() {
+            Some(ms) => {
+                ms.transform_cov_into(r, &mut self.cov_tmp, &mut self.cov_a);
+                &self.cov_a
+            }
+            None => r,
         };
 
-        // 2. Decorrelation.
-        let ra = match self.plan {
+        // 2. Decorrelation (FB + spatial smoothing fused into one
+        // traversal — bit-identical to the two-pass pipeline).
+        let ra: &CMat = match self.plan {
             SmoothingPlan::None => ra,
-            SmoothingPlan::ForwardBackward => forward_backward(&ra),
-            SmoothingPlan::FbSpatial { sub_len } => spatial_smooth(&forward_backward(&ra), sub_len),
+            SmoothingPlan::ForwardBackward => {
+                forward_backward_into(ra, &mut self.cov_s);
+                &self.cov_s
+            }
+            SmoothingPlan::FbSpatial { sub_len } => {
+                smooth_fb_into(ra, sub_len, &mut self.cov_s);
+                &self.cov_s
+            }
         };
 
         // 3. Eigenstructure and source count. The count is additionally
@@ -345,7 +372,7 @@ impl AoaEngine {
         //    aperture allows (m ≥ 4): a 1-dimensional noise subspace makes
         //    MUSIC peaks fragile under the residual inter-path correlation
         //    that smoothing cannot fully remove.
-        self.eig_ws.eigh(&ra, &mut self.eig);
+        self.eig_ws.eigh(ra, &mut self.eig);
         let m = self.eig.values.len();
         let n_sources = if m >= 2 {
             let k = self
@@ -367,9 +394,9 @@ impl AoaEngine {
                 let table = self.table.as_ref().expect("table built for Music in new()");
                 music_spectrum_from_table(&self.eig, table, n_sources.min(m - 1).max(1))
             }
-            Method::Bartlett => bartlett_spectrum(&ra, &self.space, self.cfg.grid_step_deg),
+            Method::Bartlett => bartlett_spectrum(ra, &self.space, self.cfg.grid_step_deg),
             Method::Capon => capon_spectrum(
-                &ra,
+                ra,
                 &self.space,
                 self.cfg.grid_step_deg,
                 self.cfg.capon_loading,
@@ -377,7 +404,7 @@ impl AoaEngine {
         };
 
         // 5. Candidate peaks ranked by received power toward them.
-        let ranked_peaks = rank_peaks(&spectrum, &ra, &self.space);
+        let ranked_peaks = rank_peaks(&spectrum, ra, &self.space, self.table.as_ref());
 
         AoaEstimate {
             spectrum,
@@ -390,20 +417,49 @@ impl AoaEngine {
 
 /// Extract the spectrum's peaks and rank them by Bartlett power on the
 /// analysis covariance (descending).
+///
+/// Peaks live on the scan grid, so when the caller has a
+/// [`SteeringTable`] (MUSIC), each peak's steering vector is looked up
+/// there and the quadratic form `a^H·R·a` is evaluated in place —
+/// nothing is rebuilt or allocated per peak. Bartlett/Capon (no table)
+/// rebuild the steering vector from the manifold as before.
 fn rank_peaks(
     spectrum: &Pseudospectrum,
     ra: &CMat,
     space: &ScanSpace,
+    table: Option<&SteeringTable>,
 ) -> Vec<super::estimator::RankedPeak> {
-    use sa_linalg::matrix::{vdot, vnorm};
+    use sa_linalg::complex::ZERO;
+    use sa_linalg::matrix::vnorm;
     let peaks = spectrum.find_peaks(1.0, 8);
+    let quad_over_norm = |a: &[sa_linalg::C64], norm_sqr: f64| -> f64 {
+        let m = ra.rows();
+        let mut quad = ZERO;
+        for i in 0..m {
+            let mut row = ZERO;
+            for (j, &aj) in a.iter().enumerate() {
+                row += ra[(i, j)] * aj;
+            }
+            quad += a[i].conj() * row;
+        }
+        (quad.re / norm_sqr.max(1e-30)).max(0.0)
+    };
     let mut ranked: Vec<RankedPeak> = peaks
         .iter()
         .map(|p| {
-            let az = space.azimuth_of_present(p.angle_deg);
-            let a = space.steering(az);
-            let rav = ra.matvec(&a);
-            let power = (vdot(&a, &rav).re / vnorm(&a).powi(2).max(1e-30)).max(0.0);
+            let grid_idx = table.and_then(|t| {
+                t.angles_deg()
+                    .binary_search_by(|v| v.total_cmp(&p.angle_deg))
+                    .ok()
+            });
+            let power = match (table, grid_idx) {
+                (Some(t), Some(i)) => quad_over_norm(t.steering(i), t.norm_sqr(i)),
+                _ => {
+                    let az = space.azimuth_of_present(p.angle_deg);
+                    let a = space.steering(az);
+                    quad_over_norm(&a, vnorm(&a).powi(2))
+                }
+            };
             RankedPeak {
                 angle_deg: p.angle_deg,
                 music_value: p.value,
@@ -411,7 +467,7 @@ fn rank_peaks(
             }
         })
         .collect();
-    ranked.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap());
+    ranked.sort_by(|a, b| b.power.total_cmp(&a.power));
     ranked
 }
 
@@ -645,6 +701,62 @@ mod tests {
                 assert_eq!(batched.n_sources, oneshot.n_sources);
                 assert_eq!(batched.eigenvalues, oneshot.eigenvalues);
                 assert_eq!(batched.ranked_peaks, oneshot.ranked_peaks);
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_backend_bearings_match_jacobi_oracle() {
+        // The estimator-level oracle pin: the fast eigensolver must not
+        // move a single MUSIC bearing. Peaks live on the scan grid, so
+        // agreement to 1e-9° means "the same grid cells won", across
+        // both array kinds, single- and multi-path, batched reuse
+        // included.
+        for (array, base) in [
+            (Array::paper_octagon(), AoaConfig::default()),
+            (
+                Array::paper_linear(8),
+                AoaConfig {
+                    source_count: SourceCount::Fixed(2),
+                    ..AoaConfig::default()
+                },
+            ),
+        ] {
+            let jacobi_cfg = AoaConfig {
+                eig_backend: sa_linalg::EigBackend::Jacobi,
+                ..base
+            };
+            let mut fast = AoaEngine::new(&array, &base);
+            let mut oracle = AoaEngine::new(&array, &jacobi_cfg);
+            for seed in 0..6u64 {
+                let az1 = (20.0 + 50.0 * seed as f64).to_radians();
+                let az2 = (140.0 + 30.0 * seed as f64).to_radians();
+                let x = coherent_snapshots(
+                    &array,
+                    &[(az1, C64::new(1.0, 0.0)), (az2, C64::from_polar(0.6, 1.3))],
+                    128,
+                    0.01,
+                    seed,
+                );
+                let r = sample_covariance(&x);
+                let f = fast.estimate_cov(&r, x.cols());
+                let o = oracle.estimate_cov(&r, x.cols());
+                assert!(
+                    (f.bearing_deg() - o.bearing_deg()).abs() < 1e-9,
+                    "seed {}: {} vs {}",
+                    seed,
+                    f.bearing_deg(),
+                    o.bearing_deg()
+                );
+                assert_eq!(f.n_sources, o.n_sources, "seed {}", seed);
+                assert_eq!(f.ranked_peaks.len(), o.ranked_peaks.len(), "seed {}", seed);
+                for (pf, po) in f.ranked_peaks.iter().zip(&o.ranked_peaks) {
+                    assert!((pf.angle_deg - po.angle_deg).abs() < 1e-9, "seed {}", seed);
+                }
+                for (a, b) in f.eigenvalues.iter().zip(&o.eigenvalues) {
+                    let scale = b.abs().max(1.0);
+                    assert!((a - b).abs() < 1e-10 * scale, "seed {}", seed);
+                }
             }
         }
     }

@@ -185,14 +185,18 @@ impl ScanSpace {
     pub fn steering_table(&self, step_deg: f64) -> SteeringTable {
         let azimuths = self.grid(step_deg);
         let angles_deg: Vec<f64> = azimuths.iter().map(|&az| self.present_deg(az)).collect();
-        let steering: Vec<Vec<C64>> = azimuths.iter().map(|&az| self.steering(az)).collect();
-        let norm_sqr: Vec<f64> = steering
-            .iter()
-            .map(|a| sa_linalg::matrix::vnorm(a).powi(2))
-            .collect();
+        let dim = self.len();
+        let mut steering = Vec::with_capacity(azimuths.len() * dim);
+        let mut norm_sqr = Vec::with_capacity(azimuths.len());
+        for &az in &azimuths {
+            let a = self.steering(az);
+            norm_sqr.push(sa_linalg::matrix::vnorm(&a).powi(2));
+            steering.extend_from_slice(&a);
+        }
         SteeringTable {
             azimuths,
             angles_deg,
+            dim,
             steering,
             norm_sqr,
             wraps: self.wraps(),
@@ -203,12 +207,18 @@ impl ScanSpace {
 /// A precomputed scan grid: azimuths, presentation angles, steering
 /// vectors and their squared norms for one [`ScanSpace`] at one
 /// resolution. Built by [`ScanSpace::steering_table`] and shared across
-/// every packet of a batch.
+/// every packet of a batch. Steering vectors live in one contiguous
+/// `grid × dim` block, so the MUSIC scan streams through them linearly
+/// instead of chasing a pointer per grid point.
 #[derive(Debug, Clone)]
 pub struct SteeringTable {
     azimuths: Vec<f64>,
     angles_deg: Vec<f64>,
-    steering: Vec<Vec<C64>>,
+    /// Steering-vector length (scan-space dimension).
+    dim: usize,
+    /// All steering vectors, row-major: grid point `i` occupies
+    /// `steering[i*dim .. (i+1)*dim]`.
+    steering: Vec<C64>,
     norm_sqr: Vec<f64>,
     wraps: bool,
 }
@@ -226,7 +236,7 @@ impl SteeringTable {
 
     /// Manifold dimension (length of each steering vector).
     pub fn dim(&self) -> usize {
-        self.steering.first().map(Vec::len).unwrap_or(0)
+        self.dim
     }
 
     /// Scan azimuths, radians, in presentation order.
@@ -241,7 +251,7 @@ impl SteeringTable {
 
     /// Steering vector at grid index `i`.
     pub fn steering(&self, i: usize) -> &[C64] {
-        &self.steering[i]
+        &self.steering[i * self.dim..(i + 1) * self.dim]
     }
 
     /// Squared norm of the steering vector at grid index `i`.

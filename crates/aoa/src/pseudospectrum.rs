@@ -60,6 +60,19 @@ impl Pseudospectrum {
         }
     }
 
+    /// Fast-path constructor for spectra whose grid comes from an
+    /// already-validated `SteeringTable`: skips re-checking 360 angle
+    /// orderings per packet (debug builds still assert).
+    pub(crate) fn from_valid_grid(angles_deg: Vec<f64>, values: Vec<f64>, wraps: bool) -> Self {
+        debug_assert_eq!(angles_deg.len(), values.len());
+        debug_assert!(angles_deg.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            angles_deg,
+            values,
+            wraps,
+        }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.angles_deg.len()
@@ -173,83 +186,122 @@ impl Pseudospectrum {
     /// of the two lowest saddles passed defines the prominence. This
     /// matches how one reads "direct-path peak" versus "reflection peaks"
     /// off the paper's Fig 6.
+    ///
+    /// Hot-path note: the walks compare values on the *linear* scale
+    /// (clamped at the same −300 dB floor the dB rendering uses — the
+    /// log is strictly monotone, so the comparisons are equivalent) and
+    /// only the handful of surviving local maxima pay for a `log10`.
+    /// The previous implementation converted the whole spectrum to dB
+    /// per call, which made peak extraction as expensive as the MUSIC
+    /// scan itself.
     pub fn find_peaks(&self, min_prominence_db: f64, max_peaks: usize) -> Vec<Peak> {
         let n = self.len();
         if n < 3 {
             return Vec::new();
         }
-        let db = self.db(-300.0);
-        let is_local_max = |i: usize| -> bool {
-            let prev = if i == 0 {
-                if self.wraps {
-                    db[n - 1]
-                } else {
-                    f64::NEG_INFINITY
-                }
+        // Prescans, as three branch-free folds the compiler can
+        // vectorise: the raw maximum, the floor-clamped copy of the
+        // spectrum (the linear equivalent of `db(-300.0)` — values
+        // collapsing to the same floored dB compare equal here too,
+        // and log10 is strictly monotone above the floor), and the
+        // clamped global minimum the saddle shortcut below needs.
+        let max_v = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let m = max_v.max(f64::MIN_POSITIVE);
+        let floor = m * 1e-30;
+        let clv: Vec<f64> = self.values.iter().map(|v| v.max(floor)).collect();
+        let gmin = clv.iter().cloned().fold(f64::INFINITY, f64::min);
+        // The clamped global maximum — `clv` at the raw argmax.
+        let gmax = max_v.max(floor);
+        let cl = |i: usize| -> f64 { clv[i] };
+        // The dB value the old full-spectrum conversion would have
+        // produced — used only for the reported prominence figure.
+        let db_of = |v: f64| -> f64 {
+            if v <= 0.0 {
+                -300.0
             } else {
-                db[i - 1]
-            };
-            let next = if i == n - 1 {
-                if self.wraps {
-                    db[0]
-                } else {
-                    f64::NEG_INFINITY
-                }
-            } else {
-                db[i + 1]
-            };
-            // Strict on one side to de-duplicate flat tops.
-            db[i] > prev && db[i] >= next
+                (10.0 * (v / m).log10()).max(-300.0)
+            }
         };
+        // Local maxima (strict on one side to de-duplicate flat tops):
+        // a rolling `windows(3)` scan for the interior — the bulk of
+        // the grid, bounds-check-free — with the two edges handled
+        // explicitly. A MUSIC spectrum has a handful of maxima, so the
+        // expensive prominence walks below run rarely.
+        let edge = |side: usize| -> f64 {
+            if self.wraps {
+                clv[side]
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        let mut maxima: Vec<usize> = Vec::new();
+        if clv[0] > edge(n - 1) && clv[0] >= clv[1] {
+            maxima.push(0);
+        }
+        for (im1, w) in clv.windows(3).enumerate() {
+            if w[1] > w[0] && w[1] >= w[2] {
+                maxima.push(im1 + 1);
+            }
+        }
+        if clv[n - 1] > clv[n - 2] && clv[n - 1] >= edge(0) {
+            maxima.push(n - 1);
+        }
 
         let mut peaks = Vec::new();
-        for i in 0..n {
-            if !is_local_max(i) {
+        for &i in &maxima {
+            let h = cl(i);
+            if h == gmax {
+                // A local max at the global height: both walks would
+                // traverse their whole side without finding higher
+                // terrain ((false, false) below), whose saddle is the
+                // scanned range's minimum — the global minimum, for
+                // wrapping and non-wrapping domains alike.
+                let prominence = db_of(h) - db_of(gmin);
+                if prominence >= min_prominence_db {
+                    peaks.push(Peak {
+                        angle_deg: self.angles_deg[i],
+                        value: self.values[i],
+                        prominence_db: prominence,
+                    });
+                }
                 continue;
             }
-            let h = db[i];
-            // Walk left.
-            let mut min_left = h;
-            let mut found_higher_left = false;
-            let mut steps = 0;
-            let mut j = i;
-            while steps < n {
-                if j == 0 {
-                    if !self.wraps {
-                        break;
+            // The walks visit each side as at most two contiguous
+            // segments (the wrap-around continuation is just the other
+            // side of the array), so run them as plain slice scans —
+            // same visit order as stepping index-by-index, without a
+            // wrap branch and step counter per element.
+            let walk = |segments: [&[f64]; 2], rev: bool| -> (bool, f64) {
+                let mut low = h;
+                for seg in segments {
+                    if rev {
+                        for &v in seg.iter().rev() {
+                            if v > h {
+                                return (true, low);
+                            }
+                            low = low.min(v);
+                        }
+                    } else {
+                        for &v in seg {
+                            if v > h {
+                                return (true, low);
+                            }
+                            low = low.min(v);
+                        }
                     }
-                    j = n - 1;
-                } else {
-                    j -= 1;
                 }
-                steps += 1;
-                if db[j] > h {
-                    found_higher_left = true;
-                    break;
-                }
-                min_left = min_left.min(db[j]);
-            }
-            // Walk right.
-            let mut min_right = h;
-            let mut found_higher_right = false;
-            steps = 0;
-            j = i;
-            while steps < n {
-                j = if j == n - 1 {
-                    if !self.wraps {
-                        break;
-                    }
-                    0
-                } else {
-                    j + 1
-                };
-                steps += 1;
-                if db[j] > h {
-                    found_higher_right = true;
-                    break;
-                }
-                min_right = min_right.min(db[j]);
-            }
+                (false, low)
+            };
+            // Left: i−1 … 0, then (wrapping) n−1 … i+1.
+            let wrap_l: &[f64] = if self.wraps { &clv[i + 1..] } else { &[] };
+            let (found_higher_left, min_left) = walk([&clv[..i], wrap_l], true);
+            // Right: i+1 … n−1, then (wrapping) 0 … i−1.
+            let wrap_r: &[f64] = if self.wraps { &clv[..i] } else { &[] };
+            let (found_higher_right, min_right) = walk([&clv[i + 1..], wrap_r], false);
             // Key saddle: the *higher* of the two side minima, but only
             // sides that actually reach higher terrain count as saddles;
             // for the global maximum both walks fail and prominence is
@@ -260,7 +312,7 @@ impl Pseudospectrum {
                 (false, true) => min_right,
                 (false, false) => min_left.min(min_right),
             };
-            let prominence = h - saddle;
+            let prominence = db_of(h) - db_of(saddle);
             if prominence >= min_prominence_db {
                 peaks.push(Peak {
                     angle_deg: self.angles_deg[i],
@@ -269,7 +321,7 @@ impl Pseudospectrum {
                 });
             }
         }
-        peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+        peaks.sort_by(|a, b| b.value.total_cmp(&a.value));
         peaks.truncate(max_peaks);
         peaks
     }

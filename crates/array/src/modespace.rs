@@ -31,6 +31,9 @@ use sa_linalg::matrix::CMat;
 #[derive(Debug, Clone)]
 pub struct ModeSpace {
     t: CMat,
+    /// Cached `T^H` — [`ModeSpace::transform_cov`] runs once per packet
+    /// per AP, so the conjugate transpose is built once here instead.
+    th: CMat,
     h: i32,
 }
 
@@ -63,7 +66,8 @@ impl ModeSpace {
             let coef = jm.scale(bessel_j_int(m, kr) * n as f64);
             C64::cis(m as f64 * gamma) / coef
         });
-        Self { t, h }
+        let th = t.hermitian();
+        Self { t, th, h }
     }
 
     /// Maximum mode order `h`.
@@ -89,7 +93,36 @@ impl ModeSpace {
 
     /// Transform a physical covariance: `R_v = T·R·T^H`.
     pub fn transform_cov(&self, r: &CMat) -> CMat {
-        self.t.matmul(r).matmul(&self.t.hermitian())
+        let mut tmp = CMat::default();
+        let mut out = CMat::default();
+        self.transform_cov_into(r, &mut tmp, &mut out);
+        out
+    }
+
+    /// [`ModeSpace::transform_cov`] through caller-provided scratch and
+    /// output matrices, reusing both allocations — the per-packet hot
+    /// path of `sa_aoa::estimator::AoaEngine`.
+    ///
+    /// For Hermitian `R` the result is Hermitian, so only the upper
+    /// triangle of the second product is computed and the lower is
+    /// mirrored (making the output *exactly* Hermitian instead of
+    /// Hermitian-to-round-off).
+    pub fn transform_cov_into(&self, r: &CMat, tmp: &mut CMat, out: &mut CMat) {
+        self.t.matmul_into(r, tmp);
+        let v = self.virtual_len();
+        out.reset_zero(v, v);
+        for i in 0..v {
+            for k in 0..tmp.cols() {
+                let a = tmp[(i, k)];
+                for j in i..v {
+                    out[(i, j)] += a * self.th[(k, j)];
+                }
+            }
+            out[(i, i)] = sa_linalg::c64(out[(i, i)].re, 0.0);
+            for j in i + 1..v {
+                out[(j, i)] = out[(i, j)].conj();
+            }
+        }
     }
 
     /// Virtual-array steering vector: `v_m(φ) = e^{jmφ}`, `m = −h..h`.

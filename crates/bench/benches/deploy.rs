@@ -61,20 +61,64 @@ fn bench_deploy_throughput(c: &mut Criterion) {
         // accuracy suites run at 96–128 snapshots) keeps the per-AP DSP
         // term small relative to the shared decode. Identical config on
         // every AP count, so the comparison stays apples-to-apples.
+        // Since PR 5 the group runs streamed (`windows_in_flight = 2`):
+        // each iteration submits one window and collects the oldest, so
+        // the steady state overlaps coordinator decode with worker DSP —
+        // the production operating mode.
+        let depth = 2;
         let cfg = DeployConfig {
             snapshot_cap: 128,
+            windows_in_flight: depth,
             ..DeployConfig::default()
         };
         let mut deployment = Deployment::new(aps, cfg);
         // Warm the workers (engine construction, first-touch
         // allocations, signature auto-training, scheduler settling —
         // the first windows on a cold deployment are not
-        // representative).
+        // representative) and fill the pipeline to its steady depth.
         for _ in 0..4 {
             deployment.run_window(txs.clone()).expect("warmup window");
         }
         group.bench_function(format!("aps_{}", n_aps), |b| {
-            b.iter(|| deployment.run_window(txs.clone()).expect("bench window"))
+            b.iter(|| {
+                deployment.submit_window(txs.clone()).expect("bench submit");
+                while deployment.pending_windows() >= depth {
+                    deployment.collect_window().expect("bench collect");
+                }
+            })
+        });
+        while deployment.pending_windows() > 0 {
+            deployment.collect_window().expect("drain");
+        }
+    }
+    group.finish();
+}
+
+/// Pipelining depth ablation at 4 APs: the same 8-window workload run
+/// through `run_stream` at depths 1, 2 and 4. Depth 1 is the PR-4
+/// submit-then-collect behavior; the depth-2 gain is the coordinator
+/// decode / worker DSP overlap the streamed-windows work bought
+/// (outputs are byte-identical at every depth — see the deploy e2e
+/// suite).
+fn bench_deploy_streamed(c: &mut Criterion) {
+    let n_aps = 4;
+    let mut group = c.benchmark_group("deploy_streamed");
+    for depth in [1usize, 2, 4] {
+        let (aps, txs) = window_for(n_aps, 7001);
+        let cfg = DeployConfig {
+            snapshot_cap: 128,
+            windows_in_flight: depth,
+            ..DeployConfig::default()
+        };
+        let mut deployment = Deployment::new(aps, cfg);
+        for _ in 0..4 {
+            deployment.run_window(txs.clone()).expect("warmup window");
+        }
+        group.bench_function(format!("aps_4_depth_{}", depth), |b| {
+            b.iter(|| {
+                let windows: Vec<_> = (0..8).map(|_| txs.clone()).collect();
+                deployment.run_stream(windows).expect("stream")
+            })
         });
     }
     group.finish();
@@ -249,6 +293,7 @@ fn bench_fusion_latency(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_deploy_throughput,
+    bench_deploy_streamed,
     bench_deploy_degraded,
     bench_fusion_latency
 );

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sa_linalg::complex::C64;
-use sa_linalg::eigen::eigh;
-use sa_linalg::fft::{fft_owned, ifft_owned};
+use sa_linalg::eigen::{eigh, eigh_jacobi};
+use sa_linalg::fft::{fft_owned, ifft_owned, FftPlan};
 use sa_linalg::CMat;
 
 fn hermitian(n: usize, seed: u64) -> CMat {
@@ -21,15 +21,27 @@ fn hermitian(n: usize, seed: u64) -> CMat {
 }
 
 fn bench_eigh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eigh_jacobi");
+    // The production path: Householder tridiagonal + implicit-shift QL.
+    let mut group = c.benchmark_group("eigh_tridiag");
     for n in [4usize, 8, 16] {
         let a = hermitian(n, 42);
         group.bench_function(format!("{n}x{n}"), |b| b.iter(|| eigh(&a)));
     }
     group.finish();
+    // The cyclic Jacobi reference oracle, same inputs — the before/after
+    // of the PR-5 eigensolver swap reads straight off these two groups.
+    let mut group = c.benchmark_group("eigh_jacobi");
+    for n in [4usize, 8, 16] {
+        let a = hermitian(n, 42);
+        group.bench_function(format!("{n}x{n}"), |b| b.iter(|| eigh_jacobi(&a)));
+    }
+    group.finish();
 }
 
 fn bench_fft(c: &mut Criterion) {
+    // Free functions run on the process-wide plan cache (one lock +
+    // Arc clone per call); the `planned_*` rows hold the plan across
+    // calls — the modem's per-packet pattern.
     let mut group = c.benchmark_group("fft_radix2");
     for n in [64usize, 256, 1024] {
         let x: Vec<C64> = (0..n)
@@ -37,6 +49,14 @@ fn bench_fft(c: &mut Criterion) {
             .collect();
         group.bench_function(format!("forward_{n}"), |b| b.iter(|| fft_owned(&x)));
         group.bench_function(format!("inverse_{n}"), |b| b.iter(|| ifft_owned(&x)));
+        let plan = FftPlan::new(n);
+        group.bench_function(format!("planned_forward_{n}"), |b| {
+            let mut buf = x.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&x);
+                plan.fft(&mut buf);
+            })
+        });
     }
     group.finish();
 }

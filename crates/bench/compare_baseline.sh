@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Record a fresh criterion run and diff it against the checked-in
+# baseline, printing the worst regressions.
+#
+#   crates/bench/compare_baseline.sh [-t PCT] [-g] [baseline.json]
+#
+#   -t PCT   regression threshold in percent (default 10): benches
+#            slower than baseline by more than PCT are reported
+#   -g       gate: exit non-zero if any bench regresses past the
+#            threshold (default is informational — always exit 0)
+#
+# Respects BENCH_QUICK=1 for fast CI runs (shorter measurement
+# windows; noisier, which is why the CI step is non-gating). New
+# benches with no baseline entry and baseline entries that no longer
+# run are listed but never counted as regressions. See
+# docs/BENCHMARKS.md for the host-drift caveats before trusting any
+# single run.
+set -eu
+cd "$(dirname "$0")/../.."
+
+threshold=10
+gate=0
+baseline="BENCH_baseline.json"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -t) threshold="$2"; shift 2 ;;
+        -g) gate=1; shift ;;
+        -*) echo "usage: $0 [-t PCT] [-g] [baseline.json]" >&2; exit 2 ;;
+        *) baseline="$1"; shift ;;
+    esac
+done
+[ -f "$baseline" ] || { echo "no baseline at $baseline" >&2; exit 2; }
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+# No pipefail in POSIX sh: run cargo to the file first so its exit
+# status is what `set -e` sees, then replay the log for the operator.
+cargo bench -p sa-bench > "$raw" 2>&1 || {
+    cat "$raw" >&2
+    echo "compare_baseline: cargo bench failed" >&2
+    exit 1
+}
+cat "$raw" >&2
+grep -q '^bench: ' "$raw" || {
+    echo "compare_baseline: fresh run produced no bench lines" >&2
+    exit 1
+}
+
+awk -v threshold="$threshold" -v gate="$gate" '
+    # Pass 1: baseline entries ("label": {"ns_per_iter": N, ...}).
+    NR == FNR {
+        if (match($0, /^[[:space:]]*"[^"]+": \{"ns_per_iter": /)) {
+            line = $0
+            sub(/^[[:space:]]*"/, "", line)
+            label = line
+            sub(/".*/, "", label)
+            sub(/^[^:]*": \{"ns_per_iter": /, "", line)
+            sub(/,.*/, "", line)
+            base[label] = line + 0
+        }
+        next
+    }
+    # Pass 2: fresh run ("bench: <label> <ns> ns/iter (...)").
+    /^bench: / {
+        label = $2
+        now = $3 + 0
+        seen[label] = 1
+        if (!(label in base)) {
+            added[n_added++] = label
+            next
+        }
+        delta = (now - base[label]) / base[label] * 100
+        lines[n++] = sprintf("%+8.1f%%  %12.1f -> %12.1f ns/iter  %s",
+                             delta, base[label], now, label)
+        deltas[n - 1] = delta
+    }
+    END {
+        # Sort by delta, worst regression first (insertion sort; n ≈ 75).
+        for (i = 1; i < n; i++) {
+            l = lines[i]; d = deltas[i]
+            for (j = i - 1; j >= 0 && deltas[j] < d; j--) {
+                lines[j + 1] = lines[j]; deltas[j + 1] = deltas[j]
+            }
+            lines[j + 1] = l; deltas[j + 1] = d
+        }
+        regressions = 0
+        for (i = 0; i < n; i++) if (deltas[i] > threshold) regressions++
+        printf "\n== bench comparison vs baseline (threshold %s%%) ==\n", threshold
+        printf "%d benches compared, %d regressed past threshold\n", n, regressions
+        if (regressions > 0) {
+            print "-- worst regressions --"
+            for (i = 0; i < n && deltas[i] > threshold; i++) print lines[i]
+        }
+        print "-- full spread (worst 10 / best 5) --"
+        for (i = 0; i < n && i < 10; i++) print lines[i]
+        if (n > 15) print "   ..."
+        for (i = (n > 15 ? n - 5 : 10); i < n; i++) print lines[i]
+        for (i = 0; i < n_added; i++)
+            printf "new bench (no baseline): %s\n", added[i]
+        for (label in base) if (!(label in seen))
+            printf "baseline entry no longer runs: %s\n", label
+        if (gate && regressions > 0) exit 1
+    }
+' "$baseline" "$raw"

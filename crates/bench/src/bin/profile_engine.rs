@@ -1,0 +1,128 @@
+//! Per-stage timing of the AoA engine hot path — the dev aid behind
+//! the PR-5 optimisation work (not a recorded bench; the criterion
+//! suite owns the baseline). Prints each stage's ns/call together
+//! with a `matmul_16x16` calibration read from `BENCH_baseline.json`,
+//! so host drift can be normalised out of run-to-run comparisons.
+use sa_aoa::estimator::{AoaConfig, AoaEngine};
+use sa_array::geometry::Array;
+use sa_linalg::complex::C64;
+use sa_linalg::CMat;
+use sa_sigproc::covariance::sample_covariance;
+use std::time::Instant;
+
+/// The recorded `matmul_16x16` ns/iter from the checked-in baseline
+/// (the host-drift canary), if it can be found and parsed. The
+/// baseline's line format is our own (`record_baseline.sh`), so a
+/// plain string scan suffices — the vendored serde_json stand-in has
+/// no deserializer.
+fn baseline_matmul_ns() -> Option<f64> {
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    let text = std::fs::read_to_string(dir.join("BENCH_baseline.json")).ok()?;
+    let line = text.lines().find(|l| l.contains("\"matmul_16x16\""))?;
+    let rest = line.split("\"ns_per_iter\": ").nth(1)?;
+    rest.split(&[',', '}'][..]).next()?.trim().parse().ok()
+}
+
+fn main() {
+    let array = Array::paper_octagon();
+    let s1 = array.steering(0.8);
+    let s2 = array.steering(2.4);
+    let x = CMat::from_fn(array.len(), 512, |m, t| {
+        let sym = C64::cis(1.1 * t as f64);
+        s1[m] * sym + s2[m] * C64::from_polar(0.6, 1.0) * sym
+    });
+    let r = sample_covariance(&x);
+    let cfg = AoaConfig::default();
+    let mut engine = AoaEngine::new(&array, &cfg);
+    let iters = 20000;
+    for _ in 0..100 {
+        let _ = engine.estimate_cov(&r, 512);
+    }
+
+    // Calibration against the recorded baseline's matmul_16x16
+    // (an unchanged kernel) to normalise out host drift.
+    let am = {
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        CMat::from_fn(16, 16, |_, _| C64::new(next(), next()))
+    };
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let v = am.matmul(&am);
+        std::hint::black_box(&v);
+    }
+    let matmul_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    match baseline_matmul_ns() {
+        Some(base) => println!(
+            "matmul_16x16: {:.1} ns (baseline {:.1} -> host factor {:.2}x)",
+            matmul_ns,
+            base,
+            matmul_ns / base
+        ),
+        None => println!("matmul_16x16: {:.1} ns (no baseline found)", matmul_ns),
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let e = engine.estimate_cov(&r, 512);
+        std::hint::black_box(&e);
+    }
+    println!(
+        "estimate_cov total: {:.1} ns",
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    // Components
+    let est = engine.estimate_cov(&r, 512);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let p = est.spectrum.find_peaks(1.0, 8);
+        std::hint::black_box(&p);
+    }
+    println!(
+        "find_peaks: {:.1} ns",
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    let ms = sa_array::modespace::ModeSpace::for_array(&array);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let v = ms.transform_cov(&r);
+        std::hint::black_box(&v);
+    }
+    println!(
+        "transform_cov (alloc): {:.1} ns",
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    let rv = ms.transform_cov(&r);
+    let rs = sa_sigproc::covariance::smooth_fb(&rv, 5);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let e = sa_linalg::eigen::eigh(&rs);
+        std::hint::black_box(&e);
+    }
+    println!(
+        "eigh 5x5 tridiag: {:.1} ns",
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    let eig = sa_linalg::eigen::eigh(&rs);
+    let space = engine.scan_space();
+    let table = space.steering_table(1.0);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let s = sa_aoa::music::music_spectrum_from_table(&eig, &table, 2);
+        std::hint::black_box(&s);
+    }
+    println!(
+        "music_spectrum_from_table: {:.1} ns",
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    );
+}

@@ -61,7 +61,7 @@ use sa_linalg::CMat;
 use sa_mac::{AccessControlList, Frame, MacAddr};
 use sa_phy::ppdu::{PhyError, Receiver, Transmitter};
 use sa_phy::Modulation;
-use sa_sigproc::covariance::{sample_covariance, sample_covariance_into};
+use sa_sigproc::covariance::{sample_covariance, sample_covariance_strided_into};
 use sa_sigproc::iq::to_db;
 
 /// Static AP configuration.
@@ -505,7 +505,6 @@ impl AccessPoint {
             ap: self,
             engine,
             cov: CMat::default(),
-            decim: CMat::default(),
             snapshot_cap: 0,
             staged: Vec::new(),
         }
@@ -629,9 +628,6 @@ pub struct PacketBatch<'ap> {
     engine: AoaEngine,
     /// Recycled covariance buffer (one per packet, same allocation).
     cov: CMat,
-    /// Recycled snapshot-decimation buffer (see
-    /// [`PacketBatch::set_snapshot_cap`]).
-    decim: CMat,
     /// Covariance snapshot budget; 0 = use every sample (the default,
     /// bit-identical to the single-packet path).
     snapshot_cap: usize,
@@ -790,20 +786,18 @@ impl PacketBatch<'_> {
             } = staged;
             // 2b. Calibrate (per-chain corrections, §2.2).
             self.ap.calibration.apply(&mut window);
-            // 3–4. Covariance into the recycled buffer (optionally over
-            // a decimated snapshot set), then AoA through the shared
-            // engine.
-            let (cov_src, n_snapshots) =
+            // 3–4. Covariance into the recycled buffer — the snapshot
+            // cap is applied as a stride *inside* the covariance
+            // accumulation (fused; the decimated snapshot set is never
+            // materialised) — then AoA through the shared engine.
+            let (stride, n_snapshots) =
                 if self.snapshot_cap > 0 && window.cols() > self.snapshot_cap {
                     let stride = window.cols().div_ceil(self.snapshot_cap);
-                    let n = window.cols().div_ceil(stride);
-                    self.decim
-                        .reset_from_fn(window.rows(), n, |m, t| window[(m, t * stride)]);
-                    (&self.decim, n)
+                    (stride, window.cols().div_ceil(stride))
                 } else {
-                    (&window, window.cols())
+                    (1, window.cols())
                 };
-            sample_covariance_into(cov_src, &mut self.cov);
+            sample_covariance_strided_into(&window, stride, &mut self.cov);
             let estimate = self.engine.estimate_cov(&self.cov, n_snapshots);
             // 5. Signature + RSS.
             out.push(

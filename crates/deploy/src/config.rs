@@ -163,6 +163,17 @@ pub struct DeployConfig {
     pub max_skew_windows: u64,
     /// Report-channel loss model (defaults to a reliable channel).
     pub link: LinkConfig,
+    /// Pipelining depth for [`crate::Deployment::run_stream`]: how many
+    /// windows may be submitted before the oldest is collected. At the
+    /// default of `1` streaming degenerates to the synchronous
+    /// submit-then-collect loop; at `≥ 2` the coordinator's stage-1
+    /// decode of the next window overlaps with the workers' per-AP DSP
+    /// on the previous one, which is where single-window runs leave the
+    /// coordinator core idle. Fused results are byte-identical at any
+    /// depth (window close/align/fusion semantics are unchanged —
+    /// pinned by the deploy e2e suites); only the overlap differs.
+    /// `0` is treated as `1`.
+    pub windows_in_flight: usize,
     /// Weight each bearing by its report confidence in the fused
     /// least-squares fix ([`secureangle::localize::localize_weighted`])
     /// instead of weighting all bearings equally. Off by default:
@@ -187,6 +198,7 @@ impl Default for DeployConfig {
             max_skew_windows: 2,
             link: LinkConfig::default(),
             weight_bearings_by_confidence: false,
+            windows_in_flight: 1,
         }
     }
 }
@@ -255,6 +267,9 @@ mod tests {
         assert!(cfg.link.retry_limit >= 1);
         assert_eq!(cfg.max_skew_windows, 2);
         assert!(!cfg.weight_bearings_by_confidence);
+        // Streaming off by default: depth-1 pipelining is the
+        // synchronous submit-then-collect behavior exactly.
+        assert_eq!(cfg.windows_in_flight, 1);
     }
 
     #[test]

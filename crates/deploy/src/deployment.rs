@@ -598,14 +598,49 @@ impl Deployment {
     }
 
     /// Submit one window and immediately collect it — the synchronous
-    /// convenience path (`submit` + `collect` pipelined manually allow
-    /// several windows in flight instead).
+    /// convenience path. [`Deployment::run_stream`] pipelines several
+    /// windows in flight instead.
     pub fn run_window(
         &mut self,
         transmissions: Vec<Transmission>,
     ) -> Result<FusedWindow, DeployError> {
         self.submit_window(transmissions)?;
         self.collect_window()
+    }
+
+    /// Number of windows currently submitted but not yet collected.
+    pub fn pending_windows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run a sequence of windows with up to
+    /// [`DeployConfig::windows_in_flight`] of them in flight: while the
+    /// workers chew on window *w*'s DSP, the coordinator already runs
+    /// stage-1 decode for *w+1* (and beyond, up to the depth) instead
+    /// of idling until the fuse. Fused windows come back in submission
+    /// order and are byte-identical to the depth-1 (submit-then-collect)
+    /// loop — streaming changes the overlap, never the numbers.
+    ///
+    /// On an error the windows fused so far are lost to the caller;
+    /// in-flight ones remain collectable via
+    /// [`Deployment::collect_window`] (and [`Deployment::finish`] still
+    /// drains them).
+    pub fn run_stream(
+        &mut self,
+        windows: Vec<Vec<Transmission>>,
+    ) -> Result<Vec<FusedWindow>, DeployError> {
+        let depth = self.cfg.windows_in_flight.max(1);
+        let mut out = Vec::with_capacity(windows.len());
+        for transmissions in windows {
+            while self.pending.len() >= depth {
+                out.push(self.collect_window()?);
+            }
+            self.submit_window(transmissions)?;
+        }
+        while !self.pending.is_empty() {
+            out.push(self.collect_window()?);
+        }
+        Ok(out)
     }
 
     /// Drain any in-flight windows, shut the workers down, and return

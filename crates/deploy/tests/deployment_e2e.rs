@@ -316,3 +316,66 @@ fn undecodable_transmissions_are_counted_and_skipped() {
     assert_eq!(report.metrics.transmissions, 2);
     assert_eq!(report.metrics.decode_failures, 1);
 }
+
+/// Streamed windows (`windows_in_flight ≥ 2`) overlap the coordinator's
+/// stage-1 decode with the workers' DSP — and must not change a single
+/// byte of the fused output, in clean *and* degraded (lossy + skewed)
+/// deployments.
+#[test]
+fn streamed_windows_are_byte_identical_to_sequential() {
+    let degraded = DeployConfig {
+        link: LinkConfig {
+            loss_rate: 0.2,
+            retry_limit: 1,
+            seed: 909,
+        },
+        max_skew_windows: 2,
+        ..DeployConfig::default()
+    };
+    for base_cfg in [DeployConfig::default(), degraded] {
+        // Same traffic for every depth: regenerate from the same seeds.
+        let make = || {
+            let tb = Testbed::deployment(3, 311);
+            let mut rng = ChaCha8Rng::seed_from_u64(312);
+            let clients = [5usize, 7, 19];
+            let windows: Vec<Vec<Transmission>> = (0..6)
+                .map(|w| window(&tb, &clients, w as u16, &mut rng))
+                .collect();
+            let (_, aps) = split(tb);
+            (aps, windows)
+        };
+
+        let run = |depth: usize| {
+            let (aps, windows) = make();
+            let cfg = DeployConfig {
+                windows_in_flight: depth,
+                ..base_cfg
+            };
+            let mut deployment = Deployment::new(aps, cfg);
+            let fused = deployment.run_stream(windows).expect("stream");
+            // Streaming must actually be engaged: nothing pending at the
+            // end, every window fused, in submission order.
+            assert_eq!(deployment.pending_windows(), 0);
+            let (report, _) = deployment.finish();
+            (fused, report)
+        };
+
+        let (seq, seq_report) = run(1);
+        assert_eq!(seq.len(), 6);
+        for (w, fused) in seq.iter().enumerate() {
+            assert_eq!(fused.window, w as u64);
+        }
+        for depth in [2usize, 4] {
+            let (streamed, report) = run(depth);
+            assert_eq!(
+                streamed, seq,
+                "depth {} changed fused output (loss {})",
+                depth, base_cfg.link.loss_rate
+            );
+            // Scheduling counters aside, the reports agree too.
+            assert_eq!(report.metrics.windows, seq_report.metrics.windows);
+            assert_eq!(report.metrics.fixes, seq_report.metrics.fixes);
+            assert_eq!(report.metrics.reports_lost, seq_report.metrics.reports_lost);
+        }
+    }
+}

@@ -1,30 +1,206 @@
-//! Radix-2 fast Fourier transform.
+//! Radix-2 fast Fourier transform with precomputed plans.
 //!
 //! The OFDM modem in `sa-phy` builds 64-subcarrier symbols (the 802.11
 //! 20 MHz grid), so only power-of-two sizes are required. We implement the
 //! standard iterative in-place Cooley–Tukey algorithm with bit-reversal
-//! permutation; the naive `O(n²)` DFT is kept (non-`cfg(test)`, it is also
-//! useful for odd-sized diagnostics) as the reference implementation the
-//! tests compare against.
+//! permutation. An [`FftPlan`] precomputes the per-size setup — the
+//! bit-reversal table and every butterfly's twiddle factor — so the hot
+//! loop is pure multiply-add with no trigonometry; the free [`fft`]/
+//! [`ifft`] functions run on a process-wide plan cache keyed by size, so
+//! every call site gets the planned path without API churn. The naive
+//! `O(n²)` DFT is kept (non-`cfg(test)`, it is also useful for odd-sized
+//! diagnostics) as the reference implementation the tests and the
+//! property suite compare against.
 //!
 //! Convention: `fft` computes `X[k] = Σ_n x[n]·e^{−j2πkn/N}` (no scaling);
 //! `ifft` applies the `1/N` factor so `ifft(fft(x)) == x`.
 
 use crate::complex::{C64, ZERO};
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// In-place forward FFT. Panics unless `x.len()` is a power of two.
-pub fn fft(x: &mut [C64]) {
-    fft_dir(x, -1.0);
+/// A precomputed radix-2 FFT of one size: bit-reversal permutation table
+/// plus per-stage twiddle factors for both directions. Building a plan
+/// costs one pass of trigonometry; running it is pure arithmetic. Plans
+/// are immutable and shareable (`Arc`) across threads; get a cached one
+/// from [`plan_for`], or build an owned one with [`FftPlan::new`].
+///
+/// ```
+/// use sa_linalg::complex::c64;
+/// use sa_linalg::fft::{plan_for, dft_naive};
+///
+/// let plan = plan_for(8);
+/// let x: Vec<_> = (0..8).map(|i| c64(i as f64, 0.0)).collect();
+/// let mut y = x.clone();
+/// plan.fft(&mut y);
+/// let slow = dft_naive(&x);
+/// assert!(y.iter().zip(&slow).all(|(a, b)| a.approx_eq(*b, 1e-9)));
+/// ```
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `bitrev[i]` = bit-reversed index of `i` (swap targets).
+    bitrev: Vec<u32>,
+    /// Forward twiddles, packed per stage: for `len = 2, 4, …, n` the
+    /// stage's `len/2` roots `e^{−j2πk/len}` — `n − 1` entries total.
+    tw_fwd: Vec<C64>,
+    /// Inverse twiddles (the conjugates), same layout.
+    tw_inv: Vec<C64>,
 }
 
-/// In-place inverse FFT (includes the `1/N` normalisation).
-pub fn ifft(x: &mut [C64]) {
-    fft_dir(x, 1.0);
-    let n = x.len() as f64;
-    for z in x.iter_mut() {
-        *z = z.scale(1.0 / n);
+impl FftPlan {
+    /// Build a plan for transforms of length `n`. Panics unless `n` is a
+    /// power of two (`n == 1` is the trivial identity plan).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "fft: length {} is not a power of two",
+            n
+        );
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| ((i.reverse_bits() >> (usize::BITS - bits.max(1))) & (n - 1)) as u32)
+            .collect();
+        let mut tw_fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let ang = -2.0 * PI / len as f64;
+            for k in 0..len / 2 {
+                tw_fwd.push(C64::cis(ang * k as f64));
+            }
+            len <<= 1;
+        }
+        let tw_inv = tw_fwd.iter().map(|w| w.conj()).collect();
+        Self {
+            n,
+            bitrev,
+            tw_fwd,
+            tw_inv,
+        }
     }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — a plan's length is at least 1 (this exists only to
+    /// pair with [`FftPlan::len`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT. Panics if `x.len()` differs from the plan's.
+    pub fn fft(&self, x: &mut [C64]) {
+        self.run(x, false);
+    }
+
+    /// In-place inverse FFT (includes the `1/N` normalisation). Panics
+    /// if `x.len()` differs from the plan's.
+    pub fn ifft(&self, x: &mut [C64]) {
+        self.run(x, true);
+        let inv = 1.0 / self.n as f64;
+        for z in x.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+
+    /// Out-of-place convenience wrapper over [`FftPlan::fft`].
+    pub fn fft_owned(&self, x: &[C64]) -> Vec<C64> {
+        let mut y = x.to_vec();
+        self.fft(&mut y);
+        y
+    }
+
+    /// Out-of-place convenience wrapper over [`FftPlan::ifft`].
+    pub fn ifft_owned(&self, x: &[C64]) -> Vec<C64> {
+        let mut y = x.to_vec();
+        self.ifft(&mut y);
+        y
+    }
+
+    fn run(&self, x: &mut [C64], inverse: bool) {
+        let n = self.n;
+        assert_eq!(
+            x.len(),
+            n,
+            "fft: buffer length {} for plan of {}",
+            x.len(),
+            n
+        );
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation from the table.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if j > i {
+                x.swap(i, j);
+            }
+        }
+        // Butterflies with precomputed twiddles.
+        let tw = if inverse { &self.tw_inv } else { &self.tw_fwd };
+        let mut len = 2;
+        let mut base = 0;
+        while len <= n {
+            let half = len / 2;
+            let stage = &tw[base..base + half];
+            let mut i = 0;
+            while i < n {
+                for (k, w) in stage.iter().enumerate() {
+                    let u = x[i + k];
+                    let v = x[i + k + half] * *w;
+                    x[i + k] = u + v;
+                    x[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            base += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// The process-wide plan cache behind the free [`fft`]/[`ifft`]
+/// functions: one immutable [`FftPlan`] per size, built on first use and
+/// shared from then on (the modem asks for the 64-point plan once per
+/// packet instead of re-deriving twiddles per symbol).
+pub fn plan_for(n: usize) -> Arc<FftPlan> {
+    assert!(
+        n.is_power_of_two(),
+        "fft: length {} is not a power of two",
+        n
+    );
+    static PLANS: OnceLock<Mutex<Vec<Option<Arc<FftPlan>>>>> = OnceLock::new();
+    let cache = PLANS.get_or_init(|| Mutex::new(Vec::new()));
+    let slot = n.trailing_zeros() as usize;
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if cache.len() <= slot {
+        cache.resize(slot + 1, None);
+    }
+    cache[slot]
+        .get_or_insert_with(|| Arc::new(FftPlan::new(n)))
+        .clone()
+}
+
+/// In-place forward FFT on the cached plan for `x.len()`. Panics unless
+/// `x.len()` is a power of two.
+pub fn fft(x: &mut [C64]) {
+    if x.len() <= 1 {
+        return;
+    }
+    plan_for(x.len()).fft(x);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalisation), on the
+/// cached plan for `x.len()`. Panics unless `x.len()` is a power of two.
+pub fn ifft(x: &mut [C64]) {
+    if x.len() <= 1 {
+        return;
+    }
+    plan_for(x.len()).ifft(x);
 }
 
 /// Out-of-place convenience wrapper over [`fft`].
@@ -39,47 +215,6 @@ pub fn ifft_owned(x: &[C64]) -> Vec<C64> {
     let mut y = x.to_vec();
     ifft(&mut y);
     y
-}
-
-fn fft_dir(x: &mut [C64], sign: f64) {
-    let n = x.len();
-    if n <= 1 {
-        return;
-    }
-    assert!(
-        n.is_power_of_two(),
-        "fft: length {} is not a power of two",
-        n
-    );
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if j > i {
-            x.swap(i, j);
-        }
-    }
-
-    // Butterflies.
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = C64::cis(ang);
-        let mut i = 0;
-        while i < n {
-            let mut w = C64::new(1.0, 0.0);
-            for k in 0..len / 2 {
-                let u = x[i + k];
-                let v = x[i + k + len / 2] * w;
-                x[i + k] = u + v;
-                x[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
 }
 
 /// Naive `O(n²)` DFT, any length. Reference implementation for tests and
@@ -221,6 +356,50 @@ mod tests {
     fn non_power_of_two_panics() {
         let mut x = vec![ZERO; 12];
         fft(&mut x);
+    }
+
+    #[test]
+    fn plan_matches_free_functions_bitwise() {
+        // The free functions run on the cached plan; an owned plan of
+        // the same size must agree exactly.
+        for n in [1usize, 2, 8, 64, 256] {
+            let x: Vec<C64> = (0..n)
+                .map(|i| c64((i as f64 * 0.7).sin(), (i as f64 * 0.2).cos()))
+                .collect();
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.len(), n);
+            assert!(!plan.is_empty());
+            assert_eq!(plan.fft_owned(&x), fft_owned(&x), "fft n={}", n);
+            assert_eq!(plan.ifft_owned(&x), ifft_owned(&x), "ifft n={}", n);
+        }
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_plans() {
+        let a = plan_for(64);
+        let b = plan_for(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(plan_for(128).len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn plan_rejects_wrong_length() {
+        let plan = FftPlan::new(8);
+        let mut x = vec![ZERO; 16];
+        plan.fft(&mut x);
+    }
+
+    #[test]
+    fn plan_matches_naive_dft() {
+        for n in [4usize, 32, 128] {
+            let x: Vec<C64> = (0..n)
+                .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            let fast = FftPlan::new(n).fft_owned(&x);
+            let slow = dft_naive(&x);
+            assert_close(&fast, &slow, 1e-9);
+        }
     }
 
     #[test]

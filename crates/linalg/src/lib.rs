@@ -6,9 +6,11 @@
 //!   samples, Figure 1(b) of the paper);
 //! * [`matrix`] — small dense complex matrices (antenna correlation
 //!   matrices are at most 16×16);
-//! * [`eigen`] — Hermitian eigendecomposition by cyclic complex Jacobi,
-//!   the core of MUSIC's eigenstructure analysis;
-//! * [`fft`] — radix-2 FFT for the OFDM modem;
+//! * [`eigen`] — Hermitian eigendecomposition (Householder tridiagonal +
+//!   implicit-shift QL, with the cyclic Jacobi method kept as reference
+//!   oracle), the core of MUSIC's eigenstructure analysis;
+//! * [`fft`] — radix-2 FFT with precomputed, cached plans for the OFDM
+//!   modem;
 //! * [`bessel`] — integer-order `J_n` for the circular-array phase-mode
 //!   transform;
 //! * [`stats`] — means, percentiles and Student-t confidence intervals
@@ -30,5 +32,6 @@ pub mod matrix;
 pub mod stats;
 
 pub use complex::{c64, C64};
-pub use eigen::{eigh, EigH};
+pub use eigen::{eigh, EigBackend, EigH};
+pub use fft::FftPlan;
 pub use matrix::CMat;

@@ -98,16 +98,38 @@ impl CMat {
         &self.data
     }
 
+    /// Raw mutable row-major data — crate-internal so hot kernels (the
+    /// QL eigenvector rotations) can walk rows as slices without
+    /// per-element index arithmetic.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// Extract row `i` as a `Vec`.
     pub fn row(&self, i: usize) -> Vec<C64> {
         assert!(i < self.rows);
         self.data[i * self.cols..(i + 1) * self.cols].to_vec()
     }
 
-    /// Extract column `j` as a `Vec`.
+    /// Extract column `j` as a `Vec`. Allocates; hot paths should
+    /// prefer the borrowed [`CMat::col_view`].
     pub fn col(&self, j: usize) -> Vec<C64> {
         assert!(j < self.cols);
         (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Borrowed view of column `j` — a strided window into the row-major
+    /// storage, no allocation. This is the hot-path way to walk a matrix
+    /// column (MUSIC's noise projector reads eigenvector columns per
+    /// scan-grid point; cloning them per packet dominated that loop).
+    pub fn col_view(&self, j: usize) -> ColView<'_> {
+        assert!(j < self.cols);
+        ColView {
+            data: &self.data[j..],
+            stride: self.cols.max(1),
+            len: self.rows,
+        }
     }
 
     /// Conjugate (Hermitian) transpose, `A^H`.
@@ -195,14 +217,33 @@ impl CMat {
         }
     }
 
+    /// Reshape in place to a copy of `src`, reusing the existing
+    /// allocation (see [`CMat::reset_zero`]). The buffer-recycling
+    /// sibling of `Clone::clone`.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self * rhs`. Panics on dimension mismatch.
     pub fn matmul(&self, rhs: &Self) -> Self {
+        let mut out = Self::default();
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`CMat::matmul`] written into a caller-provided matrix, reusing
+    /// its allocation (identical results — same accumulation order).
+    /// Panics on dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Self, out: &mut Self) {
         assert_eq!(
             self.cols, rhs.rows,
             "CMat::matmul: inner dimensions {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Self::zeros(self.rows, rhs.cols);
+        out.reset_zero(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
@@ -214,7 +255,6 @@ impl CMat {
                 }
             }
         }
-        out
     }
 
     /// Matrix–vector product `self * v`.
@@ -384,10 +424,70 @@ impl fmt::Display for CMat {
     }
 }
 
+/// Borrowed view of one matrix column: a strided window into the
+/// row-major storage of a [`CMat`]. Created by [`CMat::col_view`];
+/// element `i` is the column's row-`i` entry.
+#[derive(Debug, Clone, Copy)]
+pub struct ColView<'a> {
+    data: &'a [C64],
+    stride: usize,
+    len: usize,
+}
+
+impl ColView<'_> {
+    /// Number of elements (the matrix's row count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a column of a zero-row matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the column's elements top to bottom.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = C64> + '_ {
+        self.data
+            .iter()
+            .step_by(self.stride)
+            .take(self.len)
+            .copied()
+    }
+
+    /// Materialise the column as a `Vec` (same result as [`CMat::col`]).
+    pub fn to_vec(&self) -> Vec<C64> {
+        self.iter().collect()
+    }
+}
+
+impl Index<usize> for ColView<'_> {
+    type Output = C64;
+    #[inline]
+    fn index(&self, i: usize) -> &C64 {
+        debug_assert!(i < self.len);
+        &self.data[i * self.stride]
+    }
+}
+
 /// Inner product with conjugation on the first argument: `u^H v`.
 pub fn vdot(u: &[C64], v: &[C64]) -> C64 {
     assert_eq!(u.len(), v.len(), "vdot: length mismatch");
     u.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum()
+}
+
+/// [`vdot`] with a borrowed matrix column as the (conjugated) first
+/// argument: `col^H v`, allocation-free. The MUSIC noise-projector
+/// inner loop (`|e_k^H a(θ)|²` per grid point) runs on this.
+pub fn vdot_col(u: ColView<'_>, v: &[C64]) -> C64 {
+    assert_eq!(u.len(), v.len(), "vdot_col: length mismatch");
+    let mut acc = ZERO;
+    for (i, b) in v.iter().enumerate() {
+        acc += u[i].conj() * *b;
+    }
+    acc
 }
 
 /// Euclidean norm of a complex vector.

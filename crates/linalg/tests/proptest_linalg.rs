@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use sa_linalg::complex::{c64, C64};
-use sa_linalg::eigen::{eigh, hermitian_inverse};
-use sa_linalg::fft::{dft_naive, fft_owned, ifft_owned};
+use sa_linalg::eigen::{eigh, eigh_jacobi, hermitian_inverse};
+use sa_linalg::fft::{dft_naive, fft_owned, ifft_owned, FftPlan};
 use sa_linalg::matrix::{vdot, vnorm};
 use sa_linalg::stats;
 use sa_linalg::CMat;
@@ -17,6 +17,15 @@ fn hermitian(n: usize) -> impl Strategy<Value = CMat> {
     proptest::collection::vec(finite_c64(), n * n).prop_map(move |v| {
         let g = CMat::from_rows(n, n, &v);
         &g + &g.hermitian()
+    })
+}
+
+/// Random Hermitian PSD matrix (`G·G^H`, normalised) of size `n` —
+/// the shape of every covariance the estimator hands the eigensolver.
+fn hermitian_psd(n: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec(finite_c64(), n * n).prop_map(move |v| {
+        let g = CMat::from_rows(n, n, &v);
+        g.matmul(&g.hermitian()).scale(1.0 / n as f64)
     })
 }
 
@@ -99,6 +108,49 @@ proptest! {
         prop_assert!(a.matmul(&inv).approx_eq(&CMat::identity(4), 1e-6));
     }
 
+    // The PR-5 oracle pin: the tridiagonal production solver against
+    // the cyclic Jacobi reference, on random Hermitian PSD input at
+    // every size the antenna arrays produce (M ∈ 2..=16).
+    #[test]
+    fn tridiagonal_eigh_matches_jacobi_oracle(
+        a in (2usize..=16).prop_flat_map(hermitian_psd)
+    ) {
+        let n = a.rows();
+        let fast = eigh(&a);
+        let oracle = eigh_jacobi(&a);
+        let scale = oracle.values[n - 1].abs().max(1.0);
+
+        // Eigenvalues agree to 1e-10 relative.
+        for k in 0..n {
+            prop_assert!(
+                (fast.values[k] - oracle.values[k]).abs() <= 1e-10 * scale,
+                "λ[{}]: {} vs {} (scale {})", k, fast.values[k], oracle.values[k], scale
+            );
+        }
+
+        // Subspaces agree up to phase (and up to rotation inside
+        // near-degenerate clusters): compare the projectors of each
+        // eigenvalue cluster, which are phase- and basis-free.
+        let mut start = 0usize;
+        for k in 1..=n {
+            let boundary = k == n || (oracle.values[k] - oracle.values[k - 1]).abs() > 1e-6 * scale;
+            if !boundary {
+                continue;
+            }
+            let mut p_fast = CMat::zeros(n, n);
+            let mut p_oracle = CMat::zeros(n, n);
+            for c in start..k {
+                p_fast = &p_fast + &CMat::outer(&fast.vector(c), &fast.vector(c));
+                p_oracle = &p_oracle + &CMat::outer(&oracle.vector(c), &oracle.vector(c));
+            }
+            prop_assert!(
+                p_fast.approx_eq(&p_oracle, 1e-6),
+                "cluster {}..{} projectors diverge (n = {})", start, k, n
+            );
+            start = k;
+        }
+    }
+
     // ---------------- FFT ----------------
 
     #[test]
@@ -116,6 +168,33 @@ proptest! {
         for (x, y) in fast.iter().zip(&slow) {
             prop_assert!(x.approx_eq(*y, 1e-6 * vnorm(&v).max(1.0)));
         }
+    }
+
+    // The PR-5 plan pin: a precomputed FftPlan against the naive DFT
+    // at every power-of-two size the modem could ask for, both
+    // directions, and bit-identical to the cached free functions.
+    #[test]
+    fn fft_plan_matches_naive_dft(
+        (v, _) in (0usize..=8).prop_flat_map(|log_n| {
+            let n = 1usize << log_n;
+            (proptest::collection::vec(finite_c64(), n), Just(n))
+        })
+    ) {
+        let plan = FftPlan::new(v.len());
+        let fast = plan.fft_owned(&v);
+        let slow = dft_naive(&v);
+        let tol = 1e-6 * vnorm(&v).max(1.0);
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!(x.approx_eq(*y, tol), "{} vs {}", x, y);
+        }
+        // Round trip through the same plan.
+        let back = plan.ifft_owned(&fast);
+        for (x, y) in v.iter().zip(&back) {
+            prop_assert!(x.approx_eq(*y, tol));
+        }
+        // The free functions run on the cached plan of the same size —
+        // identical to the last bit.
+        prop_assert_eq!(fft_owned(&v), fast);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 
 use crate::modulation::{bits_to_bytes, bytes_to_bits, Modulation};
 use crate::params::{carrier_to_bin, data_carriers, N_CP, N_FFT, PILOT_CARRIERS, SYMBOL_LEN};
-use crate::preamble::{ltf_symbol_freq, preamble_time, PREAMBLE_LEN, SC_HALF_LEN};
+use crate::preamble::{
+    ltf_symbol_freq, preamble_time, preamble_time_ref, PREAMBLE_LEN, SC_HALF_LEN,
+};
 use sa_linalg::complex::{C64, ZERO};
-use sa_linalg::fft::{fft_owned, ifft_owned};
+use sa_linalg::fft::plan_for;
 use sa_sigproc::schmidl_cox::SchmidlCox;
 
 /// Errors the receiver can report.
@@ -108,17 +110,24 @@ impl Transmitter {
             .modulation
             .map(&vec![0u8; self.modulation.bits_per_symbol()]);
         let scale = crate::preamble::time_scale();
+        // One cached FFT plan and one symbol buffer for the whole
+        // packet: the per-symbol loop is IFFT + copies, no allocation.
+        let plan = plan_for(N_FFT);
+        let mut sym = vec![ZERO; N_FFT];
         for s in 0..n_sym {
-            let mut freq = vec![ZERO; N_FFT];
+            sym.fill(ZERO);
             for (p, &k) in PILOT_CARRIERS.iter().enumerate() {
-                freq[carrier_to_bin(k)] = pilot_value(p, s);
+                sym[carrier_to_bin(k)] = pilot_value(p, s);
             }
             for &k in &carriers {
-                freq[carrier_to_bin(k)] = it.next().unwrap_or(pad);
+                sym[carrier_to_bin(k)] = it.next().unwrap_or(pad);
             }
-            let t: Vec<C64> = ifft_owned(&freq).iter().map(|z| z.scale(scale)).collect();
-            out.extend_from_slice(&t[N_FFT - N_CP..]); // CP
-            out.extend_from_slice(&t);
+            plan.ifft(&mut sym);
+            for z in sym.iter_mut() {
+                *z = z.scale(scale);
+            }
+            out.extend_from_slice(&sym[N_FFT - N_CP..]); // CP
+            out.extend_from_slice(&sym);
         }
         out
     }
@@ -173,7 +182,7 @@ impl Receiver {
         // Fine timing: matched filter against the known preamble around
         // the coarse estimate (S&C points at the start of the two
         // identical halves, i.e. one CP after the true preamble start).
-        let pre = preamble_time();
+        let pre = preamble_time_ref();
         let coarse = det.start.saturating_sub(N_CP);
         let lo = coarse.saturating_sub(N_CP);
         let hi = (coarse + N_CP).min(rx.len().saturating_sub(pre.len()));
@@ -195,12 +204,14 @@ impl Receiver {
         }
         let start = best.0;
 
-        // Channel estimate from the LTF symbol.
+        // Channel estimate from the LTF symbol. One cached FFT plan
+        // serves the LTF and every data symbol of this packet.
+        let plan = plan_for(N_FFT);
         let ltf_start = start + crate::preamble::LTF_SYMBOL_OFFSET;
         if ltf_start + N_FFT > rx.len() {
             return Err(PhyError::TooShort);
         }
-        let y = fft_owned(&rx[ltf_start..ltf_start + N_FFT]);
+        let y = plan.fft_owned(&rx[ltf_start..ltf_start + N_FFT]);
         let x = ltf_symbol_freq();
         let mut h = vec![ZERO; N_FFT];
         for bin in 0..N_FFT {
@@ -217,6 +228,7 @@ impl Receiver {
         let mut evm_num = 0.0f64;
         let mut evm_den = 0.0f64;
         let mut s = 0usize;
+        let mut yf = vec![ZERO; N_FFT];
         loop {
             if let Some(nb) = needed_bytes {
                 if bits.len() >= nb * 8 {
@@ -227,7 +239,8 @@ impl Receiver {
             if sym_start + N_FFT > rx.len() {
                 return Err(PhyError::TooShort);
             }
-            let yf = fft_owned(&rx[sym_start..sym_start + N_FFT]);
+            yf.copy_from_slice(&rx[sym_start..sym_start + N_FFT]);
+            plan.fft(&mut yf);
             // Equalise, then pilot common-phase correction (residual CFO
             // accumulates a per-symbol rotation).
             let mut rot_acc = ZERO;

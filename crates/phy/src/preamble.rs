@@ -57,16 +57,28 @@ pub fn time_scale() -> f64 {
 }
 
 /// Time-domain preamble: CP + S&C symbol, then CP + LTF symbol.
-/// Length = 2 × (16 + 64) = 160 samples.
+/// Length = 2 × (16 + 64) = 160 samples. Allocates a fresh copy; the
+/// receiver's matched filter runs on [`preamble_time_ref`] instead.
 pub fn preamble_time() -> Vec<C64> {
-    let scale = time_scale();
-    let mut out = Vec::with_capacity(2 * (N_CP + N_FFT));
-    for freq in [sc_symbol_freq(), ltf_symbol_freq()] {
-        let t: Vec<C64> = ifft_owned(&freq).iter().map(|z| z.scale(scale)).collect();
-        out.extend_from_slice(&t[N_FFT - N_CP..]);
-        out.extend_from_slice(&t);
-    }
-    out
+    preamble_time_ref().to_vec()
+}
+
+/// The cached time-domain preamble — it is a pure constant, but the
+/// receiver used to rebuild it (two IFFTs plus allocations) for every
+/// decoded packet, which is pure per-packet overhead at deployment
+/// scale.
+pub fn preamble_time_ref() -> &'static [C64] {
+    static CACHE: std::sync::OnceLock<Vec<C64>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        let scale = time_scale();
+        let mut out = Vec::with_capacity(2 * (N_CP + N_FFT));
+        for freq in [sc_symbol_freq(), ltf_symbol_freq()] {
+            let t: Vec<C64> = ifft_owned(&freq).iter().map(|z| z.scale(scale)).collect();
+            out.extend_from_slice(&t[N_FFT - N_CP..]);
+            out.extend_from_slice(&t);
+        }
+        out
+    })
 }
 
 /// Offset of the start of the S&C symbol's two identical halves within

@@ -41,11 +41,22 @@ pub fn sample_covariance(x: &Snapshots) -> CMat {
 /// its allocation — the batched AP pipeline computes one covariance per
 /// packet into the same buffer. Panics if `x` has no snapshots.
 pub fn sample_covariance_into(x: &Snapshots, out: &mut CMat) {
+    sample_covariance_strided_into(x, 1, out);
+}
+
+/// [`sample_covariance_into`] over every `stride`-th snapshot column
+/// (`t = 0, stride, 2·stride, …`) — the decimated covariance the
+/// snapshot-capped deployment path runs on, fused so the strided
+/// snapshot set is never materialised as its own matrix. `stride == 1`
+/// is exactly [`sample_covariance_into`] (same accumulation order,
+/// bit-identical). Panics if `x` has no snapshots or `stride == 0`.
+pub fn sample_covariance_strided_into(x: &Snapshots, stride: usize, out: &mut CMat) {
     let m = x.rows();
-    let n = x.cols();
+    assert!(stride > 0, "sample_covariance: zero stride");
+    let n = x.cols().div_ceil(stride);
     assert!(n > 0, "sample_covariance: no snapshots");
     out.reset_zero(m, m);
-    for t in 0..n {
+    for t in (0..x.cols()).step_by(stride) {
         // rank-1 update r += x_t x_t^H (unrolled to avoid building columns)
         for i in 0..m {
             let xi = x[(i, t)];
@@ -55,6 +66,95 @@ pub fn sample_covariance_into(x: &Snapshots, out: &mut CMat) {
         }
     }
     out.scale_mut(1.0 / n as f64);
+}
+
+/// Streaming sample-covariance builder: accumulate `R·N = Σ x_t·x_t^H`
+/// one rank-1 update at a time as snapshots arrive, instead of holding
+/// the whole snapshot matrix and traversing it afterwards. Feeding the
+/// same snapshots in the same order reproduces
+/// [`sample_covariance_into`] bit for bit (identical accumulation
+/// order); the win is that no `M × N` snapshot matrix is ever built for
+/// sources that deliver samples incrementally.
+///
+/// ```
+/// use sa_linalg::{c64, CMat};
+/// use sa_sigproc::covariance::{sample_covariance, CovAccumulator};
+///
+/// let x = CMat::from_fn(4, 32, |i, t| c64((i + t) as f64, i as f64));
+/// let mut acc = CovAccumulator::new(4);
+/// for t in 0..x.cols() {
+///     acc.push_col(&x, t);
+/// }
+/// let mut r = CMat::default();
+/// acc.covariance_into(&mut r);
+/// assert_eq!(r, sample_covariance(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CovAccumulator {
+    /// Unscaled accumulator `Σ x_t·x_t^H`.
+    acc: CMat,
+    count: usize,
+}
+
+impl CovAccumulator {
+    /// A zeroed accumulator for `m`-element snapshots.
+    pub fn new(m: usize) -> Self {
+        Self {
+            acc: CMat::zeros(m, m),
+            count: 0,
+        }
+    }
+
+    /// Re-zero for `m`-element snapshots, reusing the allocation.
+    pub fn reset(&mut self, m: usize) {
+        self.acc.reset_zero(m, m);
+        self.count = 0;
+    }
+
+    /// Snapshot dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.acc.rows()
+    }
+
+    /// Number of snapshots accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Rank-1 update with one snapshot vector. Panics on a dimension
+    /// mismatch.
+    pub fn push(&mut self, snapshot: &[C64]) {
+        let m = self.acc.rows();
+        assert_eq!(snapshot.len(), m, "CovAccumulator: snapshot dimension");
+        for (i, &xi) in snapshot.iter().enumerate() {
+            for (j, &xj) in snapshot.iter().enumerate() {
+                self.acc[(i, j)] += xi * xj.conj();
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Rank-1 update with column `t` of a snapshot matrix — no
+    /// intermediate column vector is built.
+    pub fn push_col(&mut self, x: &Snapshots, t: usize) {
+        let m = self.acc.rows();
+        assert_eq!(x.rows(), m, "CovAccumulator: snapshot dimension");
+        for i in 0..m {
+            let xi = x[(i, t)];
+            for j in 0..m {
+                self.acc[(i, j)] += xi * x[(j, t)].conj();
+            }
+        }
+        self.count += 1;
+    }
+
+    /// The covariance of everything accumulated, written into `out`
+    /// (allocation reused). Panics if no snapshots were pushed.
+    pub fn covariance_into(&self, out: &mut CMat) {
+        assert!(self.count > 0, "sample_covariance: no snapshots");
+        out.copy_from(&self.acc);
+        out.scale_mut(1.0 / self.count as f64);
+    }
 }
 
 /// The exchange (anti-identity) matrix `J` of size `n`.
@@ -75,11 +175,21 @@ pub fn exchange_matrix(n: usize) -> CMat {
 /// coherent paths (doubles the effective source rank, up to the manifold
 /// limit).
 pub fn forward_backward(r: &CMat) -> CMat {
+    let mut out = CMat::default();
+    forward_backward_into(r, &mut out);
+    out
+}
+
+/// [`forward_backward`] written into a caller-provided matrix, reusing
+/// its allocation and skipping the intermediate reflected matrix
+/// (identical results: same per-element operations).
+pub fn forward_backward_into(r: &CMat, out: &mut CMat) {
     assert!(r.is_square(), "forward_backward: square matrix required");
     let n = r.rows();
     // (J·R*·J)[i, j] = conj(R[n−1−i, n−1−j])
-    let refl = CMat::from_fn(n, n, |i, j| r[(n - 1 - i, n - 1 - j)].conj());
-    (r + &refl).scale(0.5)
+    out.reset_from_fn(n, n, |i, j| {
+        (r[(i, j)] + r[(n - 1 - i, n - 1 - j)].conj()).scale(0.5)
+    });
 }
 
 /// Spatial smoothing: average the `K = M − L + 1` covariances of
@@ -111,7 +221,45 @@ pub fn spatial_smooth(r: &CMat, sub_len: usize) -> CMat {
 /// Forward–backward averaging followed by spatial smoothing — the default
 /// decorrelation pipeline for linear (and virtual-linear) arrays.
 pub fn smooth_fb(r: &CMat, sub_len: usize) -> CMat {
-    spatial_smooth(&forward_backward(r), sub_len)
+    let mut out = CMat::default();
+    smooth_fb_into(r, sub_len, &mut out);
+    out
+}
+
+/// [`smooth_fb`] fused into one traversal and written into a
+/// caller-provided matrix: the forward–backward average and the subarray
+/// sum are combined per element, so neither the FB matrix nor any
+/// per-subarray intermediate is ever materialised. Bit-identical to
+/// `spatial_smooth(&forward_backward(r), sub_len)` — the `×0.5` scaling
+/// is exact and the accumulation order is unchanged — which the
+/// `smoothing_fused_matches_two_pass` test pins. Panics on the same
+/// conditions as the two-pass pipeline.
+pub fn smooth_fb_into(r: &CMat, sub_len: usize, out: &mut CMat) {
+    assert!(r.is_square(), "forward_backward: square matrix required");
+    let m = r.rows();
+    assert!(
+        sub_len >= 1 && sub_len <= m,
+        "spatial_smooth: sub_len {} out of range for {} antennas",
+        sub_len,
+        m
+    );
+    let k = m - sub_len + 1;
+    out.reset_zero(sub_len, sub_len);
+    for s in 0..k {
+        for i in 0..sub_len {
+            for j in 0..sub_len {
+                // FB element (s+i, s+j), scaled at the end (×0.5 is
+                // exact, so hoisting it out of the sum is bit-safe).
+                out[(i, j)] += r[(s + i, s + j)] + r[(m - 1 - s - i, m - 1 - s - j)].conj();
+            }
+        }
+    }
+    let inv_k = 1.0 / k as f64;
+    for i in 0..sub_len {
+        for j in 0..sub_len {
+            out[(i, j)] = out[(i, j)].scale(0.5).scale(inv_k);
+        }
+    }
 }
 
 /// Effective numerical rank: number of eigenvalues above
@@ -272,6 +420,74 @@ mod tests {
     fn smoothing_rejects_oversized_subarray() {
         let r = CMat::identity(4);
         let _ = spatial_smooth(&r, 5);
+    }
+
+    #[test]
+    fn smoothing_fused_matches_two_pass() {
+        // The fused single-traversal smooth_fb_into must be bit-identical
+        // to the textbook two-pass pipeline it replaced.
+        let m = 8;
+        let x = CMat::from_fn(m, 200, |i, t| {
+            c64(((3 * i + 2 * t) as f64).sin(), ((i * t) as f64 * 0.7).cos())
+        });
+        let r = sample_covariance(&x);
+        for sub in 1..=m {
+            let two_pass = spatial_smooth(&forward_backward(&r), sub);
+            let fused = smooth_fb(&r, sub);
+            assert_eq!(fused, two_pass, "sub_len {}", sub);
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_batch_covariance_bitwise() {
+        let m = 6;
+        let x = CMat::from_fn(m, 77, |i, t| {
+            c64(((i + 5 * t) as f64).cos(), ((2 * i + t) as f64).sin())
+        });
+        let mut acc = CovAccumulator::new(m);
+        assert_eq!(acc.dim(), m);
+        for t in 0..x.cols() {
+            if t % 2 == 0 {
+                acc.push_col(&x, t);
+            } else {
+                acc.push(&x.col(t));
+            }
+        }
+        assert_eq!(acc.count(), 77);
+        let mut r = CMat::default();
+        acc.covariance_into(&mut r);
+        assert_eq!(r, sample_covariance(&x));
+        // Reset and reuse at another size.
+        acc.reset(3);
+        assert_eq!(acc.count(), 0);
+        acc.push(&[c64(1.0, 0.0), c64(0.0, 1.0), c64(2.0, -1.0)]);
+        let mut r3 = CMat::default();
+        acc.covariance_into(&mut r3);
+        assert_eq!(r3.rows(), 3);
+        assert!((r3[(0, 0)].re - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn strided_covariance_matches_decimated_matrix() {
+        let m = 5;
+        let x = CMat::from_fn(m, 103, |i, t| {
+            c64((i * t) as f64 * 0.01, (i + t) as f64 * 0.02)
+        });
+        for stride in [1usize, 2, 3, 7, 50, 200] {
+            let n = x.cols().div_ceil(stride);
+            let decim = CMat::from_fn(m, n, |i, t| x[(i, t * stride)]);
+            let mut fused = CMat::default();
+            sample_covariance_strided_into(&x, stride, &mut fused);
+            assert_eq!(fused, sample_covariance(&decim), "stride {}", stride);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn accumulator_rejects_empty_finalize() {
+        let acc = CovAccumulator::new(4);
+        let mut out = CMat::default();
+        acc.covariance_into(&mut out);
     }
 
     #[test]

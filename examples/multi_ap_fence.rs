@@ -11,16 +11,19 @@
 //!
 //! ```text
 //! cargo run --release --example multi_ap_fence [-- --aps 4 --windows 3 --seed 2010 --smoke]
-//!     [--loss 0.1] [--retries 3] [--skew 2] [--churn]
+//!     [--loss 0.1] [--retries 3] [--skew 2] [--churn] [--stream 2]
 //! ```
 //!
 //! Degraded-mode knobs: `--loss R` runs the worker report links at drop
 //! probability `R` per attempt with `--retries` retransmits; `--skew W`
 //! gives every AP a deterministic clock offset of up to ±`W` windows
 //! (tolerance grows to match); `--churn` removes the last AP before the
-//! attack window, exercising mid-run membership change. `--smoke`
-//! asserts the headline claims (used by CI, with and without the
-//! degraded knobs) and exits non-zero on failure.
+//! attack window, exercising mid-run membership change. `--stream D`
+//! runs the steady-state windows through `Deployment::run_stream` with
+//! `windows_in_flight = D` (coordinator decode overlaps worker DSP;
+//! byte-identical output at any depth). `--smoke` asserts the headline
+//! claims (used by CI, with and without the degraded knobs) and exits
+//! non-zero on failure.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -47,6 +50,7 @@ fn main() {
     let retries: u32 = arg("--retries").and_then(|s| s.parse().ok()).unwrap_or(3);
     let skew: i64 = arg("--skew").and_then(|s| s.parse().ok()).unwrap_or(0);
     let churn = flag("--churn");
+    let stream: usize = arg("--stream").and_then(|s| s.parse().ok()).unwrap_or(0);
     let smoke = flag("--smoke");
     let victim = 5usize;
 
@@ -156,6 +160,7 @@ fn main() {
             seed: seed ^ 0x105e,
         },
         max_skew_windows: skew.unsigned_abs().max(2),
+        windows_in_flight: stream.max(1),
         ..DeployConfig::default()
     };
     let aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
@@ -173,8 +178,19 @@ fn main() {
         Deployment::new(aps, cfg)
     };
     let mut fused = Vec::new();
-    for w in windows {
-        deployment.submit_window(w).expect("submit window");
+    if stream > 0 {
+        // Bounded pipelining: at most `stream` windows in flight, the
+        // coordinator decoding ahead while workers chew. Same fused
+        // bytes as the submit-all path below.
+        fused.extend(
+            deployment
+                .run_stream(windows)
+                .expect("streamed steady-state windows"),
+        );
+    } else {
+        for w in windows {
+            deployment.submit_window(w).expect("submit window");
+        }
     }
     if churn {
         // Close the steady-state windows, then pull the last AP before
