@@ -1,4 +1,4 @@
-//! A sharded per-client state store keyed by MAC address.
+//! A sharded, multi-writer per-client state store keyed by MAC address.
 //!
 //! The spoof detector keeps one trained [`SignatureTracker`] per client
 //! (`crate::spoof`). A single flat `HashMap` serialises every lookup
@@ -7,14 +7,26 @@
 //! enforcement checks and profile training hit the store on every frame.
 //! [`ShardedSignatureStore`] splits the map into a fixed number of
 //! shards selected by an FNV-1a hash of the six address bytes, so
-//! per-client state spreads evenly and each shard stays small. The shard
-//! count is fixed at construction: a `MacAddr` always maps to the same
-//! shard, and the layout is ready for a shard-per-lock (or
-//! shard-per-thread) split when the pipeline goes concurrent.
+//! per-client state spreads evenly and each shard stays small.
+//!
+//! Every shard sits behind its own `Mutex`, so all mutating operations
+//! take `&self`: many enforcement threads can insert, check and flag
+//! concurrently, contending only when their MACs hash to the same
+//! shard. There is no `unsafe` anywhere — the concurrency story is
+//! plain lock-per-shard, and a poisoned lock (a writer panicked
+//! mid-update) is recovered by adopting the inner state: every store
+//! operation leaves the shard consistent at each step, so the state a
+//! panicking thread left behind is still valid.
+//!
+//! The shard count is fixed at construction: a `MacAddr` always maps to
+//! the same shard ([`mac_shard`] is seedless and deterministic), which
+//! keeps shard dumps and tests reproducible across runs and thread
+//! interleavings.
 
-use crate::signature::{AoaSignature, SignatureTracker};
+use crate::signature::{AoaSignature, MatchConfig, SignatureTracker};
 use sa_mac::MacAddr;
 use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
 
 /// Default number of shards — comfortably more than the core count of
 /// the small boxes an AP runs on, while keeping the fixed footprint of
@@ -30,10 +42,12 @@ struct Shard {
 }
 
 /// Sharded client-signature state: MAC → ([`SignatureTracker`], flag
-/// count), spread over a fixed number of hash shards.
+/// count), spread over a fixed number of lock-guarded hash shards.
+/// Mutating operations take `&self`; share the store across threads by
+/// reference (or `Arc`) and write from all of them.
 #[derive(Debug)]
 pub struct ShardedSignatureStore {
-    shards: Vec<Shard>,
+    shards: Vec<Mutex<Shard>>,
 }
 
 /// FNV-1a over the six address bytes. Deterministic (no per-process
@@ -48,6 +62,15 @@ fn fnv1a(mac: &MacAddr) -> u64 {
     h
 }
 
+/// The shard index a MAC maps to in a store (or any other MAC-sharded
+/// structure) with `shards` shards. Seedless and stable across runs;
+/// the deployment's fusion stage uses the same partition so a client's
+/// signature, tracker and consensus state all live on the same shard
+/// index. Panics if `shards == 0`.
+pub fn mac_shard(mac: &MacAddr, shards: usize) -> usize {
+    (fnv1a(mac) % shards as u64) as usize
+}
+
 impl Default for ShardedSignatureStore {
     fn default() -> Self {
         Self::new(DEFAULT_SHARDS)
@@ -59,7 +82,7 @@ impl ShardedSignatureStore {
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "ShardedSignatureStore: shard count must be > 0");
         Self {
-            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
         }
     }
 
@@ -70,41 +93,71 @@ impl ShardedSignatureStore {
 
     /// The shard index a MAC maps to.
     pub fn shard_of(&self, mac: &MacAddr) -> usize {
-        (fnv1a(mac) % self.shards.len() as u64) as usize
+        mac_shard(mac, self.shards.len())
     }
 
-    fn shard(&self, mac: &MacAddr) -> &Shard {
-        &self.shards[self.shard_of(mac)]
+    /// Lock one shard, adopting the state of a poisoned lock (see the
+    /// module docs for why that is sound here).
+    fn lock(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn shard_mut(&mut self, mac: &MacAddr) -> &mut Shard {
-        let idx = self.shard_of(mac);
-        &mut self.shards[idx]
+    fn shard(&self, mac: &MacAddr) -> MutexGuard<'_, Shard> {
+        self.lock(self.shard_of(mac))
     }
 
     /// Install (or replace) the tracker for a MAC, clearing its flags.
-    pub fn insert(&mut self, mac: MacAddr, tracker: SignatureTracker) {
-        let shard = self.shard_mut(&mac);
+    pub fn insert(&self, mac: MacAddr, tracker: SignatureTracker) {
+        let mut shard = self.shard(&mac);
         shard.profiles.insert(mac, tracker);
         shard.flags.remove(&mac);
     }
 
     /// Remove a client's tracker and flags entirely.
-    pub fn remove(&mut self, mac: &MacAddr) -> Option<SignatureTracker> {
-        let shard = self.shard_mut(mac);
+    pub fn remove(&self, mac: &MacAddr) -> Option<SignatureTracker> {
+        let mut shard = self.shard(mac);
         shard.flags.remove(mac);
         shard.profiles.remove(mac)
     }
 
-    /// The tracker for a MAC, if trained.
-    pub fn get(&self, mac: &MacAddr) -> Option<&SignatureTracker> {
-        self.shard(mac).profiles.get(mac)
+    /// A snapshot of the tracked signature for a MAC, if trained.
+    pub fn signature(&self, mac: &MacAddr) -> Option<AoaSignature> {
+        self.shard(mac)
+            .profiles
+            .get(mac)
+            .map(|t| t.signature().clone())
     }
 
-    /// Mutable tracker access (the spoof detector folds matching frames
-    /// into the profile).
-    pub fn get_mut(&mut self, mac: &MacAddr) -> Option<&mut SignatureTracker> {
-        self.shard_mut(mac).profiles.get_mut(mac)
+    /// Compare an observed signature against the tracked profile for a
+    /// MAC and apply the enforcement policy **atomically** (one shard
+    /// lock held across compare and update): a score at or above
+    /// `threshold` folds the observation into the tracker and returns
+    /// `Some((score, true))`; below it increments the MAC's flag
+    /// counter and returns `Some((score, false))`; an untrained MAC
+    /// returns `None` untouched. This is the primitive that makes
+    /// concurrent enforcement lose no updates — two threads checking
+    /// the same MAC serialise on its shard, so every spoof is flagged
+    /// and every matching frame is folded in exactly once.
+    pub fn check_and_track(
+        &self,
+        mac: MacAddr,
+        observed: &AoaSignature,
+        cfg: &MatchConfig,
+        threshold: f64,
+    ) -> Option<(f64, bool)> {
+        let mut guard = self.shard(&mac);
+        let shard: &mut Shard = &mut guard;
+        let tracker = shard.profiles.get_mut(&mac)?;
+        let score = tracker.signature().compare(observed, cfg).score;
+        if score >= threshold {
+            tracker.update(observed);
+            Some((score, true))
+        } else {
+            *shard.flags.entry(mac).or_insert(0) += 1;
+            Some((score, false))
+        }
     }
 
     /// True if a profile exists for the MAC.
@@ -114,12 +167,14 @@ impl ShardedSignatureStore {
 
     /// Total number of trained clients across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.profiles.len()).sum()
+        (0..self.shards.len())
+            .map(|i| self.lock(i).profiles.len())
+            .sum()
     }
 
     /// True if no client is trained.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.profiles.is_empty())
+        (0..self.shards.len()).all(|i| self.lock(i).profiles.is_empty())
     }
 
     /// Number of frames flagged for a MAC so far.
@@ -128,24 +183,31 @@ impl ShardedSignatureStore {
     }
 
     /// Increment a MAC's flag counter and return the new count.
-    pub fn add_flag(&mut self, mac: MacAddr) -> usize {
-        let count = self.shard_mut(&mac).flags.entry(mac).or_insert(0);
+    pub fn add_flag(&self, mac: MacAddr) -> usize {
+        let mut shard = self.shard(&mac);
+        let count = shard.flags.entry(mac).or_insert(0);
         *count += 1;
         *count
     }
 
-    /// Iterate over every trained `(MAC, signature)` pair, shard by
-    /// shard (no cross-shard ordering is guaranteed).
-    pub fn iter(&self) -> impl Iterator<Item = (&MacAddr, &AoaSignature)> {
-        self.shards
-            .iter()
-            .flat_map(|s| s.profiles.iter().map(|(m, t)| (m, t.signature())))
+    /// Visit every trained `(MAC, signature)` pair, shard by shard (no
+    /// cross-shard ordering is guaranteed; each shard's lock is held
+    /// only while its own entries are visited).
+    pub fn for_each(&self, mut f: impl FnMut(&MacAddr, &AoaSignature)) {
+        for i in 0..self.shards.len() {
+            let shard = self.lock(i);
+            for (m, t) in shard.profiles.iter() {
+                f(m, t.signature());
+            }
+        }
     }
 
     /// Per-shard trained-client counts — occupancy diagnostics for
     /// capacity planning (and the examples' shard histogram).
     pub fn shard_occupancy(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.profiles.len()).collect()
+        (0..self.shards.len())
+            .map(|i| self.lock(i).profiles.len())
+            .collect()
     }
 }
 
@@ -173,15 +235,15 @@ mod tests {
 
     #[test]
     fn insert_get_remove_roundtrip() {
-        let mut store = ShardedSignatureStore::default();
+        let store = ShardedSignatureStore::default();
         assert!(store.is_empty());
         store.insert(mac(1), SignatureTracker::new(sig(100.0), 0.2));
         assert!(store.contains(&mac(1)));
         assert_eq!(store.len(), 1);
-        assert!(store.get(&mac(1)).is_some());
+        assert!(store.signature(&mac(1)).is_some());
         assert!(store.remove(&mac(1)).is_some());
         assert!(store.is_empty());
-        assert!(store.get(&mac(1)).is_none());
+        assert!(store.signature(&mac(1)).is_none());
     }
 
     #[test]
@@ -191,6 +253,7 @@ mod tests {
             let s = store.shard_of(&mac(i));
             assert!(s < 8);
             assert_eq!(s, store.shard_of(&mac(i)), "assignment must be stable");
+            assert_eq!(s, mac_shard(&mac(i), 8), "free function must agree");
         }
     }
 
@@ -198,7 +261,7 @@ mod tests {
     fn clients_spread_across_shards() {
         // FNV over sequential locally-administered MACs must not pile
         // everything into one shard.
-        let mut store = ShardedSignatureStore::new(8);
+        let store = ShardedSignatureStore::new(8);
         for i in 0..64 {
             store.insert(mac(i), SignatureTracker::new(sig(i as f64), 0.2));
         }
@@ -211,7 +274,7 @@ mod tests {
 
     #[test]
     fn flags_follow_their_mac() {
-        let mut store = ShardedSignatureStore::default();
+        let store = ShardedSignatureStore::default();
         assert_eq!(store.flag_count(&mac(7)), 0);
         assert_eq!(store.add_flag(mac(7)), 1);
         assert_eq!(store.add_flag(mac(7)), 2);
@@ -223,17 +286,35 @@ mod tests {
     }
 
     #[test]
-    fn iter_visits_every_client_once() {
-        let mut store = ShardedSignatureStore::new(4);
+    fn for_each_visits_every_client_once() {
+        let store = ShardedSignatureStore::new(4);
         for i in 0..20 {
             store.insert(mac(i), SignatureTracker::new(sig(i as f64), 0.2));
         }
-        let mut seen: Vec<u32> = store
-            .iter()
-            .map(|(m, _)| u32::from_be_bytes([m.0[2], m.0[3], m.0[4], m.0[5]]))
-            .collect();
+        let mut seen: Vec<u32> = Vec::new();
+        store.for_each(|m, _| seen.push(u32::from_be_bytes([m.0[2], m.0[3], m.0[4], m.0[5]])));
         seen.sort_unstable();
         assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn check_and_track_is_atomic_per_mac() {
+        let store = ShardedSignatureStore::default();
+        let cfg = MatchConfig::default();
+        assert!(store
+            .check_and_track(mac(3), &sig(90.0), &cfg, 0.4)
+            .is_none());
+        store.insert(mac(3), SignatureTracker::new(sig(90.0), 0.2));
+        let (score, matched) = store
+            .check_and_track(mac(3), &sig(90.0), &cfg, 0.4)
+            .expect("trained");
+        assert!(matched && score > 0.9, "self-match: {score}");
+        assert_eq!(store.flag_count(&mac(3)), 0);
+        let (score, matched) = store
+            .check_and_track(mac(3), &sig(270.0), &cfg, 0.4)
+            .expect("trained");
+        assert!(!matched && score < 0.4, "far miss: {score}");
+        assert_eq!(store.flag_count(&mac(3)), 1);
     }
 
     #[test]

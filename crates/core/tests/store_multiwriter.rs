@@ -1,0 +1,237 @@
+//! Multi-writer stress tests for [`ShardedSignatureStore`]: 16 threads
+//! hammering one shared store through `&self`, with mixed
+//! disjoint-per-thread and deliberately colliding MAC populations.
+//!
+//! What the suite pins down:
+//!
+//! - **Occupancy == unique inserts.** However the threads interleave,
+//!   the store ends up with exactly one tracker per unique MAC and the
+//!   per-shard occupancy histogram sums to that count.
+//! - **No lost updates.** Flag increments on colliding MACs are counted
+//!   under the shard lock, so 16 threads × K flags == 16·K — a plain
+//!   read-modify-write would lose some.
+//! - **Enforcement matches a single-threaded replay.** The concurrent
+//!   workload is built from order-independent operations (exact-match
+//!   frames leave the EWMA tracker unchanged; far spoofs never touch
+//!   it), so every verdict and final counter must equal a sequential
+//!   run of the same per-thread scripts.
+
+use sa_mac::MacAddr;
+use secureangle::signature::{AoaSignature, SignatureTracker};
+use secureangle::spoof::{SpoofConfig, SpoofDetector, SpoofVerdict};
+use secureangle::store::{mac_shard, ShardedSignatureStore};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+const THREADS: usize = 16;
+
+fn sig(center: f64) -> AoaSignature {
+    let angles: Vec<f64> = (0..360).map(|i| i as f64).collect();
+    let values: Vec<f64> = angles
+        .iter()
+        .map(|&a| {
+            let d = sa_aoa::pseudospectrum::angle_diff_deg(a, center, true);
+            (-d * d / 40.0).exp() + 1e-4
+        })
+        .collect();
+    AoaSignature::from_spectrum(&sa_aoa::pseudospectrum::Pseudospectrum::new(
+        angles, values, true,
+    ))
+}
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::local_from_index(i)
+}
+
+/// 16 threads share one store: each inserts 32 MACs of its own, and all
+/// of them flag the same 8 colliding MACs 5 times each. Occupancy must
+/// equal unique inserts and no flag increment may be lost.
+#[test]
+fn sixteen_writers_disjoint_and_colliding() {
+    const PER_THREAD: u32 = 32;
+    const COLLIDING: u32 = 8;
+    const FLAGS_EACH: usize = 5;
+
+    let store = ShardedSignatureStore::default();
+    // The colliding population is trained up front (insert clears
+    // flags, so concurrent re-insert + flag would be racy by design —
+    // that mix is exercised with disjoint MACs below).
+    for c in 0..COLLIDING {
+        store.insert(
+            mac(1_000_000 + c),
+            SignatureTracker::new(sig(c as f64), 0.2),
+        );
+    }
+
+    thread::scope(|s| {
+        for t in 0..THREADS as u32 {
+            let store = &store;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let m = mac(t * PER_THREAD + i);
+                    store.insert(m, SignatureTracker::new(sig(i as f64), 0.2));
+                    // Churn: every 3rd MAC is removed and re-inserted,
+                    // ending present either way.
+                    if i % 3 == 0 {
+                        assert!(store.remove(&m).is_some());
+                        store.insert(m, SignatureTracker::new(sig(i as f64), 0.2));
+                    }
+                }
+                for c in 0..COLLIDING {
+                    for _ in 0..FLAGS_EACH {
+                        store.add_flag(mac(1_000_000 + c));
+                    }
+                }
+            });
+        }
+    });
+
+    let unique = THREADS as u32 * PER_THREAD + COLLIDING;
+    assert_eq!(store.len(), unique as usize, "occupancy == unique inserts");
+    let occ = store.shard_occupancy();
+    assert_eq!(occ.len(), store.shard_count());
+    assert_eq!(occ.iter().sum::<usize>(), unique as usize);
+    for c in 0..COLLIDING {
+        assert_eq!(
+            store.flag_count(&mac(1_000_000 + c)),
+            THREADS * FLAGS_EACH,
+            "no flag increment may be lost"
+        );
+    }
+    // Every thread's MACs are present exactly once, on the shard the
+    // seedless hash says they belong to.
+    let mut visited = 0usize;
+    store.for_each(|m, _| {
+        visited += 1;
+        let _ = mac_shard(m, store.shard_count());
+    });
+    assert_eq!(visited, unique as usize);
+}
+
+/// Concurrent `check_and_track` under contention: all 16 threads check
+/// the SAME trained MAC with an exact-match signature (score 1, tracker
+/// folds in an identical signature — a fixed point, so order cannot
+/// matter) interleaved with far-off spoof signatures (never folded in).
+/// The flag counter must equal the total number of spoof checks.
+#[test]
+fn colliding_checks_lose_no_flags() {
+    const CHECKS: usize = 40;
+    let det = SpoofDetector::new(SpoofConfig::default());
+    let target = mac(42);
+    det.train_shared(target, sig(120.0));
+
+    let spoofs = AtomicUsize::new(0);
+    let matches = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let det = &det;
+            let spoofs = &spoofs;
+            let matches = &matches;
+            s.spawn(move || {
+                for i in 0..CHECKS {
+                    // Alternate (per thread, offset by thread id) between
+                    // the genuine signature and an attacker 140° away.
+                    let attack = (i + t) % 2 == 0;
+                    let observed = if attack { sig(260.0) } else { sig(120.0) };
+                    match det.check_shared(target, &observed) {
+                        SpoofVerdict::Spoof { .. } => {
+                            assert!(attack, "genuine frame misflagged");
+                            spoofs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SpoofVerdict::Match { .. } => {
+                            assert!(!attack, "attacker admitted");
+                            matches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SpoofVerdict::Untrained => panic!("profile vanished"),
+                    }
+                }
+            });
+        }
+    });
+
+    let total = THREADS * CHECKS;
+    let spoofs = spoofs.load(Ordering::Relaxed);
+    assert_eq!(spoofs + matches.load(Ordering::Relaxed), total);
+    assert_eq!(spoofs, total / 2, "half the checks are attacks");
+    assert_eq!(
+        det.flag_count(&target),
+        spoofs,
+        "every spoof check must have landed one flag"
+    );
+    // The tracker only ever absorbed its own signature, so the profile
+    // is still (numerically) the trained one.
+    let profile = det.profile(&target).expect("still trained");
+    assert!(
+        profile
+            .compare(&sig(120.0), &SpoofConfig::default().match_config)
+            .score
+            > 0.99
+    );
+}
+
+/// The concurrent run must be indistinguishable from a single-threaded
+/// replay of the same per-thread scripts: same verdict for every check,
+/// same flag counts, same trained population.
+#[test]
+fn enforcement_matches_single_threaded_replay() {
+    const MACS_PER_THREAD: u32 = 6;
+    const CHECKS_PER_MAC: usize = 10;
+
+    // Deterministic per-thread script over DISJOINT MACs: thread t owns
+    // MACs t*MACS_PER_THREAD..+MACS_PER_THREAD; check i against MAC m
+    // is an attack iff (t + m + i) % 3 == 0.
+    let is_attack = |t: u32, m: u32, i: usize| (t as usize + m as usize + i).is_multiple_of(3);
+    let home = |m: u32| (m % 12) as f64 * 30.0;
+
+    let run = |concurrent: bool| -> (Vec<Vec<SpoofVerdict>>, Vec<usize>) {
+        let det = SpoofDetector::new(SpoofConfig::default());
+        for m in 0..THREADS as u32 * MACS_PER_THREAD {
+            det.train_shared(mac(m), sig(home(m)));
+        }
+        let script = |t: u32, det: &SpoofDetector| -> Vec<SpoofVerdict> {
+            let mut verdicts = Vec::new();
+            for m in t * MACS_PER_THREAD..(t + 1) * MACS_PER_THREAD {
+                for i in 0..CHECKS_PER_MAC {
+                    let observed = if is_attack(t, m, i) {
+                        sig(home(m) + 150.0)
+                    } else {
+                        sig(home(m))
+                    };
+                    verdicts.push(det.check_shared(mac(m), &observed));
+                }
+            }
+            verdicts
+        };
+        let verdicts: Vec<Vec<SpoofVerdict>> = if concurrent {
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..THREADS as u32)
+                    .map(|t| {
+                        let det = &det;
+                        s.spawn(move || script(t, det))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        } else {
+            (0..THREADS as u32).map(|t| script(t, &det)).collect()
+        };
+        let flags: Vec<usize> = (0..THREADS as u32 * MACS_PER_THREAD)
+            .map(|m| det.flag_count(&mac(m)))
+            .collect();
+        (verdicts, flags)
+    };
+
+    let (concurrent_verdicts, concurrent_flags) = run(true);
+    let (replay_verdicts, replay_flags) = run(false);
+    assert_eq!(
+        format!("{:?}", concurrent_verdicts),
+        format!("{:?}", replay_verdicts),
+        "verdict streams must match the single-threaded replay"
+    );
+    assert_eq!(concurrent_flags, replay_flags);
+    let expected_flags: usize = (0..THREADS as u32)
+        .flat_map(|t| (t * MACS_PER_THREAD..(t + 1) * MACS_PER_THREAD).map(move |m| (t, m)))
+        .map(|(t, m)| (0..CHECKS_PER_MAC).filter(|&i| is_attack(t, m, i)).count())
+        .sum();
+    assert_eq!(concurrent_flags.iter().sum::<usize>(), expected_flags);
+}

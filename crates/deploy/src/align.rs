@@ -141,22 +141,85 @@ impl SkewAligner {
         window_label: i64,
         seq_base: Option<u64>,
     ) -> Option<Aligned> {
+        let (skipped, aligned) = self.align_gaps(ap, window_label, seq_base, 0);
+        debug_assert!(skipped.is_empty(), "gap detection is off at max_gap 0");
+        aligned
+    }
+
+    /// [`SkewAligner::align`] with marker-gap detection
+    /// ([`crate::DeployConfig::marker_timeout_windows`]): when the
+    /// label aligns `d` windows *ahead* of the AP's FIFO front with
+    /// `1 ≤ d ≤ max_gap` — and at least `d + 1` windows are outstanding,
+    /// so the label provably names a dispatched window — the `d`
+    /// skipped windows' markers are declared lost. Their global window
+    /// numbers are returned for the coordinator to close without this
+    /// AP, and the report aligns to the `(d+1)`-th record with zero
+    /// deviation. `max_gap = 0` disables detection (every deviation is
+    /// clock skew), which is exactly [`SkewAligner::align`].
+    ///
+    /// Gap detection trusts the learned constant offset: a drifting
+    /// clock is indistinguishable from a marker gap on labels alone,
+    /// which is why the policy is opt-in and documented for constant-
+    /// offset deployments only.
+    pub fn align_gaps(
+        &mut self,
+        ap: usize,
+        window_label: i64,
+        seq_base: Option<u64>,
+        max_gap: u64,
+    ) -> (Vec<u64>, Option<Aligned>) {
         let state = &mut self.aps[ap];
-        let record = state.dispatched.pop_front()?;
+        let Some(front) = state.dispatched.front().copied() else {
+            return (Vec::new(), None);
+        };
         let offset = *state
             .window_offset
-            .get_or_insert(window_label - record.global as i64);
+            .get_or_insert(window_label - front.global as i64);
+        let mut skipped = Vec::new();
+        if max_gap > 0 {
+            let ahead = window_label - (front.global as i64 + offset);
+            if ahead >= 1 && ahead as u64 <= max_gap && state.dispatched.len() > ahead as usize {
+                for _ in 0..ahead {
+                    skipped.push(
+                        state
+                            .dispatched
+                            .pop_front()
+                            .expect("guarded by len() above")
+                            .global,
+                    );
+                }
+            }
+        }
+        let Some(record) = state.dispatched.pop_front() else {
+            return (skipped, None);
+        };
         let deviation = window_label - (record.global as i64 + offset);
         let seq_delta = match (seq_base, record.first_seq) {
             (Some(local), Some(global)) => local as i64 - global as i64,
             _ => 0,
         };
-        Some(Aligned {
-            global: record.global,
-            accepted: deviation.unsigned_abs() <= self.tolerance,
-            deviation,
-            seq_delta,
-        })
+        (
+            skipped,
+            Some(Aligned {
+                global: record.global,
+                accepted: deviation.unsigned_abs() <= self.tolerance,
+                deviation,
+                seq_delta,
+            }),
+        )
+    }
+
+    /// Declare every outstanding dispatch for AP `ap` marker-lost and
+    /// return their global window numbers. The coordinator calls this
+    /// when the worker's final flush arrives (the worker exited, so no
+    /// later marker will ever reveal a tail gap); on a healthy run the
+    /// queue is already empty and this is a no-op.
+    pub fn take_outstanding(&mut self, ap: usize) -> Vec<u64> {
+        self.aps[ap]
+            .dispatched
+            .drain(..)
+            .map(|r| r.global)
+            .collect()
     }
 }
 
@@ -214,6 +277,78 @@ mod tests {
         let mut a = SkewAligner::new(2);
         let ap = a.add_ap();
         assert!(a.align(ap, 0, None).is_none());
+    }
+
+    #[test]
+    fn marker_gap_within_tolerance_skips_and_aligns() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        for w in 0..4 {
+            a.note_dispatch(ap, w, Some(w * 10));
+        }
+        // Window 0's marker arrives (offset learned as 0), then windows
+        // 1 and 2's markers are lost: the next marker is labelled 3.
+        let (skipped, r) = a.align_gaps(ap, 0, Some(0), 2);
+        assert!(skipped.is_empty());
+        assert_eq!(r.unwrap().global, 0);
+        let (skipped, r) = a.align_gaps(ap, 3, Some(33), 2);
+        assert_eq!(skipped, vec![1, 2], "both gapped windows close");
+        let r = r.unwrap();
+        assert_eq!(r.global, 3);
+        assert!(r.accepted);
+        assert_eq!(r.deviation, 0);
+        assert_eq!(r.seq_delta, 3);
+        assert_eq!(a.pending(ap), 0);
+    }
+
+    #[test]
+    fn gap_beyond_tolerance_falls_back_to_skew_rejection() {
+        let mut a = SkewAligner::new(1);
+        let ap = a.add_ap();
+        for w in 0..5 {
+            a.note_dispatch(ap, w, None);
+        }
+        let (_, r) = a.align_gaps(ap, 0, None, 1);
+        assert!(r.unwrap().accepted);
+        // A 3-window jump exceeds max_gap 1: treated as clock skew on
+        // the FIFO front (window 1), which also exceeds the ±1
+        // alignment tolerance → rejected, nothing skipped.
+        let (skipped, r) = a.align_gaps(ap, 4, None, 1);
+        assert!(skipped.is_empty());
+        let r = r.unwrap();
+        assert_eq!(r.global, 1);
+        assert!(!r.accepted);
+        assert_eq!(r.deviation, 3);
+    }
+
+    #[test]
+    fn gap_detection_never_outruns_the_fifo() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        a.note_dispatch(ap, 0, None);
+        a.note_dispatch(ap, 1, None);
+        let (_, r) = a.align_gaps(ap, 0, None, 3);
+        assert!(r.unwrap().accepted);
+        // Label claims 2 windows ahead but only window 1 is
+        // outstanding: a gap would pop past the queue, so it is treated
+        // as skew instead.
+        let (skipped, r) = a.align_gaps(ap, 3, None, 3);
+        assert!(skipped.is_empty());
+        let r = r.unwrap();
+        assert_eq!(r.global, 1);
+        assert_eq!(r.deviation, 2);
+    }
+
+    #[test]
+    fn take_outstanding_drains_the_queue() {
+        let mut a = SkewAligner::new(2);
+        let ap = a.add_ap();
+        for w in 3..6 {
+            a.note_dispatch(ap, w, None);
+        }
+        assert_eq!(a.take_outstanding(ap), vec![3, 4, 5]);
+        assert_eq!(a.pending(ap), 0);
+        assert!(a.take_outstanding(ap).is_empty());
     }
 
     #[test]

@@ -181,6 +181,53 @@ pub struct DeployConfig {
     /// it on for degraded deployments where marginal through-wall
     /// bearings should pull fixes less.
     pub weight_bearings_by_confidence: bool,
+    /// Stage-1 decode pool size. At the default of `1` the coordinator
+    /// decodes reference captures inline, serially — the pre-fleet
+    /// behavior exactly. At `N > 1` a pool of `N` persistent decode
+    /// threads shares the work, keyed by transmission sequence number
+    /// (transmission `seq` goes to shard `seq % N`); the coordinator
+    /// consumes results **in seq order**, so dispatch order, failure
+    /// counting and every downstream byte are identical to the serial
+    /// path. `0` is treated as `1`.
+    pub decode_shards: usize,
+    /// Fusion/tracking/consensus shard count. Per-client state (α–β
+    /// tracker, consensus baseline, flags) is partitioned by the same
+    /// seedless MAC hash as the signature store
+    /// ([`secureangle::store::mac_shard`]); at window close each shard
+    /// drains independently (on scoped threads when `> 1`) and the
+    /// shard outputs merge back into global MAC order. A client's whole
+    /// window is a function of its own reports and its own shard state,
+    /// so fused windows are byte-identical at any shard count (pinned
+    /// by `tests/proptest_fleet.rs`). `0` is treated as `1`.
+    pub fusion_shards: usize,
+    /// Probability that an AP's end-of-window *marker* is lost in `[0,
+    /// 1]`. The marker rides the control path, which earlier releases
+    /// modeled as perfectly reliable even when the bulk report link was
+    /// lossy ([`LinkConfig::loss_rate`]); this knob drops the marker
+    /// itself, so the coordinator never hears that the AP finished the
+    /// window. Requires `marker_timeout_windows ≥ 1` (enforced at
+    /// deployment construction): without gap detection a lost marker
+    /// desynchronises the per-AP FIFO and stalls the window forever.
+    /// Draws come from a dedicated per-AP seeded stream (independent of
+    /// the report-loss stream, so enabling one never shifts the
+    /// other's draws).
+    pub marker_loss_rate: f64,
+    /// Marker gap-detection close policy: when a marker from an AP
+    /// aligns `d` windows *ahead* of the AP's expected FIFO position
+    /// with `1 ≤ d ≤ marker_timeout_windows`, the `d` skipped windows'
+    /// markers are declared lost — those windows close without the AP
+    /// (counted in [`crate::DeployMetrics::markers_lost`] and granted
+    /// the same consensus slack as lost reports) instead of stalling.
+    /// `0` (the default) disables gap detection: every positive
+    /// deviation is treated as clock skew, the pre-fleet behavior
+    /// exactly. Enable only for deployments whose clocks are constant-
+    /// offset (drift and marker gaps are indistinguishable from labels
+    /// alone); detection needs a *later* marker from the gapped AP, so
+    /// run with `windows_in_flight > marker_timeout_windows` (a
+    /// synchronous submit/collect loop never sends the revealing later
+    /// window). The deployment's final flush closes any gap at the tail
+    /// of the run.
+    pub marker_timeout_windows: u64,
 }
 
 impl Default for DeployConfig {
@@ -199,6 +246,10 @@ impl Default for DeployConfig {
             link: LinkConfig::default(),
             weight_bearings_by_confidence: false,
             windows_in_flight: 1,
+            decode_shards: 1,
+            fusion_shards: 1,
+            marker_loss_rate: 0.0,
+            marker_timeout_windows: 0,
         }
     }
 }
@@ -270,6 +321,13 @@ mod tests {
         // Streaming off by default: depth-1 pipelining is the
         // synchronous submit-then-collect behavior exactly.
         assert_eq!(cfg.windows_in_flight, 1);
+        // Fleet knobs off by default: inline serial decode, one fusion
+        // shard, reliable markers, no gap detection — byte-compatible
+        // with the pre-fleet coordinator.
+        assert_eq!(cfg.decode_shards, 1);
+        assert_eq!(cfg.fusion_shards, 1);
+        assert_eq!(cfg.marker_loss_rate, 0.0);
+        assert_eq!(cfg.marker_timeout_windows, 0);
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! The deployment coordinator: N AP worker threads, one shared decode
-//! pass, skew-tolerant window scheduling, AP churn, and the fusion
-//! drain.
+//! The deployment coordinator: N AP worker threads, a sharded stage-1
+//! decode pool, skew-tolerant window scheduling, AP churn, and the
+//! fusion drain.
 //!
 //! Windows close on end-of-window markers (never wall clocks), but the
 //! markers are no longer assumed perfect: workers stamp them with their
 //! own skewed clocks (aligned back by [`crate::align::SkewAligner`]),
 //! their payloads may be lost on the lossy report link (the window
-//! closes anyway, with that AP's bearings missing), and workers may
+//! closes anyway, with that AP's bearings missing), the markers
+//! *themselves* may be lost (a later marker's gap — or the worker's
+//! final flush — reveals it, see
+//! [`crate::DeployConfig::marker_timeout_windows`]), and workers may
 //! join, leave, or die mid-run (a window never waits on an AP that is
-//! no longer live). All of it is deterministic for a seeded run.
+//! no longer live). All of it is deterministic for a seeded run, at
+//! any decode/fusion shard count.
 
 use crate::align::SkewAligner;
 use crate::config::{ApSkew, DeployConfig, DeployError};
@@ -19,10 +23,10 @@ use sa_channel::geom::Point;
 use sa_linalg::CMat;
 use sa_mac::MacAddr;
 use sa_phy::Modulation;
-use secureangle::pipeline::decode_reference;
+use secureangle::pipeline::{decode_reference, DecodedPacket};
 use secureangle::AccessPoint;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -52,6 +56,10 @@ struct WorkerSlot {
     tx: Option<SyncSender<WorkerMsg>>,
     join: Option<JoinHandle<(AccessPoint, ApStats)>>,
     alive: bool,
+    /// An ordered [`WorkerMsg::Shutdown`] is in the worker's queue: the
+    /// thread will exit *normally* once it drains, so the dead-worker
+    /// scan must not reap it as a loss.
+    shutdown_sent: bool,
     /// Run totals captured when the worker left early (removed or
     /// reaped); `None` while running or if the thread panicked.
     final_stats: Option<ApStats>,
@@ -70,6 +78,82 @@ struct WindowBin {
     end_stats: Vec<(usize, ApStats)>,
     lost_reports: usize,
     skew_rejected: usize,
+    /// APs whose end-of-window marker was declared lost (revealed by a
+    /// later marker's gap, or by the worker's final flush). They count
+    /// as reported — the window closes — but contributed nothing.
+    markers_lost: usize,
+}
+
+/// One stage-1 decode job: a transmission's reference capture, keyed
+/// by its in-window sequence number.
+struct DecodeJob {
+    seq: usize,
+    buffer: Arc<CMat>,
+}
+
+/// The stage-1 decode pool: [`crate::DeployConfig::decode_shards`]
+/// persistent threads, jobs routed by sequence number (`seq % shards`)
+/// and the unordered results reassembled by index — so the pooled path
+/// produces byte-identical metrics and dispatches to the serial one.
+/// Threads exit when the pool (and with it every job sender) drops.
+struct DecodePool {
+    job_txs: Vec<Sender<DecodeJob>>,
+    done_rx: Receiver<(usize, Option<Arc<DecodedPacket>>)>,
+    _joins: Vec<JoinHandle<()>>,
+}
+
+impl DecodePool {
+    fn new(shards: usize, modulation: Modulation) -> Self {
+        let (done_tx, done_rx) = channel();
+        let mut job_txs = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = channel::<DecodeJob>();
+            let done = done_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("sa-deploy-decode{}", shard))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let decoded = decode_reference(&job.buffer, modulation).ok().map(Arc::new);
+                        if done.send((job.seq, decoded)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn decode worker");
+            job_txs.push(tx);
+            joins.push(join);
+        }
+        Self {
+            job_txs,
+            done_rx,
+            _joins: joins,
+        }
+    }
+
+    /// Decode one window's reference captures across the pool,
+    /// returning the results indexed by sequence number (`None` = no
+    /// detectable packet). Independent of thread scheduling: fan-out is
+    /// a pure function of `seq`, and gathering is by index.
+    fn decode_window(&self, transmissions: &[Transmission]) -> Vec<Option<Arc<DecodedPacket>>> {
+        let n = self.job_txs.len();
+        for (seq, t) in transmissions.iter().enumerate() {
+            let _ = self.job_txs[seq % n].send(DecodeJob {
+                seq,
+                buffer: t.per_ap[0].clone(),
+            });
+        }
+        let mut out: Vec<Option<Arc<DecodedPacket>>> = vec![None; transmissions.len()];
+        for _ in 0..transmissions.len() {
+            match self.done_rx.recv() {
+                Ok((seq, decoded)) => out[seq] = decoded,
+                // Every decode thread died — the missing entries read
+                // as decode failures rather than wedging the ingest.
+                Err(_) => break,
+            }
+        }
+        out
+    }
 }
 
 /// A running multi-AP deployment (see the crate docs for the data
@@ -113,6 +197,9 @@ pub struct Deployment {
     /// Positions by stable AP id (retired ids keep their entry).
     ap_positions: Vec<Point>,
     slots: Vec<WorkerSlot>,
+    /// Stage-1 decode pool; `None` ⇒ inline serial decode
+    /// (`decode_shards <= 1`).
+    decode_pool: Option<DecodePool>,
     up_tx: SyncSender<WindowDone>,
     up_rx: Receiver<WindowDone>,
     fusion: Fusion,
@@ -146,8 +233,15 @@ impl Deployment {
             aps.iter().all(|ap| ap.config().modulation == modulation),
             "deployment APs must share one modulation"
         );
+        assert!(
+            cfg.marker_loss_rate == 0.0 || cfg.marker_timeout_windows >= 1,
+            "marker_loss_rate > 0 requires marker_timeout_windows >= 1: without \
+             gap detection a lost end-of-window marker stalls its window forever"
+        );
         let ap_positions: Vec<Point> = aps.iter().map(|ap| ap.config().position).collect();
         let n_aps = aps.len();
+        let decode_pool =
+            (cfg.decode_shards > 1).then(|| DecodePool::new(cfg.decode_shards, modulation));
 
         let (up_tx, up_rx) = sync_channel(cfg.channel_capacity.max(1));
         let mut aligner = SkewAligner::new(cfg.max_skew_windows);
@@ -167,6 +261,7 @@ impl Deployment {
             modulation,
             ap_positions,
             slots,
+            decode_pool,
             up_tx,
             up_rx,
             aligner,
@@ -278,21 +373,55 @@ impl Deployment {
         if self.live_aps() == 1 {
             return Err(DeployError::LastAp);
         }
-        // Drain: its dispatched-but-unreported windows must be routed
-        // before the worker may exit.
+        // Shutdown first, then drain — the order matters under marker
+        // loss: its dispatched-but-unreported windows resolve either by
+        // their markers (FIFO: everything queued processes before the
+        // Shutdown), by a later marker's gap, or by the final flush
+        // revealing tail losses. A drain-first order would wait forever
+        // on a lost tail marker.
+        self.send_shutdown(ap_id);
         while self.aligner.pending(ap_id) > 0 && self.slots[ap_id].alive {
+            if self.slots[ap_id]
+                .join
+                .as_ref()
+                .is_some_and(|j| j.is_finished())
+            {
+                // The worker exited: every send it made (markers, then
+                // the flush) is already in the channel. Drain them; if
+                // anything is still outstanding after that, it died
+                // without flushing (a panic) and must be reaped.
+                while let Ok(done) = self.up_rx.try_recv() {
+                    self.route(done);
+                }
+                if self.aligner.pending(ap_id) > 0 {
+                    self.reap_worker(ap_id);
+                }
+                break;
+            }
             self.wait_for_progress();
         }
-        let slot = &mut self.slots[ap_id];
-        if !slot.alive {
+        if !self.slots[ap_id].alive {
             // Died while draining (reaped as a worker loss).
             return Err(DeployError::WorkerLost {
                 window: self.next_window,
             });
         }
-        if let Some(tx) = slot.tx.take() {
-            let _ = tx.send(WorkerMsg::Shutdown);
+        // The worker's final flush is a *blocking* send on the shared
+        // report channel; joining before the thread has exited would
+        // deadlock on a full channel. Drain reports until it is gone.
+        while self.slots[ap_id]
+            .join
+            .as_ref()
+            .is_some_and(|j| !j.is_finished())
+        {
+            if let Ok(done) = self
+                .up_rx
+                .recv_timeout(std::time::Duration::from_millis(10))
+            {
+                self.route(done);
+            }
         }
+        let slot = &mut self.slots[ap_id];
         slot.alive = false;
         let joined = slot.join.take().map(|j| j.join());
         // Membership ended either way — a panic during shutdown must
@@ -356,16 +485,27 @@ impl Deployment {
         self.next_window += 1;
 
         // Stage 1, once per transmission (reference capture = the first
-        // live AP's).
+        // live AP's) — fanned across the decode pool when it exists,
+        // inline otherwise. Either way the results are consumed in
+        // sequence order below, so metrics and dispatches are
+        // byte-identical across shard counts.
+        let decoded_by_seq: Vec<Option<Arc<DecodedPacket>>> = match &self.decode_pool {
+            Some(pool) => pool.decode_window(&transmissions),
+            None => transmissions
+                .iter()
+                .map(|t| {
+                    decode_reference(&t.per_ap[0], self.modulation)
+                        .ok()
+                        .map(Arc::new)
+                })
+                .collect(),
+        };
         let mut per_worker: Vec<Vec<WorkerPacket>> = (0..live.len()).map(|_| Vec::new()).collect();
-        for (seq, t) in transmissions.into_iter().enumerate() {
+        for (seq, (t, decoded)) in transmissions.into_iter().zip(decoded_by_seq).enumerate() {
             self.metrics.transmissions += 1;
-            let decoded = match decode_reference(&t.per_ap[0], self.modulation) {
-                Ok(d) => Arc::new(d),
-                Err(_) => {
-                    self.metrics.decode_failures += 1;
-                    continue;
-                }
+            let Some(decoded) = decoded else {
+                self.metrics.decode_failures += 1;
+                continue;
             };
             for (k, buffer) in t.per_ap.into_iter().enumerate() {
                 per_worker[k].push(WorkerPacket {
@@ -434,7 +574,27 @@ impl Deployment {
     /// the worker's local window label back to the global window and
     /// rejecting labels beyond the skew tolerance.
     fn route(&mut self, done: WindowDone) {
-        let Some(aligned) = self.aligner.align(done.ap_id, done.label, done.seq_base) else {
+        if done.flush {
+            // Ordered-shutdown sentinel: everything queued before the
+            // Shutdown already reported (FIFO), so whatever this AP
+            // still owes lost its marker for good — nothing later will
+            // ever reveal the tail gap. Close those windows now.
+            for global in self.aligner.take_outstanding(done.ap_id) {
+                self.mark_marker_lost(done.ap_id, global);
+            }
+            return;
+        }
+        let (skipped, aligned) = self.aligner.align_gaps(
+            done.ap_id,
+            done.label,
+            done.seq_base,
+            self.cfg.marker_timeout_windows,
+        );
+        // Earlier windows revealed as marker-lost by this marker's gap.
+        for global in skipped {
+            self.mark_marker_lost(done.ap_id, global);
+        }
+        let Some(aligned) = aligned else {
             // Unattributable (nothing outstanding for the AP — e.g. it
             // was reaped and forgotten): discard.
             return;
@@ -466,6 +626,49 @@ impl Deployment {
         self.metrics.max_fusion_queue_depth = self.metrics.max_fusion_queue_depth.max(depth);
     }
 
+    /// Close the books on one `(AP, window)` whose end-of-window marker
+    /// was lost: the AP counts as reported — so the window can close —
+    /// but contributed no bearings, and the loss earns consensus slack
+    /// in [`Deployment::collect_window`].
+    fn mark_marker_lost(&mut self, ap_id: usize, window: u64) {
+        self.metrics.markers_lost += 1;
+        self.per_ap_window_stats[ap_id].markers_lost += 1;
+        if let Some(bin) = self.bins.get_mut(&window) {
+            if !bin.reported.contains(&ap_id) {
+                bin.reported.push(ap_id);
+                bin.markers_lost += 1;
+            }
+        }
+    }
+
+    /// Order one worker to shut down without blocking the coordinator.
+    /// The input channel is FIFO, so everything already queued still
+    /// processes first, and the worker's final flush sentinel then
+    /// closes any tail windows whose markers were lost. A full input
+    /// queue is waited out while draining reports (the same discipline
+    /// as dispatch), and a disconnected one means the worker already
+    /// died — it is reaped.
+    fn send_shutdown(&mut self, ap_id: usize) {
+        loop {
+            let Some(tx) = self.slots[ap_id].tx.clone() else {
+                return;
+            };
+            match tx.try_send(WorkerMsg::Shutdown) {
+                Ok(()) => {
+                    let slot = &mut self.slots[ap_id];
+                    slot.tx = None;
+                    slot.shutdown_sent = true;
+                    return;
+                }
+                Err(TrySendError::Full(_)) => self.wait_for_progress(),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.drain_reports_and_reap(ap_id);
+                    return;
+                }
+            }
+        }
+    }
+
     /// Wait a beat for the workers to make progress, draining any
     /// report that arrives in the meantime. Detects dead workers: a
     /// worker thread that has exited without a shutdown order means a
@@ -484,7 +687,13 @@ impl Deployment {
                     .slots
                     .iter()
                     .enumerate()
-                    .filter(|(_, s)| s.alive && s.join.as_ref().is_some_and(|j| j.is_finished()))
+                    .filter(|(_, s)| {
+                        // `shutdown_sent` threads exit *normally* once
+                        // their queue drains — not a loss.
+                        s.alive
+                            && !s.shutdown_sent
+                            && s.join.as_ref().is_some_and(|j| j.is_finished())
+                    })
                     .map(|(id, _)| id)
                     .collect();
                 if finished.is_empty() {
@@ -573,8 +782,10 @@ impl Deployment {
             .count();
         // Degradation the coordinator *knows* about — and the only
         // thing that earns consensus slack downstream: reports lost on
-        // the link, rejected for skew, or never coming (dead worker).
-        let missing_aps = bin.lost_reports + bin.skew_rejected + dead_aps;
+        // the link, rejected for skew, marker-lost, or never coming
+        // (dead worker). Marker-lost APs sit in `reported`, so they are
+        // disjoint from `dead_aps` — no double counting.
+        let missing_aps = bin.lost_reports + bin.skew_rejected + bin.markers_lost + dead_aps;
         if missing_aps > 0 {
             self.metrics.degraded_windows += 1;
         }
@@ -583,6 +794,7 @@ impl Deployment {
                 .fuse_window_expecting(window, bin.packets, bin.expected.len(), missing_aps);
         fused.lost_reports = bin.lost_reports;
         fused.skew_rejected = bin.skew_rejected;
+        fused.markers_lost = bin.markers_lost;
         self.metrics.windows += 1;
         self.metrics.fused_bearings += fused.bearings as u64;
         self.metrics.localize_failures += fused.localize_failures as u64;
@@ -649,15 +861,46 @@ impl Deployment {
     /// APs removed mid-run were already handed back by
     /// [`Deployment::remove_ap`], and crashed APs' state is gone).
     pub fn finish(mut self) -> (DeploymentReport, Vec<AccessPoint>) {
+        // Shutdown orders go out *before* the drain: the input channels
+        // are FIFO, so queued windows still process first, and each
+        // worker's final flush then closes any tail windows whose
+        // markers were lost — a drain-first order would wait on those
+        // forever. On a healthy run the flush is a no-op and the result
+        // is byte-identical to draining first.
+        let live: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tx.is_some())
+            .map(|(id, _)| id)
+            .collect();
+        for ap_id in live {
+            self.send_shutdown(ap_id);
+        }
         while !self.pending.is_empty() {
             if self.collect_window().is_err() {
                 break;
             }
         }
-        for slot in &self.slots {
-            if let Some(tx) = &slot.tx {
-                let _ = tx.send(WorkerMsg::Shutdown);
+        // A worker's final flush is a *blocking* send on the shared
+        // report channel; joining a worker still parked in that send
+        // (possible on small channels once every window has closed)
+        // would deadlock. Keep draining reports until every thread has
+        // actually exited, then sweep the stragglers.
+        while self
+            .slots
+            .iter()
+            .any(|s| s.join.as_ref().is_some_and(|j| !j.is_finished()))
+        {
+            if let Ok(done) = self
+                .up_rx
+                .recv_timeout(std::time::Duration::from_millis(10))
+            {
+                self.route(done);
             }
+        }
+        while let Ok(done) = self.up_rx.try_recv() {
+            self.route(done);
         }
         let mut per_ap = Vec::with_capacity(self.slots.len());
         let mut aps = Vec::new();
@@ -702,6 +945,7 @@ fn spawn_worker(
         auto_train_signatures: cfg.auto_train_signatures,
         skew,
         link: cfg.link,
+        marker_loss_rate: cfg.marker_loss_rate,
     };
     let join = std::thread::Builder::new()
         .name(format!("sa-deploy-ap{}", ap_id))
@@ -711,6 +955,7 @@ fn spawn_worker(
         tx: Some(tx),
         join: Some(join),
         alive: true,
+        shutdown_sent: false,
         final_stats: None,
     }
 }

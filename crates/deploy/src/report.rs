@@ -80,6 +80,13 @@ pub struct ApStats {
     /// here is the drifting-clock signature — see the failure-mode
     /// table in `docs/DEPLOYMENT.md`.
     pub skew_rejections: u64,
+    /// End-of-window markers from this AP lost on the control path
+    /// ([`crate::DeployConfig::marker_loss_rate`]): the coordinator
+    /// never heard this AP finish those windows, and they closed via
+    /// the gap-detection policy
+    /// ([`crate::DeployConfig::marker_timeout_windows`]) or the final
+    /// flush instead.
+    pub markers_lost: u64,
 }
 
 impl ApStats {
@@ -99,6 +106,7 @@ impl ApStats {
         self.report_retransmits += other.report_retransmits;
         self.reports_lost += other.reports_lost;
         self.skew_rejections += other.skew_rejections;
+        self.markers_lost += other.markers_lost;
     }
 }
 
@@ -154,6 +162,10 @@ pub struct FusedWindow {
     /// AP reports excluded because their window label drifted beyond
     /// the skew tolerance.
     pub skew_rejected: usize,
+    /// APs whose end-of-window marker for this window was lost: the
+    /// window closed via gap detection (or the final flush), without
+    /// ever hearing from them.
+    pub markers_lost: usize,
 }
 
 /// Deployment-wide running counters.
@@ -191,6 +203,9 @@ pub struct DeployMetrics {
     /// Window reports rejected because their label drifted beyond the
     /// skew tolerance.
     pub skew_rejections: u64,
+    /// End-of-window markers lost on the control path (summed over
+    /// APs; each left one window to close by gap detection or flush).
+    pub markers_lost: u64,
     /// Windows fused with at least one live AP's data missing (lost,
     /// rejected, or the AP died mid-window).
     pub degraded_windows: u64,
@@ -289,6 +304,7 @@ mod tests {
             report_retransmits: 12,
             reports_lost: 13,
             skew_rejections: 14,
+            markers_lost: 15,
         };
         let mut b = a;
         b.absorb(&a);
@@ -306,5 +322,6 @@ mod tests {
         assert_eq!(b.report_retransmits, 24);
         assert_eq!(b.reports_lost, 26);
         assert_eq!(b.skew_rejections, 28);
+        assert_eq!(b.markers_lost, 30);
     }
 }

@@ -63,6 +63,13 @@ pub(crate) struct WindowDone {
     pub stats: ApStats,
     /// The packet payload was lost on the link (packets is empty).
     pub lost: bool,
+    /// Final flush sentinel: the worker processed its whole queue and
+    /// is exiting after an ordered shutdown. Carries no window — it
+    /// tells the coordinator that any still-outstanding dispatches for
+    /// this AP lost their markers (nothing later will ever reveal a
+    /// tail gap). On a healthy run nothing is outstanding and the
+    /// flush is a no-op.
+    pub flush: bool,
 }
 
 pub(crate) struct WorkerCfg {
@@ -70,6 +77,11 @@ pub(crate) struct WorkerCfg {
     pub auto_train_signatures: bool,
     pub skew: ApSkew,
     pub link: LinkConfig,
+    /// End-of-window marker drop probability
+    /// ([`crate::DeployConfig::marker_loss_rate`]); draws come from a
+    /// dedicated stream so enabling marker loss never shifts the
+    /// report-loss draws.
+    pub marker_loss_rate: f64,
 }
 
 /// Deterministic per-AP loss stream: splitmix64 over `seed ^ ap_id`.
@@ -124,9 +136,27 @@ pub(crate) fn run_worker(
     let mut engine = None;
     let mut totals = ApStats::default();
     let mut loss = LossStream::new(cfg.link.seed, ap_id);
+    // Marker loss draws from its own stream (seed mixed with a fixed
+    // tag) so the report-loss sequence is identical with it on or off.
+    let mut marker_loss = LossStream::new(cfg.link.seed ^ 0x6d61_726b_6572, ap_id);
     while let Ok(msg) = rx.recv() {
         let (window, packets) = match msg {
-            WorkerMsg::Shutdown => break,
+            WorkerMsg::Shutdown => {
+                // Ordered exit: everything queued before the Shutdown
+                // was processed (FIFO), so flush tells the coordinator
+                // any windows it is still waiting on lost their
+                // markers for good.
+                let _ = tx.send(WindowDone {
+                    ap_id,
+                    label: 0,
+                    seq_base: None,
+                    packets: Vec::new(),
+                    stats: ApStats::default(),
+                    lost: false,
+                    flush: true,
+                });
+                break;
+            }
             WorkerMsg::Crash => return (ap, totals),
             WorkerMsg::Window { window, packets } => (window, packets),
         };
@@ -194,6 +224,16 @@ pub(crate) fn run_worker(
             });
         }
 
+        // Marker loss: the whole end-of-window message vanishes — the
+        // coordinator only learns of it from a later marker's gap (or
+        // the final flush). The window's work still happened, so its
+        // stats fold into the run totals the worker hands back at exit.
+        if cfg.marker_loss_rate > 0.0 && marker_loss.dropped(cfg.marker_loss_rate) {
+            stats.markers_lost += 1;
+            totals.absorb(&stats);
+            continue;
+        }
+
         // Lossy-link publish: roll each delivery attempt; an exhausted
         // retry budget abandons the payload but still sends the marker.
         let mut payload = Some(reports);
@@ -220,6 +260,7 @@ pub(crate) fn run_worker(
             packets: payload.unwrap_or_default(),
             stats,
             lost,
+            flush: false,
         };
         let delivered = match tx.try_send(done) {
             Ok(()) => true,

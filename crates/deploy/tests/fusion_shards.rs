@@ -1,0 +1,89 @@
+//! Deploy-level tests for the sharded fusion/tracking stage and the
+//! sharded stage-1 decode pool: every shard-count combination must
+//! produce byte-identical fused windows and reports — sharding changes
+//! the parallelism, never the numbers — and the per-window client fix
+//! ordering (sorted by MAC) is part of that contract.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_deploy::{DeployConfig, Deployment, FusedWindow, Transmission};
+use sa_testbed::Testbed;
+use secureangle::AccessPoint;
+
+fn split(tb: Testbed) -> Vec<AccessPoint> {
+    tb.nodes.into_iter().map(|n| n.ap).collect()
+}
+
+fn window(tb: &Testbed, clients: &[usize], seq: u16, rng: &mut ChaCha8Rng) -> Vec<Transmission> {
+    tb.window_traffic(clients, seq, 0.0, rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect()
+}
+
+fn masked_report(r: &sa_deploy::DeploymentReport) -> String {
+    let mut r = r.clone();
+    r.metrics.max_fusion_queue_depth = 0;
+    r.metrics.report_backpressure_events = 0;
+    r.metrics.ingest_backpressure_events = 0;
+    for ap in &mut r.per_ap {
+        ap.backpressure_events = 0;
+    }
+    format!("{:?}", r)
+}
+
+fn run(decode_shards: usize, fusion_shards: usize) -> (Vec<FusedWindow>, String) {
+    let tb = Testbed::deployment(3, 331);
+    let mut rng = ChaCha8Rng::seed_from_u64(332);
+    let clients = [5usize, 7, 19];
+    let windows: Vec<Vec<Transmission>> = (0..2)
+        .map(|w| window(&tb, &clients, w as u16, &mut rng))
+        .collect();
+    let cfg = DeployConfig {
+        decode_shards,
+        fusion_shards,
+        ..DeployConfig::default()
+    };
+    let mut deployment = Deployment::new(split(tb), cfg);
+    let fused: Vec<_> = windows
+        .into_iter()
+        .map(|w| deployment.run_window(w).expect("window"))
+        .collect();
+    let (report, _) = deployment.finish();
+    (fused, masked_report(&report))
+}
+
+/// The tentpole contract: decode-shard and fusion-shard counts are
+/// performance knobs only. Every combination fuses the same bytes as
+/// the serial baseline, and the fix ordering inside each window stays
+/// sorted by client MAC.
+#[test]
+fn shard_counts_never_change_fused_bytes() {
+    let (base_fused, base_report) = run(1, 1);
+    assert_eq!(base_fused.len(), 2);
+    for f in &base_fused {
+        assert_eq!(f.clients.len(), 3);
+        // Satellite regression: the per-shard drain + merge must keep
+        // the per-window fix ordering sorted by MAC.
+        assert!(
+            f.clients.windows(2).all(|w| w[0].mac < w[1].mac),
+            "fixes out of MAC order in window {}",
+            f.window
+        );
+    }
+    for (decode_shards, fusion_shards) in [(1, 4), (4, 1), (2, 16), (4, 4)] {
+        let (fused, report) = run(decode_shards, fusion_shards);
+        assert_eq!(
+            format!("{:?}", base_fused),
+            format!("{:?}", fused),
+            "decode_shards={} fusion_shards={} changed fused output",
+            decode_shards,
+            fusion_shards
+        );
+        assert_eq!(
+            base_report, report,
+            "decode_shards={} fusion_shards={} changed the report",
+            decode_shards, fusion_shards
+        );
+    }
+}

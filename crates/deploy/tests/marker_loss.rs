@@ -1,0 +1,151 @@
+//! End-to-end tests for lossy end-of-window markers: a dropped marker
+//! must degrade the run deterministically — revealed by a later
+//! marker's gap (within [`DeployConfig::marker_timeout_windows`]) or by
+//! the worker's final flush — never stall it.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sa_deploy::{DeployConfig, Deployment, Transmission};
+use sa_testbed::Testbed;
+use secureangle::AccessPoint;
+
+fn split(tb: Testbed) -> Vec<AccessPoint> {
+    tb.nodes.into_iter().map(|n| n.ap).collect()
+}
+
+fn window(tb: &Testbed, clients: &[usize], seq: u16, rng: &mut ChaCha8Rng) -> Vec<Transmission> {
+    tb.window_traffic(clients, seq, 0.0, rng)
+        .into_iter()
+        .map(Transmission::new)
+        .collect()
+}
+
+/// Scheduling-observability counters are interleaving-dependent and
+/// outside the determinism contract; zero them before comparing.
+fn masked_report(r: &sa_deploy::DeploymentReport) -> String {
+    let mut r = r.clone();
+    r.metrics.max_fusion_queue_depth = 0;
+    r.metrics.report_backpressure_events = 0;
+    r.metrics.ingest_backpressure_events = 0;
+    for ap in &mut r.per_ap {
+        ap.backpressure_events = 0;
+    }
+    format!("{:?}", r)
+}
+
+/// Marker loss without gap detection would stall a window forever; the
+/// deployment refuses the configuration at construction.
+#[test]
+#[should_panic(expected = "marker_timeout_windows")]
+fn marker_loss_without_gap_detection_is_rejected() {
+    let tb = Testbed::deployment(2, 319);
+    let cfg = DeployConfig {
+        marker_loss_rate: 0.1,
+        marker_timeout_windows: 0,
+        ..DeployConfig::default()
+    };
+    let _ = Deployment::new(split(tb), cfg);
+}
+
+/// Markers dropped mid-run are revealed by the next surviving marker's
+/// gap: the affected windows close without that AP's bearings (counted
+/// in [`sa_deploy::FusedWindow::markers_lost`] and as degradation), the
+/// deployment never stalls, and the whole degraded run is
+/// byte-deterministic across repeats. Tail windows whose markers are
+/// lost with nothing after them close via the workers' shutdown flush
+/// in `finish`, and the coordinator's detected-loss count agrees with
+/// the workers' own drop counts.
+#[test]
+fn lost_markers_degrade_deterministically_without_stalling() {
+    const WINDOWS: usize = 6;
+    // Collect explicitly only while a later marker is guaranteed
+    // possible; the tail (whose gaps only the final flush can reveal)
+    // is drained by finish().
+    const EXPLICIT: usize = 4;
+    let run = || {
+        let tb = Testbed::deployment(3, 321);
+        let mut rng = ChaCha8Rng::seed_from_u64(322);
+        let windows: Vec<Vec<Transmission>> = (0..WINDOWS)
+            .map(|w| window(&tb, &[5, 7], w as u16, &mut rng))
+            .collect();
+        let aps = split(tb);
+        let cfg = DeployConfig {
+            marker_loss_rate: 0.3,
+            marker_timeout_windows: 2,
+            ..DeployConfig::default()
+        };
+        let mut deployment = Deployment::new(aps, cfg);
+        for w in windows {
+            deployment.submit_window(w).expect("submit");
+        }
+        let mut fused = Vec::new();
+        for expect in 0..EXPLICIT as u64 {
+            let f = deployment.collect_window().expect("window closes");
+            assert_eq!(f.window, expect);
+            fused.push(f);
+        }
+        let (report, _) = deployment.finish();
+        (fused, report)
+    };
+
+    let (fused, report) = run();
+    // Every window closed — the explicitly collected ones and the tail.
+    assert_eq!(report.metrics.windows, WINDOWS as u64);
+    // At 30% marker loss over 18 (ap, window) markers, losses are
+    // certain — and the coordinator detected every one the workers
+    // dropped (gap detection mid-run, the flush for the tail).
+    assert!(report.metrics.markers_lost > 0, "{:?}", report.metrics);
+    assert_eq!(
+        report.per_ap.iter().map(|s| s.markers_lost).sum::<u64>(),
+        report.metrics.markers_lost,
+        "coordinator-detected losses must match worker-side drops"
+    );
+    assert!(report.metrics.degraded_windows > 0);
+    // A marker-lost AP contributes no bearings to its window.
+    for f in &fused {
+        assert_eq!(f.expected_aps, 3);
+        for c in &f.clients {
+            assert!(c.n_aps + f.markers_lost + f.lost_reports >= 1);
+            assert!(c.n_aps <= f.expected_aps - f.markers_lost);
+        }
+    }
+    assert!(
+        fused.iter().any(|f| f.markers_lost > 0),
+        "seed produced no marker loss in the collected windows"
+    );
+
+    // Determinism: the loss draws are a pure function of the config, so
+    // repeating the run reproduces the degradation byte-for-byte.
+    let (fused2, report2) = run();
+    assert_eq!(format!("{:?}", fused), format!("{:?}", fused2));
+    assert_eq!(masked_report(&report), masked_report(&report2));
+}
+
+/// With marker loss *disabled*, enabling the gap-detection tolerance is
+/// byte-transparent: in-order markers never present a gap, so the
+/// fused output and report are identical to the default configuration.
+#[test]
+fn gap_tolerance_is_transparent_without_loss() {
+    let run = |cfg: DeployConfig| {
+        let tb = Testbed::deployment(2, 323);
+        let mut rng = ChaCha8Rng::seed_from_u64(324);
+        let windows: Vec<Vec<Transmission>> = (0..3)
+            .map(|w| window(&tb, &[5, 7], w as u16, &mut rng))
+            .collect();
+        let mut deployment = Deployment::new(split(tb), cfg);
+        let fused: Vec<_> = windows
+            .into_iter()
+            .map(|w| deployment.run_window(w).expect("window"))
+            .collect();
+        let (report, _) = deployment.finish();
+        (fused, report)
+    };
+    let (base_fused, base_report) = run(DeployConfig::default());
+    let (tol_fused, tol_report) = run(DeployConfig {
+        marker_timeout_windows: 2,
+        ..DeployConfig::default()
+    });
+    assert_eq!(format!("{:?}", base_fused), format!("{:?}", tol_fused));
+    assert_eq!(masked_report(&base_report), masked_report(&tol_report));
+    assert_eq!(base_report.metrics.markers_lost, 0);
+}

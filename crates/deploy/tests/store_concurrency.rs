@@ -36,7 +36,7 @@ fn eight_threads_hammer_disjoint_macs() {
     let handles: Vec<_> = (0..THREADS)
         .map(|t| {
             std::thread::spawn(move || {
-                let mut store = ShardedSignatureStore::new(16);
+                let store = ShardedSignatureStore::new(16);
                 let base = 1000 + t * MACS_PER_THREAD;
                 // Hammer: train everyone, flag half, churn a third.
                 for i in 0..MACS_PER_THREAD {

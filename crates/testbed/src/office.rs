@@ -223,6 +223,66 @@ impl Office {
         }
     }
 
+    /// A campus-hall scenario for fleet-scale serving: one large open
+    /// concrete hall (36 m × 20 m) with `n_clients` clients laid out by
+    /// a deterministic position stream (splitmix64 with a fixed seed —
+    /// the layout is a pure function of `n_clients`). Unlike
+    /// [`Office::paper_figure4`] this is not a paper figure; it exists
+    /// to drive thousands of clients through a deployment while keeping
+    /// every capture decodable: no point of the hall is more than ~21 m
+    /// line-of-sight from the primary AP at (18, 10). Client ids are
+    /// `1..=n_clients` and carry no paper notes. The hall supplies
+    /// seven `extra_ap_positions`, so
+    /// [`Office::deployment_ap_positions`] serves its full `1..=8`
+    /// range from the hall itself.
+    pub fn campus(n_clients: usize) -> Self {
+        assert!(n_clients >= 1, "campus needs at least one client");
+        const W: f64 = 36.0;
+        const H: f64 = 20.0;
+        const MARGIN: f64 = 1.5;
+        let mut plan = FloorPlan::new();
+        plan.add_rect(Rect::new(0.0, 0.0, W, H), CONCRETE);
+
+        // splitmix64 layout stream; evaluation order (x then y) is part
+        // of the layout contract.
+        let mut state: u64 = 0xcafe_f00d_5eed_0001;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        };
+        let clients = (1..=n_clients)
+            .map(|id| {
+                let x = MARGIN + next() * (W - 2.0 * MARGIN);
+                let y = MARGIN + next() * (H - 2.0 * MARGIN);
+                ClientSpec {
+                    id,
+                    position: pt(x, y),
+                    note: "",
+                }
+            })
+            .collect();
+
+        Self {
+            plan,
+            ap_position: pt(18.0, 10.0),
+            extra_ap_positions: vec![
+                pt(6.0, 4.0),
+                pt(30.0, 16.0),
+                pt(6.0, 16.0),
+                pt(30.0, 4.0),
+                pt(18.0, 3.0),
+                pt(18.0, 17.0),
+                pt(3.0, 10.0),
+            ],
+            clients,
+            outline: vec![pt(0.0, 0.0), pt(W, 0.0), pt(W, H), pt(0.0, H)],
+        }
+    }
+
     /// AP positions for an `n`-AP deployment (§2.3.1 scale-out): the
     /// primary Fig-4 AP first, then the two extra multi-AP positions,
     /// then further corners and mid-walls of the floor. Note the
@@ -265,11 +325,19 @@ impl Office {
     /// instead. All 20 clients sit inside this polygon.
     pub fn fence_polygon(&self) -> Vec<Point> {
         const MARGIN: f64 = 0.75;
+        let (mut x0, mut y0) = (f64::INFINITY, f64::INFINITY);
+        let (mut x1, mut y1) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.outline {
+            x0 = x0.min(p.x);
+            y0 = y0.min(p.y);
+            x1 = x1.max(p.x);
+            y1 = y1.max(p.y);
+        }
         vec![
-            pt(MARGIN, MARGIN),
-            pt(30.0 - MARGIN, MARGIN),
-            pt(30.0 - MARGIN, 16.0 - MARGIN),
-            pt(MARGIN, 16.0 - MARGIN),
+            pt(x0 + MARGIN, y0 + MARGIN),
+            pt(x1 - MARGIN, y0 + MARGIN),
+            pt(x1 - MARGIN, y1 - MARGIN),
+            pt(x0 + MARGIN, y1 - MARGIN),
         ]
     }
 
@@ -421,6 +489,53 @@ mod tests {
             let aps = o.deployment_ap_positions(n);
             assert_eq!(aps.len(), n);
             assert_eq!(aps[0], o.ap_position, "primary AP must come first");
+            for (i, &a) in aps.iter().enumerate() {
+                assert!(point_in_polygon(a, &o.outline), "AP {} outside", i);
+                for &b in &aps[..i] {
+                    assert!(a.dist(b) > 3.0, "APs too close: {:?} vs {:?}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campus_layout_is_a_pure_function_of_client_count() {
+        let a = Office::campus(50);
+        let b = Office::campus(50);
+        assert_eq!(a.clients.len(), 50);
+        for (ca, cb) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(ca, cb);
+        }
+        // A prefix of a larger campus matches the smaller one: the
+        // stream is consumed in id order.
+        let big = Office::campus(200);
+        for (ca, cb) in a.clients.iter().zip(&big.clients) {
+            assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn campus_clients_fit_the_hall_and_the_fence() {
+        let o = Office::campus(300);
+        let fence = o.fence_polygon();
+        let ids: std::collections::HashSet<_> = o.clients.iter().map(|c| c.id).collect();
+        assert_eq!(ids.len(), 300);
+        for c in &o.clients {
+            assert!(point_in_polygon(c.position, &o.outline));
+            assert!(point_in_polygon(c.position, &fence));
+            // Decodability bound: every client is within line-of-sight
+            // budget of the primary AP.
+            assert!(o.ap_position.dist(c.position) < 21.0);
+        }
+    }
+
+    #[test]
+    fn campus_serves_the_full_ap_range() {
+        let o = Office::campus(10);
+        for n in 1..=8 {
+            let aps = o.deployment_ap_positions(n);
+            assert_eq!(aps.len(), n);
+            assert_eq!(aps[0], o.ap_position);
             for (i, &a) in aps.iter().enumerate() {
                 assert!(point_in_polygon(a, &o.outline), "AP {} outside", i);
                 for &b in &aps[..i] {

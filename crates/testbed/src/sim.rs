@@ -110,6 +110,22 @@ impl Testbed {
         Self::build_at(ApArray::Circular, office, positions, seed)
     }
 
+    /// A fleet-scale campus-hall testbed: four circular-array APs over
+    /// [`Office::campus`]'s `n_clients` clients, every client on every
+    /// ACL. The client layout is a pure function of `n_clients`; the RF
+    /// build (front ends, calibration) is deterministic in `seed`.
+    pub fn campus(n_clients: usize, seed: u64) -> Self {
+        Self::campus_with(n_clients, 4, seed)
+    }
+
+    /// [`Testbed::campus`] with an explicit AP count (`1..=8`, from
+    /// [`Office::deployment_ap_positions`] over the campus hall).
+    pub fn campus_with(n_clients: usize, n_aps: usize, seed: u64) -> Self {
+        let office = Office::campus(n_clients);
+        let positions = office.deployment_ap_positions(n_aps);
+        Self::build_at(ApArray::Circular, office, positions, seed)
+    }
+
     fn build(array: ApArray, multi: bool, seed: u64) -> Self {
         let office = Office::paper_figure4();
         let mut positions = vec![office.ap_position];
@@ -513,6 +529,34 @@ mod tests {
         }
         assert_eq!(p, Testbed::skew_profile(6, 2, 42));
         assert_ne!(p, Testbed::skew_profile(6, 2, 43));
+    }
+
+    #[test]
+    fn campus_testbed_scales_and_decodes() {
+        let tb = Testbed::campus_with(40, 3, 31);
+        assert_eq!(tb.nodes.len(), 3);
+        assert_eq!(tb.office.clients.len(), 40);
+        // The farthest-from-primary client still decodes at every node.
+        let far = tb
+            .office
+            .clients
+            .iter()
+            .max_by(|a, b| {
+                let da = tb.office.ap_position.dist(a.position);
+                let db = tb.office.ap_position.dist(b.position);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+            .id;
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let w = tb.window_traffic(&[far], 1, 0.0, &mut rng);
+        for (node, cap) in w[0].iter().enumerate() {
+            let obs = tb.nodes[node]
+                .ap
+                .observe(cap)
+                .unwrap_or_else(|e| panic!("node {}: {}", node, e));
+            assert_eq!(obs.frame.unwrap().src, Testbed::client_mac(far));
+        }
     }
 
     #[test]

@@ -87,7 +87,7 @@ fn run_deployment_with(cfg: DeployConfig, skews: Option<Vec<ApSkew>>) -> Run {
             let obs = tb.nodes[k].ap.observe(&w0[VICTIM - 1][k]).ok()?;
             tb.nodes[k].ap.train_client(mac, &obs);
             let att = tb.nodes[k].ap.observe(&attack[k]).ok()?;
-            let profile = tb.nodes[k].ap.spoof.profile(&mac)?.clone();
+            let profile = tb.nodes[k].ap.spoof.profile(&mac)?;
             let m = profile.compare(&att.signature, &tb.nodes[k].ap.spoof.config().match_config);
             Some((k, m.score))
         })
