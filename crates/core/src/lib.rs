@@ -49,5 +49,5 @@ pub use signature::{AoaSignature, MatchConfig, SignatureMatch, SignatureTracker}
 pub use spoof::{
     ConsensusConfig, ConsensusVerdict, CrossApConsensus, SpoofConfig, SpoofDetector, SpoofVerdict,
 };
-pub use store::ShardedSignatureStore;
+pub use store::{OccupancySummary, ShardedSignatureStore};
 pub use tracking::{MobilityTracker, TrackerConfig};

@@ -209,6 +209,44 @@ impl ShardedSignatureStore {
             .map(|i| self.lock(i).profiles.len())
             .collect()
     }
+
+    /// One-struct occupancy/imbalance summary — the numbers telemetry
+    /// exports as gauges, derived from [`Self::shard_occupancy`].
+    pub fn occupancy_summary(&self) -> OccupancySummary {
+        let occ = self.shard_occupancy();
+        OccupancySummary {
+            shards: occ.len(),
+            total: occ.iter().sum(),
+            min: occ.iter().copied().min().unwrap_or(0),
+            max: occ.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Occupancy diagnostics for a [`ShardedSignatureStore`]: how many
+/// trained clients it holds and how evenly the MAC hash spread them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySummary {
+    /// Number of shards (fixed at construction).
+    pub shards: usize,
+    /// Trained clients across all shards.
+    pub total: usize,
+    /// Occupancy of the emptiest shard.
+    pub min: usize,
+    /// Occupancy of the fullest shard.
+    pub max: usize,
+}
+
+impl OccupancySummary {
+    /// Hottest shard's load relative to a perfectly even spread
+    /// (`1.0` = perfectly balanced, `shards as f64` = everything in one
+    /// shard). `1.0` for an empty store.
+    pub fn imbalance(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.max as f64 / (self.total as f64 / self.shards as f64)
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +308,26 @@ mod tests {
         let nonempty = occ.iter().filter(|&&c| c > 0).count();
         assert!(nonempty >= 4, "poor spread: {:?}", occ);
         assert!(*occ.iter().max().unwrap() <= 32, "hot shard: {:?}", occ);
+    }
+
+    #[test]
+    fn occupancy_summary_matches_the_per_shard_view() {
+        let store = ShardedSignatureStore::new(8);
+        let empty = store.occupancy_summary();
+        assert_eq!((empty.total, empty.min, empty.max), (0, 0, 0));
+        assert_eq!(empty.imbalance(), 1.0);
+        for i in 0..64 {
+            store.insert(mac(i), SignatureTracker::new(sig(i as f64), 0.2));
+        }
+        let s = store.occupancy_summary();
+        let occ = store.shard_occupancy();
+        assert_eq!(s.shards, 8);
+        assert_eq!(s.total, 64);
+        assert_eq!(s.min, *occ.iter().min().unwrap());
+        assert_eq!(s.max, *occ.iter().max().unwrap());
+        // Mean occupancy is 8/shard; imbalance is max relative to it.
+        assert_eq!(s.imbalance(), s.max as f64 / 8.0);
+        assert!(s.imbalance() >= 1.0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Deployment configuration and errors.
 
+use sa_telemetry::TelemetryConfig;
 use secureangle::spoof::ConsensusConfig;
 use secureangle::tracking::TrackerConfig;
 
@@ -228,6 +229,14 @@ pub struct DeployConfig {
     /// window). The deployment's final flush closes any gap at the tail
     /// of the run.
     pub marker_timeout_windows: u64,
+    /// Observability: stage-latency histograms, the unified counter
+    /// registry and the per-client flight recorder
+    /// ([`sa_telemetry::TelemetryConfig`]). Disabled by default —
+    /// telemetry is strictly out-of-band and fused output is
+    /// byte-identical with it on or off (pinned by
+    /// `tests/proptest_telemetry.rs`), so enabling it is purely a
+    /// visibility/overhead trade.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for DeployConfig {
@@ -250,6 +259,7 @@ impl Default for DeployConfig {
             fusion_shards: 1,
             marker_loss_rate: 0.0,
             marker_timeout_windows: 0,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -328,6 +338,10 @@ mod tests {
         assert_eq!(cfg.fusion_shards, 1);
         assert_eq!(cfg.marker_loss_rate, 0.0);
         assert_eq!(cfg.marker_timeout_windows, 0);
+        // Telemetry off by default: the report's snapshot stays empty
+        // and Debug-rendered reports are byte-stable across releases.
+        assert!(!cfg.telemetry.enabled);
+        assert_eq!(cfg.telemetry, TelemetryConfig::disabled());
     }
 
     #[test]

@@ -18,11 +18,13 @@ use crate::align::SkewAligner;
 use crate::config::{ApSkew, DeployConfig, DeployError};
 use crate::fusion::Fusion;
 use crate::report::{ApStats, DeployMetrics, DeploymentReport, FusedWindow};
+use crate::telemetry::{DeployTelemetry, WorkerTap};
 use crate::worker::{run_worker, WindowDone, WorkerCfg, WorkerMsg, WorkerPacket};
 use sa_channel::geom::Point;
 use sa_linalg::CMat;
 use sa_mac::MacAddr;
 use sa_phy::Modulation;
+use sa_telemetry::{Histogram, StageTimer, TelemetrySnapshot};
 use secureangle::pipeline::{decode_reference, DecodedPacket};
 use secureangle::AccessPoint;
 use std::collections::{BTreeMap, VecDeque};
@@ -103,18 +105,29 @@ struct DecodePool {
 }
 
 impl DecodePool {
-    fn new(shards: usize, modulation: Modulation) -> Self {
+    fn new(
+        shards: usize,
+        modulation: Modulation,
+        telemetry: Option<&Arc<DeployTelemetry>>,
+    ) -> Self {
         let (done_tx, done_rx) = channel();
         let mut job_txs = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = channel::<DecodeJob>();
             let done = done_tx.clone();
+            // Per-shard `stage.decode` histogram handle (None unless
+            // stage timing is on) — write-only, so the pooled decode
+            // path stays byte-identical with telemetry on or off.
+            let hist = telemetry.and_then(|t| t.stage("stage.decode", "shard", shard));
             let join = std::thread::Builder::new()
                 .name(format!("sa-deploy-decode{}", shard))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        let decoded = decode_reference(&job.buffer, modulation).ok().map(Arc::new);
+                        let decoded = {
+                            let _span = StageTimer::start(hist.as_deref());
+                            decode_reference(&job.buffer, modulation).ok().map(Arc::new)
+                        };
                         if done.send((job.seq, decoded)).is_err() {
                             break;
                         }
@@ -210,7 +223,18 @@ pub struct Deployment {
     bins: BTreeMap<u64, WindowBin>,
     metrics: DeployMetrics,
     per_ap_window_stats: Vec<ApStats>,
+    /// The shared telemetry bundle; `None` when
+    /// [`DeployConfig::telemetry`] is disabled (the default).
+    telemetry: Option<Arc<DeployTelemetry>>,
+    /// `stage.decode` handle for the inline (poolless) decode path.
+    inline_decode_hist: Option<Arc<Histogram>>,
+    /// Periodic snapshot hook: `(every_windows, callback)`, fired from
+    /// [`Deployment::collect_window`].
+    dump_hook: Option<(u64, DumpHook)>,
 }
+
+/// Boxed callback for [`Deployment::set_dump_hook`].
+type DumpHook = Box<dyn FnMut(&TelemetrySnapshot) + Send>;
 
 impl Deployment {
     /// Spawn a deployment over the given APs with synchronized clocks.
@@ -240,8 +264,12 @@ impl Deployment {
         );
         let ap_positions: Vec<Point> = aps.iter().map(|ap| ap.config().position).collect();
         let n_aps = aps.len();
-        let decode_pool =
-            (cfg.decode_shards > 1).then(|| DecodePool::new(cfg.decode_shards, modulation));
+        let telemetry = DeployTelemetry::new(cfg.telemetry);
+        let inline_decode_hist = telemetry
+            .as_ref()
+            .and_then(|t| t.stage("stage.decode", "shard", 0));
+        let decode_pool = (cfg.decode_shards > 1)
+            .then(|| DecodePool::new(cfg.decode_shards, modulation, telemetry.as_ref()));
 
         let (up_tx, up_rx) = sync_channel(cfg.channel_capacity.max(1));
         let mut aligner = SkewAligner::new(cfg.max_skew_windows);
@@ -251,12 +279,20 @@ impl Deployment {
             .enumerate()
             .map(|(ap_id, (ap, skew))| {
                 aligner.add_ap();
-                spawn_worker(ap_id, ap, &cfg, skew, up_tx.clone())
+                let tap = worker_tap(telemetry.as_ref(), ap_id);
+                spawn_worker(ap_id, ap, &cfg, skew, up_tx.clone(), tap)
             })
             .collect();
 
+        let mut fusion = Fusion::new(ap_positions.clone(), cfg);
+        if let Some(t) = &telemetry {
+            fusion.attach_telemetry(t);
+        }
         Self {
-            fusion: Fusion::new(ap_positions.clone(), cfg),
+            fusion,
+            telemetry,
+            inline_decode_hist,
+            dump_hook: None,
             cfg,
             modulation,
             ap_positions,
@@ -350,8 +386,15 @@ impl Deployment {
         self.ap_positions.push(ap.config().position);
         self.fusion.add_ap(ap.config().position);
         self.per_ap_window_stats.push(ApStats::default());
-        self.slots
-            .push(spawn_worker(ap_id, ap, &self.cfg, skew, self.up_tx.clone()));
+        let tap = worker_tap(self.telemetry.as_ref(), ap_id);
+        self.slots.push(spawn_worker(
+            ap_id,
+            ap,
+            &self.cfg,
+            skew,
+            self.up_tx.clone(),
+            tap,
+        ));
         self.metrics.aps_added += 1;
         self.fusion.rebaseline();
         ap_id
@@ -494,6 +537,7 @@ impl Deployment {
             None => transmissions
                 .iter()
                 .map(|t| {
+                    let _span = StageTimer::start(self.inline_decode_hist.as_deref());
                     decode_reference(&t.per_ap[0], self.modulation)
                         .ok()
                         .map(Arc::new)
@@ -806,7 +850,69 @@ impl Deployment {
                 self.metrics.consensus_flags += 1;
             }
         }
+        // Periodic telemetry dump: fire the hook every `every` fused
+        // windows, with the window's counters already folded in. Out of
+        // band — the hook sees a snapshot copy and cannot influence the
+        // pipeline.
+        if let Some((every, mut hook)) = self.dump_hook.take() {
+            if every > 0 && self.metrics.windows.is_multiple_of(every) {
+                let snap = self.telemetry_snapshot();
+                hook(&snap);
+            }
+            self.dump_hook = Some((every, hook));
+        }
         Ok(fused)
+    }
+
+    /// Install a periodic telemetry dump hook: `hook` is called with a
+    /// fresh [`TelemetrySnapshot`] after every `every_windows`-th fused
+    /// window (e.g. to append exposition dumps to a file). Replaces any
+    /// previous hook. With telemetry disabled the hook still fires but
+    /// sees only empty snapshots; `every_windows = 0` never fires.
+    pub fn set_dump_hook(
+        &mut self,
+        every_windows: u64,
+        hook: impl FnMut(&TelemetrySnapshot) + Send + 'static,
+    ) {
+        self.dump_hook = Some((every_windows, Box::new(hook)));
+    }
+
+    /// A point-in-time [`TelemetrySnapshot`]: the unified counter
+    /// registry (fleet and per-AP counters mirrored from the
+    /// deterministic [`DeployMetrics`]/[`ApStats`] sources), fusion
+    /// occupancy gauges, and every per-stage latency histogram recorded
+    /// so far. Empty when telemetry is disabled. While the run is live
+    /// the per-AP counters reflect *closed windows* (the full-run
+    /// totals, including in-flight work, arrive in
+    /// [`DeploymentReport::telemetry`] from [`Deployment::finish`]).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        match &self.telemetry {
+            Some(t) => {
+                mirror_counters(t, &self.metrics, &self.per_ap_window_stats, &self.fusion);
+                t.registry.snapshot()
+            }
+            None => TelemetrySnapshot::default(),
+        }
+    }
+
+    /// Render the flight recorder's per-client post-mortem for `mac`:
+    /// one block per recorded window (oldest first) showing the
+    /// bearings, fix, reference and consensus verdict that produced
+    /// each decision — the evidence trail behind a spoof flag. `None`
+    /// when the flight recorder is off or has nothing for this client.
+    pub fn explain(&self, mac: &MacAddr) -> Option<String> {
+        let t = self.telemetry.as_ref()?;
+        let events = t.recorder()?.events(*mac)?;
+        let flags = events.iter().filter(|e| e.verdict.is_spoof()).count();
+        let mut out = format!(
+            "client {mac}: {} recorded window(s), {} spoof verdict(s)\n",
+            events.len(),
+            flags
+        );
+        for e in &events {
+            out.push_str(&e.render());
+        }
+        Some(out)
     }
 
     /// Submit one window and immediately collect it — the synchronous
@@ -902,11 +1008,30 @@ impl Deployment {
         while let Ok(done) = self.up_rx.try_recv() {
             self.route(done);
         }
+        let telemetry = self.telemetry.clone();
         let mut per_ap = Vec::with_capacity(self.slots.len());
         let mut aps = Vec::new();
         for (ap_id, slot) in self.slots.into_iter().enumerate() {
             let mut stats = match slot.join.map(|j| j.join()) {
                 Some(Ok((ap, stats))) => {
+                    // Store-occupancy gauges, tapped now that the AP's
+                    // trained signature store is back in hand.
+                    if let Some(t) = &telemetry {
+                        let occ = ap.spoof.store().occupancy_summary();
+                        let label = ap_id.to_string();
+                        t.registry
+                            .gauge("store.occupancy", &[("ap", &label)])
+                            .set(occ.total as i64);
+                        t.registry
+                            .gauge("store.max_shard_occupancy", &[("ap", &label)])
+                            .set(occ.max as i64);
+                        // Shard imbalance is a ratio; gauges are
+                        // integers, so export it in milli-units
+                        // (1000 = perfectly balanced).
+                        t.registry
+                            .gauge("store.shard_imbalance_milli", &[("ap", &label)])
+                            .set((occ.imbalance() * 1000.0).round() as i64);
+                    }
                     aps.push(ap);
                     stats
                 }
@@ -921,14 +1046,76 @@ impl Deployment {
             stats.skew_rejections = self.per_ap_window_stats[ap_id].skew_rejections;
             per_ap.push(stats);
         }
+        // Final mirror from the *full-run* per-AP totals (richer than
+        // the closed-window view the live snapshot uses), then freeze
+        // the registry into the report. Disabled telemetry yields the
+        // empty default snapshot, keeping reports byte-stable.
+        let report_telemetry = match &telemetry {
+            Some(t) => {
+                mirror_counters(t, &self.metrics, &per_ap, &self.fusion);
+                t.registry.snapshot()
+            }
+            None => TelemetrySnapshot::default(),
+        };
         let report = DeploymentReport {
             n_aps: per_ap.len(),
             metrics: self.metrics,
             per_ap,
             clients: self.fusion.client_summaries(),
+            telemetry: report_telemetry,
         };
         (report, aps)
     }
+}
+
+/// Mirror the deterministic counter sources into the registry — `set`,
+/// not `add`, so repeated snapshots never double-count — plus the
+/// fusion occupancy gauges. Mirroring at snapshot time, instead of
+/// incrementing registry counters on the hot paths, is what keeps
+/// control flow (and therefore every fused byte) identical with
+/// telemetry on or off.
+fn mirror_counters(
+    t: &DeployTelemetry,
+    metrics: &DeployMetrics,
+    per_ap: &[ApStats],
+    fusion: &Fusion,
+) {
+    metrics.for_each(|name, v| {
+        t.registry.counter(&format!("fleet.{name}"), &[]).set(v);
+    });
+    t.registry
+        .gauge("fleet.max_fusion_queue_depth", &[])
+        .set(metrics.max_fusion_queue_depth as i64);
+    for (ap_id, stats) in per_ap.iter().enumerate() {
+        let label = ap_id.to_string();
+        stats.for_each(|name, v| {
+            t.registry
+                .counter(&format!("ap.{name}"), &[("ap", &label)])
+                .set(v);
+        });
+    }
+    let per_shard = fusion.tracked_clients_per_shard();
+    t.registry
+        .gauge("fusion.tracked_clients", &[])
+        .set(per_shard.iter().sum::<usize>() as i64);
+    for (shard, n) in per_shard.iter().enumerate() {
+        t.registry
+            .gauge("fusion.shard_clients", &[("shard", &shard.to_string())])
+            .set(*n as i64);
+    }
+    t.registry
+        .gauge("recorder.clients", &[])
+        .set(t.recorder.client_count() as i64);
+}
+
+/// The per-AP stage-histogram handles for one worker, when stage
+/// timing is on.
+fn worker_tap(telemetry: Option<&Arc<DeployTelemetry>>, ap_id: usize) -> Option<WorkerTap> {
+    let t = telemetry?;
+    Some(WorkerTap {
+        dsp: t.stage("stage.worker_dsp", "ap", ap_id)?,
+        enforce: t.stage("stage.enforce", "ap", ap_id)?,
+    })
 }
 
 /// Spawn one AP worker thread.
@@ -938,6 +1125,7 @@ fn spawn_worker(
     cfg: &DeployConfig,
     skew: ApSkew,
     up: SyncSender<WindowDone>,
+    tap: Option<WorkerTap>,
 ) -> WorkerSlot {
     let (tx, rx) = sync_channel(cfg.channel_capacity.max(1));
     let wcfg = WorkerCfg {
@@ -946,6 +1134,7 @@ fn spawn_worker(
         skew,
         link: cfg.link,
         marker_loss_rate: cfg.marker_loss_rate,
+        tap,
     };
     let join = std::thread::Builder::new()
         .name(format!("sa-deploy-ap{}", ap_id))

@@ -20,13 +20,16 @@
 
 use crate::config::DeployConfig;
 use crate::report::{ApPacket, ClientFix, ClientSummary, FusedWindow};
+use crate::telemetry::{BearingEvidence, ClientWindowEvent, DeployTelemetry, FusionTaps, ShardTap};
 use sa_channel::geom::Point;
 use sa_mac::MacAddr;
+use sa_telemetry::StageTimer;
 use secureangle::localize::{localize_robust, localize_robust_weighted, BearingObservation};
 use secureangle::spoof::{ConsensusVerdict, CrossApConsensus};
 use secureangle::store::mac_shard;
 use secureangle::tracking::MobilityTracker;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-client fusion state.
 struct ClientState {
@@ -93,6 +96,11 @@ pub struct Fusion {
     /// but stop counting toward the expected quorum.
     live: Vec<bool>,
     shards: Vec<FusionShard>,
+    /// Telemetry taps (per-shard drain/consensus histograms and the
+    /// flight recorder) — `None` until a deployment attaches its
+    /// telemetry bundle. Strictly out-of-band: every fused byte is
+    /// identical with taps attached or not.
+    taps: Option<FusionTaps>,
 }
 
 impl Fusion {
@@ -110,7 +118,32 @@ impl Fusion {
             cfg,
             live: vec![true; ap_positions.len()],
             ap_positions,
+            taps: None,
         }
+    }
+
+    /// Attach a deployment's telemetry bundle: creates one
+    /// `stage.fusion_drain` and one `stage.consensus` histogram per
+    /// shard (when stage timing is on) and routes per-client window
+    /// events into the flight recorder (when it is on).
+    pub(crate) fn attach_telemetry(&mut self, telemetry: &Arc<DeployTelemetry>) {
+        let n = self.shards.len();
+        self.taps = Some(FusionTaps {
+            drain: (0..n)
+                .filter_map(|i| telemetry.stage("stage.fusion_drain", "shard", i))
+                .collect(),
+            consensus: (0..n)
+                .filter_map(|i| telemetry.stage("stage.consensus", "shard", i))
+                .collect(),
+            telemetry: telemetry.clone(),
+        });
+    }
+
+    /// Number of clients with fusion state (tracker + consensus
+    /// baseline) on each shard — the occupancy view behind the
+    /// `fusion.tracked_clients` / shard-imbalance gauges.
+    pub fn tracked_clients_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.clients.len()).collect()
     }
 
     /// Register a new AP at `position`; returns its stable id. Does
@@ -229,12 +262,27 @@ impl Fusion {
             missing_aps,
             group_capacity: self.live.iter().filter(|&&l| l).count().max(1),
         };
+        // Per-shard tap views (Copy refs into the attached bundle). A
+        // detached fusion stage — or one whose deployment left
+        // telemetry disabled — gets all-`None` taps, so every span and
+        // recorder call below is a single branch.
+        let taps: Vec<ShardTap<'_>> = match &self.taps {
+            Some(t) => (0..n_shards)
+                .map(|i| ShardTap {
+                    drain: t.drain.get(i).map(|h| &**h),
+                    consensus: t.consensus.get(i).map(|h| &**h),
+                    recorder: t.telemetry.recorder(),
+                })
+                .collect(),
+            None => vec![ShardTap::NONE; n_shards],
+        };
         let shards = &mut self.shards;
         let outputs: Vec<ShardOutput> = if n_shards == 1 {
             vec![drain_shard(
                 &mut shards[0],
                 per_shard.pop().expect("one shard"),
                 ctx,
+                taps[0],
             )]
         } else {
             // Shards share no client state, so each scoped thread takes
@@ -245,7 +293,10 @@ impl Fusion {
                 let handles: Vec<_> = shards
                     .iter_mut()
                     .zip(per_shard)
-                    .map(|(shard, pkts)| s.spawn(move || drain_shard(shard, pkts, ctx)))
+                    .zip(&taps)
+                    .map(|((shard, pkts), &tap)| {
+                        s.spawn(move || drain_shard(shard, pkts, ctx, tap))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -315,7 +366,10 @@ fn drain_shard(
     shard: &mut FusionShard,
     mut packets: Vec<ApPacket>,
     ctx: DrainCtx<'_>,
+    tap: ShardTap<'_>,
 ) -> ShardOutput {
+    // Times the whole shard drain (sort + group + fuse + consensus).
+    let _drain_span = StageTimer::start(tap.drain);
     // One (ap, seq) sort per shard drain; every per-client group below
     // then comes out pre-ordered for free.
     packets.sort_by_key(|p| (p.ap_id, p.seq));
@@ -337,6 +391,14 @@ fn drain_shard(
     let mut bearings_total = 0usize;
     let mut localize_failures = 0usize;
     for (mac, reports) in by_mac {
+        // Read the consensus reference *before* this client's check (a
+        // clean fix below may auto-train it) so the flight-recorder
+        // event shows what the verdict was actually compared against.
+        let reference_at_check = tap
+            .recorder
+            .and_then(|_| shard.consensus.reference(&mac))
+            .map(|p| (p.x, p.y));
+        let mut evidence = Vec::new();
         let mut bearings = Vec::new();
         let mut bearing_aps = Vec::new();
         let mut confidences = Vec::new();
@@ -352,6 +414,13 @@ fn drain_shard(
                 bearing_aps.push(r.ap_id);
                 confidences.push(b.confidence);
                 confidence_sum += b.confidence;
+                if tap.recorder.is_some() {
+                    evidence.push(BearingEvidence {
+                        ap_id: r.ap_id,
+                        azimuth_rad: b.azimuth,
+                        confidence: b.confidence,
+                    });
+                }
             }
             match r.verdict {
                 secureangle::pipeline::FrameVerdict::Admit { .. } => admitted_aps += 1,
@@ -420,12 +489,15 @@ fn drain_shard(
                     // had on a healthy link", so range-limited
                     // clients and robust-dropped ghosts earn none.
                     let supporting = distinct_aps(&supporting_aps);
-                    let verdict = shard.consensus.check_degraded(
-                        mac,
-                        &fix,
-                        supporting,
-                        supporting + ctx.missing_aps,
-                    );
+                    let verdict = {
+                        let _span = StageTimer::start(tap.consensus);
+                        shard.consensus.check_degraded(
+                            mac,
+                            &fix,
+                            supporting,
+                            supporting + ctx.missing_aps,
+                        )
+                    };
                     if verdict == ConsensusVerdict::Untrained
                         && ctx.cfg.auto_train_references
                         && fix.behind_count == 0
@@ -443,6 +515,25 @@ fn drain_shard(
         } else {
             (None, None, ConsensusVerdict::Insufficient)
         };
+
+        if let Some(recorder) = tap.recorder {
+            recorder.record(
+                mac,
+                ClientWindowEvent {
+                    window: ctx.window,
+                    expected_aps: ctx.expected_aps,
+                    missing_aps: ctx.missing_aps,
+                    n_aps,
+                    bearings: evidence,
+                    fix: fix.map(|f| (f.position.x, f.position.y)),
+                    residual_m: fix.map_or(0.0, |f| f.residual_m),
+                    reference: reference_at_check,
+                    admitted_aps,
+                    flagged_aps,
+                    verdict: consensus,
+                },
+            );
+        }
 
         clients.push(ClientFix {
             mac,

@@ -43,6 +43,15 @@
 //! * Backpressure, queue-depth, loss, skew and churn counters plus a
 //!   final [`DeploymentReport`] make the behavior measurable (see the
 //!   `deploy` and `deploy_degraded` criterion groups in `sa-bench`).
+//! * Observability is **strictly out-of-band**
+//!   ([`DeployConfig::telemetry`], default off): a unified counter
+//!   registry mirrored from the deterministic stats, per-stage latency
+//!   histograms (stage-1 decode, per-AP DSP, enforcement, fusion drain,
+//!   consensus), store/fusion occupancy gauges, and a per-client
+//!   flight recorder whose [`Deployment::explain`] renders the evidence
+//!   trail behind any spoof verdict. Fused output is byte-identical
+//!   with telemetry on or off (`tests/proptest_telemetry.rs`); see
+//!   `docs/OBSERVABILITY.md` for the metric reference.
 //!
 //! ```no_run
 //! use sa_deploy::{DeployConfig, Deployment, Transmission};
@@ -67,6 +76,7 @@ pub mod config;
 pub mod deployment;
 pub mod fusion;
 pub mod report;
+pub mod telemetry;
 mod worker;
 
 pub use config::{ApSkew, DeployConfig, DeployError, LinkConfig};
@@ -75,3 +85,5 @@ pub use fusion::Fusion;
 pub use report::{
     ApPacket, ApStats, ClientFix, ClientSummary, DeployMetrics, DeploymentReport, FusedWindow,
 };
+pub use sa_telemetry::{TelemetryConfig, TelemetrySnapshot};
+pub use telemetry::{BearingEvidence, ClientWindowEvent};

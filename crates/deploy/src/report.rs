@@ -3,10 +3,49 @@
 
 use sa_channel::geom::Point;
 use sa_mac::MacAddr;
+use sa_telemetry::TelemetrySnapshot;
 use secureangle::localize::Fix;
 use secureangle::pipeline::{BearingReport, FrameVerdict};
 use secureangle::spoof::ConsensusVerdict;
 use secureangle::tracking::TrackPoint;
+
+/// Defines a block of `u64` counters with the plumbing every such block
+/// used to hand-roll: the struct itself, field-wise [`absorb`]
+/// (folding), and a [`for_each`] visitor that names every counter — the
+/// single source of truth the telemetry registry mirrors from, so a
+/// newly added field can never silently miss `absorb` or the exported
+/// snapshot.
+///
+/// [`absorb`]: ApStats::absorb
+/// [`for_each`]: ApStats::for_each
+macro_rules! counter_block {
+    (
+        $(#[$struct_meta:meta])*
+        pub struct $name:ident {
+            $( $(#[$field_meta:meta])* pub $field:ident: u64, )+
+        }
+    ) => {
+        $(#[$struct_meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $name {
+            $( $(#[$field_meta])* pub $field: u64, )+
+        }
+
+        impl $name {
+            /// Fold another counter block into this one, field-wise.
+            pub fn absorb(&mut self, other: &$name) {
+                $( self.$field += other.$field; )+
+            }
+
+            /// Visit every counter as a `(name, value)` pair, in
+            /// declaration order. This is what the telemetry snapshot
+            /// mirrors, so the visitor is exhaustive by construction.
+            pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+                $( f(stringify!($field), self.$field); )+
+            }
+        }
+    };
+}
 
 /// One AP worker's processed packet, as delivered to the fusion stage:
 /// the core crate's `(mac, azimuth, confidence, seq)`
@@ -39,9 +78,12 @@ pub struct ApPacket {
     pub verdict: FrameVerdict,
 }
 
-/// Counters for one AP worker (per window, and summed over the run).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ApStats {
+counter_block! {
+    /// Counters for one AP worker (per window, and summed over the
+    /// run). Defined through `counter_block!`, which also generates
+    /// [`ApStats::absorb`] and [`ApStats::for_each`] so the three can
+    /// never drift apart.
+    pub struct ApStats {
     /// Windows processed.
     pub windows: u64,
     /// Captures handed to this worker.
@@ -87,26 +129,6 @@ pub struct ApStats {
     /// ([`crate::DeployConfig::marker_timeout_windows`]) or the final
     /// flush instead.
     pub markers_lost: u64,
-}
-
-impl ApStats {
-    /// Fold another stats block into this one.
-    pub fn absorb(&mut self, other: &ApStats) {
-        self.windows += other.windows;
-        self.packets += other.packets;
-        self.observed += other.observed;
-        self.observe_failures += other.observe_failures;
-        self.admitted += other.admitted;
-        self.dropped_spoof += other.dropped_spoof;
-        self.dropped_other += other.dropped_other;
-        self.trained += other.trained;
-        self.bearings += other.bearings;
-        self.backpressure_events += other.backpressure_events;
-        self.report_drops += other.report_drops;
-        self.report_retransmits += other.report_retransmits;
-        self.reports_lost += other.reports_lost;
-        self.skew_rejections += other.skew_rejections;
-        self.markers_lost += other.markers_lost;
     }
 }
 
@@ -218,6 +240,38 @@ pub struct DeployMetrics {
     pub aps_removed: u64,
 }
 
+impl DeployMetrics {
+    /// Visit every fleet-wide *counter* as a `(name, value)` pair, in
+    /// declaration order. `max_fusion_queue_depth` is deliberately
+    /// excluded: it is a high-water mark, not a monotonic counter, and
+    /// the telemetry snapshot exports it as a gauge instead.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("windows", self.windows);
+        f("transmissions", self.transmissions);
+        f("decode_failures", self.decode_failures);
+        f("packets_dispatched", self.packets_dispatched);
+        f("fused_bearings", self.fused_bearings);
+        f("fixes", self.fixes);
+        f("localize_failures", self.localize_failures);
+        f("consensus_flags", self.consensus_flags);
+        f(
+            "ingest_backpressure_events",
+            self.ingest_backpressure_events,
+        );
+        f(
+            "report_backpressure_events",
+            self.report_backpressure_events,
+        );
+        f("reports_lost", self.reports_lost);
+        f("skew_rejections", self.skew_rejections);
+        f("markers_lost", self.markers_lost);
+        f("degraded_windows", self.degraded_windows);
+        f("worker_losses", self.worker_losses);
+        f("aps_added", self.aps_added);
+        f("aps_removed", self.aps_removed);
+    }
+}
+
 /// One client's whole-run summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientSummary {
@@ -256,6 +310,7 @@ pub struct ClientSummary {
 /// #     metrics: DeployMetrics::default(),
 /// #     per_ap: vec![ApStats::default(); 2],
 /// #     clients: Vec::new(),
+/// #     telemetry: Default::default(),
 /// # };
 /// for (ap, stats) in report.per_ap.iter().enumerate() {
 ///     let attempts = stats.packets.max(1);
@@ -281,6 +336,14 @@ pub struct DeploymentReport {
     pub per_ap: Vec<ApStats>,
     /// Per-client summaries, ordered by MAC.
     pub clients: Vec<ClientSummary>,
+    /// The unified telemetry snapshot: every per-AP and fleet counter
+    /// above mirrored into hierarchical registry names (`ap.*` labeled
+    /// by AP id, `fleet.*`), per-stage latency histograms when stage
+    /// timing was on, and store-occupancy gauges. Empty when
+    /// [`crate::DeployConfig::telemetry`] is disabled (the default), so
+    /// reports from telemetry-free runs compare byte-identical to
+    /// earlier releases.
+    pub telemetry: TelemetrySnapshot,
 }
 
 #[cfg(test)]
@@ -323,5 +386,56 @@ mod tests {
         assert_eq!(b.reports_lost, 26);
         assert_eq!(b.skew_rejections, 28);
         assert_eq!(b.markers_lost, 30);
+        // for_each visits the same fields absorb folds — exhaustive by
+        // construction (both come out of the counter_block! macro), and
+        // the visited sum doubles along with the fields.
+        let (mut names_a, mut sum_a) = (Vec::new(), 0u64);
+        a.for_each(|name, v| {
+            names_a.push(name);
+            sum_a += v;
+        });
+        let mut sum_b = 0u64;
+        b.for_each(|_, v| sum_b += v);
+        assert_eq!(names_a.len(), 15);
+        assert_eq!(names_a[0], "windows");
+        assert_eq!(names_a[14], "markers_lost");
+        assert_eq!(sum_b, 2 * sum_a);
+    }
+
+    #[test]
+    fn deploy_metrics_for_each_covers_every_counter() {
+        let mut m = DeployMetrics {
+            max_fusion_queue_depth: 999,
+            ..Default::default()
+        };
+        // Give every u64 field a distinct value via the visitor's own
+        // field list, then check the visited sum matches.
+        m.windows = 1;
+        m.transmissions = 2;
+        m.decode_failures = 3;
+        m.packets_dispatched = 4;
+        m.fused_bearings = 5;
+        m.fixes = 6;
+        m.localize_failures = 7;
+        m.consensus_flags = 8;
+        m.ingest_backpressure_events = 9;
+        m.report_backpressure_events = 10;
+        m.reports_lost = 11;
+        m.skew_rejections = 12;
+        m.markers_lost = 13;
+        m.degraded_windows = 14;
+        m.worker_losses = 15;
+        m.aps_added = 16;
+        m.aps_removed = 17;
+        let mut names = Vec::new();
+        let mut sum = 0u64;
+        m.for_each(|name, v| {
+            names.push(name);
+            sum += v;
+        });
+        assert_eq!(names.len(), 17);
+        assert_eq!(sum, (1..=17).sum::<u64>());
+        // The high-water mark is a gauge, not a counter: never visited.
+        assert!(!names.contains(&"max_fusion_queue_depth"));
     }
 }

@@ -11,7 +11,9 @@
 
 use crate::config::{ApSkew, LinkConfig};
 use crate::report::{ApPacket, ApStats};
+use crate::telemetry::WorkerTap;
 use sa_linalg::CMat;
+use sa_telemetry::StageTimer;
 use secureangle::pipeline::{DecodedPacket, DropReason, FrameVerdict};
 use secureangle::spoof::SpoofVerdict;
 use secureangle::AccessPoint;
@@ -82,6 +84,12 @@ pub(crate) struct WorkerCfg {
     /// dedicated stream so enabling marker loss never shifts the
     /// report-loss draws.
     pub marker_loss_rate: f64,
+    /// Stage-latency histogram handles (`stage.worker_dsp`,
+    /// `stage.enforce`, labeled by AP) — `None` unless stage timing is
+    /// on, so the disabled path costs one branch per span and reads no
+    /// clock. Timing is write-only: nothing downstream ever reads it,
+    /// keeping fused output byte-identical with telemetry on or off.
+    pub tap: Option<WorkerTap>,
 }
 
 /// Deterministic per-AP loss stream: splitmix64 over `seed ^ ap_id`.
@@ -183,7 +191,10 @@ pub(crate) fn run_worker(
                 Err(_) => stats.observe_failures += 1,
             }
         }
-        let observations = batch.process();
+        let observations = {
+            let _span = StageTimer::start(cfg.tap.as_ref().map(|t| &*t.dsp));
+            batch.process()
+        };
         engine = Some(batch.into_engine());
 
         // Enforcement + report assembly, in seq order. Reports carry
@@ -192,7 +203,10 @@ pub(crate) fn run_worker(
         let mut reports = Vec::with_capacity(observations.len());
         for (obs, &seq) in observations.iter().zip(&seqs) {
             stats.observed += 1;
-            let verdict = ap.enforce(obs);
+            let verdict = {
+                let _span = StageTimer::start(cfg.tap.as_ref().map(|t| &*t.enforce));
+                ap.enforce(obs)
+            };
             match verdict {
                 FrameVerdict::Admit { spoof } => {
                     stats.admitted += 1;

@@ -12,6 +12,7 @@
 //! ```text
 //! cargo run --release --example multi_ap_fence [-- --aps 4 --windows 3 --seed 2010 --smoke]
 //!     [--loss 0.1] [--retries 3] [--skew 2] [--churn] [--stream 2]
+//!     [--metrics-out telemetry.prom]
 //! ```
 //!
 //! Degraded-mode knobs: `--loss R` runs the worker report links at drop
@@ -24,12 +25,20 @@
 //! byte-identical output at any depth). `--smoke` asserts the headline
 //! claims (used by CI, with and without the degraded knobs) and exits
 //! non-zero on failure.
+//!
+//! `--metrics-out PATH` turns the full telemetry surface on
+//! (`TelemetryConfig::full()`): the run writes its Prometheus text
+//! exposition to `PATH` and the JSON snapshot to `PATH.json`, prints
+//! per-stage latency quantiles and the flight-recorder post-mortem for
+//! the spoofed victim, and — under `--smoke` — validates both outputs
+//! with the in-repo exposition/JSON parsers. Telemetry is out-of-band:
+//! the fused windows are byte-identical with or without this flag.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sa_channel::geom::pt;
 use sa_channel::pattern::TxAntenna;
-use sa_deploy::{ApSkew, DeployConfig, Deployment, LinkConfig, Transmission};
+use sa_deploy::{ApSkew, DeployConfig, Deployment, LinkConfig, TelemetryConfig, Transmission};
 use sa_testbed::Testbed;
 use secureangle::fence::{FenceConfig, VirtualFence};
 
@@ -52,6 +61,7 @@ fn main() {
     let churn = flag("--churn");
     let stream: usize = arg("--stream").and_then(|s| s.parse().ok()).unwrap_or(0);
     let smoke = flag("--smoke");
+    let metrics_out = arg("--metrics-out");
     let victim = 5usize;
 
     println!(
@@ -161,6 +171,11 @@ fn main() {
         },
         max_skew_windows: skew.unsigned_abs().max(2),
         windows_in_flight: stream.max(1),
+        telemetry: if metrics_out.is_some() {
+            TelemetryConfig::full()
+        } else {
+            TelemetryConfig::disabled()
+        },
         ..DeployConfig::default()
     };
     let aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
@@ -290,6 +305,19 @@ fn main() {
         }
     }
 
+    // Flight-recorder post-mortem: render the recorded evidence trail
+    // behind the spoof verdict before the deployment is consumed.
+    let mut explain_ok = metrics_out.is_none();
+    if metrics_out.is_some() {
+        match deployment.explain(&victim_mac) {
+            Some(post_mortem) => {
+                explain_ok = post_mortem.contains("SPOOF");
+                println!("\nflight recorder post-mortem:\n{post_mortem}");
+            }
+            None => println!("\nflight recorder: no events recorded for {victim_mac}"),
+        }
+    }
+
     // Report.
     let (report, aps) = deployment.finish();
     println!("\ndeployment report:");
@@ -350,14 +378,86 @@ fn main() {
         store.shard_occupancy()
     );
 
+    // Telemetry export: Prometheus text exposition + JSON snapshot,
+    // validated with the in-repo parsers (the CI smoke relies on this).
+    let mut telemetry_ok = true;
+    if let Some(path) = &metrics_out {
+        let snap = &report.telemetry;
+        println!(
+            "\ntelemetry snapshot: {} counters, {} gauges, {} histograms",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len()
+        );
+        for stage in [
+            "stage.decode",
+            "stage.worker_dsp",
+            "stage.enforce",
+            "stage.fusion_drain",
+            "stage.consensus",
+        ] {
+            if let Some(h) = snap.merged_histogram(stage) {
+                println!(
+                    "  {:<18} p50 {:>8} ns  p99 {:>8} ns  max {:>8} ns  ({} samples)",
+                    stage,
+                    h.p50().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                    h.max,
+                    h.count
+                );
+            }
+        }
+        let prom = snap.to_prometheus();
+        let json = snap.to_json();
+        std::fs::write(path, &prom).expect("write Prometheus exposition");
+        let json_path = format!("{path}.json");
+        std::fs::write(&json_path, &json).expect("write JSON snapshot");
+        println!("  wrote {path} and {json_path}");
+
+        match sa_telemetry::expo::parse_exposition(&prom) {
+            Ok(samples) => {
+                let has = |name: &str| samples.iter().any(|s| s.name == name);
+                for required in ["sa_fleet_windows", "sa_ap_packets", "sa_stage_decode_count"] {
+                    if !has(required) {
+                        eprintln!("telemetry: exposition is missing {required}");
+                        telemetry_ok = false;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry: exposition failed to parse: {e}");
+                telemetry_ok = false;
+            }
+        }
+        match sa_telemetry::json::parse(&json) {
+            Ok(doc) => {
+                let rerendered = sa_telemetry::json::render_pretty(&doc);
+                if sa_telemetry::json::parse(&rerendered) != Ok(doc) {
+                    eprintln!("telemetry: JSON snapshot does not round-trip");
+                    telemetry_ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry: JSON snapshot failed to parse: {e}");
+                telemetry_ok = false;
+            }
+        }
+    }
+
     if smoke {
         let ok_fixes = 10 * within_3m >= 9 * survey.clients.len();
         let expected_windows = n_windows.max(2) + u64::from(churn);
         let ok_windows = report.metrics.windows == expected_windows;
-        if !(ok_fixes && spoof_caught && outsider_outside && ok_windows) {
+        if !(ok_fixes
+            && spoof_caught
+            && outsider_outside
+            && ok_windows
+            && telemetry_ok
+            && explain_ok)
+        {
             eprintln!(
-                "SMOKE FAILED: fixes_ok={} spoof_caught={} outsider_outside={} windows_ok={}",
-                ok_fixes, spoof_caught, outsider_outside, ok_windows
+                "SMOKE FAILED: fixes_ok={} spoof_caught={} outsider_outside={} windows_ok={} telemetry_ok={} explain_ok={}",
+                ok_fixes, spoof_caught, outsider_outside, ok_windows, telemetry_ok, explain_ok
             );
             std::process::exit(1);
         }

@@ -24,6 +24,7 @@ pub use sa_linalg as linalg;
 pub use sa_mac as mac;
 pub use sa_phy as phy;
 pub use sa_sigproc as sigproc;
+pub use sa_telemetry as telemetry;
 pub use sa_testbed as testbed;
 pub use secureangle as core;
 
@@ -41,6 +42,7 @@ pub mod prelude {
     };
     pub use sa_mac::{Frame, MacAddr};
     pub use sa_phy::Modulation;
+    pub use sa_telemetry::{TelemetryConfig, TelemetrySnapshot};
     pub use sa_testbed::{ApArray, Office, Testbed};
     pub use secureangle::pipeline::{AccessPoint, ApConfig, FrameVerdict};
     pub use secureangle::signature::{AoaSignature, MatchConfig};
