@@ -1,0 +1,162 @@
+//! CRLB-weighted bearing confidence.
+//!
+//! MUSIC's eigendecomposition yields the packet's SNR for free (the
+//! eigenvalue split — `sa_sigproc::snr`), and the stochastic-MUSIC
+//! Cramér–Rao lower bound turns that SNR into a *variance* for the
+//! bearing estimate:
+//!
+//! ```text
+//! var(ω̂) ≥ 6 / (N · SNR · M · (M² − 1))
+//! ```
+//!
+//! for a single source on an `M`-element half-wavelength ULA with `N`
+//! snapshots (Stoica & Nehorai 1989, large-sample single-source form).
+//! The deploy layer's weighted fusion consumes confidences in `[0, 1]`;
+//! mapping `σ` through `1/(1 + σ_deg)` gives a weight that decays
+//! smoothly as the bound loosens, with 1 reserved for a perfect (zero
+//! variance) bearing.
+//!
+//! The bound uses the *full physical aperture* `M` even when smoothing
+//! analyses a shorter subarray: the full-aperture bound is never above
+//! the subarray's, so confidences err on the optimistic-variance
+//! (pessimistic-weight) side and the RMSE/CRLB ratio stays ≥ 1.
+
+/// Which confidence the estimator attaches to its estimates.
+///
+/// ```
+/// use sa_aoa::confidence::ConfidenceModel;
+///
+/// // The default reproduces the historical peak-power confidence and
+/// // leaves `AoaEstimate::crlb_confidence` unset.
+/// assert_eq!(ConfidenceModel::default(), ConfidenceModel::PeakPower);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConfidenceModel {
+    /// Historical behaviour: confidence is derived downstream from the
+    /// ranked peaks' power split (`Observation::confidence` in the core
+    /// pipeline). [`crate::estimator::AoaEstimate::crlb_confidence`]
+    /// stays `None`.
+    #[default]
+    PeakPower,
+    /// CRLB-weighted: per-packet SNR from the eigenvalue split, mapped
+    /// through the single-source CRLB to a bearing standard deviation
+    /// and then to a `[0, 1]` confidence via [`crlb_confidence`].
+    Crlb,
+}
+
+/// CRLB-derived standard deviation of the *electrical* angle, in
+/// degrees.
+///
+/// * `snr_linear` — per-element linear SNR (from
+///   `sa_sigproc::snr::eig_split_snr`, divided by the element count to
+///   undo the subspace concentration);
+/// * `n_snapshots` — samples behind the covariance;
+/// * `n_elements` — the full physical aperture.
+///
+/// For a Davies virtual ULA the electrical angle *is* azimuth, so this
+/// is already a bearing sigma; a physical ULA needs the
+/// [`ula_bearing_sigma_deg`] Jacobian on top (the estimator applies it
+/// automatically).
+///
+/// Degenerate inputs (zero SNR, fewer than two elements or one
+/// snapshot) return `f64::INFINITY`: an unbounded variance, which
+/// [`crlb_confidence`] maps to confidence 0.
+///
+/// ```
+/// use sa_aoa::confidence::{crlb_confidence, crlb_sigma_deg};
+///
+/// let sigma = crlb_sigma_deg(10.0, 64, 8); // 10 dB, 64 snapshots, M=8
+/// assert!(sigma > 0.0 && sigma < 0.3);
+/// let c = crlb_confidence(sigma);
+/// assert!(c > 0.7 && c < 1.0);
+/// assert_eq!(crlb_confidence(crlb_sigma_deg(0.0, 64, 8)), 0.0);
+/// ```
+pub fn crlb_sigma_deg(snr_linear: f64, n_snapshots: usize, n_elements: usize) -> f64 {
+    let m = n_elements as f64;
+    let n = n_snapshots as f64;
+    if snr_linear.is_nan() || snr_linear <= 0.0 || n_elements < 2 || n_snapshots == 0 {
+        return f64::INFINITY;
+    }
+    let var_omega = 6.0 / (n * snr_linear * m * (m * m - 1.0));
+    var_omega.sqrt().to_degrees()
+}
+
+/// Convert an electrical-angle sigma to a broadside-bearing sigma for a
+/// physical ULA.
+///
+/// [`crlb_sigma_deg`] bounds the *electrical* angle `ω = kd·sin θ`
+/// (inter-element phase). For a Davies virtual ULA the mode index
+/// multiplies azimuth directly, so `ω` *is* the bearing and no
+/// conversion applies — but for a physical ULA the chain rule gives
+/// `σ_θ = σ_ω / (kd·cos θ)`, evaluated at the bearing estimate. The
+/// factor is ≈ π at broadside for half-wavelength spacing (the bound
+/// *tightens* by ~3×) and collapses toward endfire, where bearing
+/// recovery is genuinely ill-conditioned and the sigma correctly
+/// diverges to `INFINITY` (confidence 0).
+///
+/// ```
+/// use sa_aoa::confidence::ula_bearing_sigma_deg;
+///
+/// let kd = std::f64::consts::PI; // half-wavelength spacing
+/// let broadside = ula_bearing_sigma_deg(1.0, kd, 0.0);
+/// assert!((broadside - 1.0 / kd).abs() < 1e-12);
+/// assert!(ula_bearing_sigma_deg(1.0, kd, 60.0) > broadside);
+/// assert_eq!(ula_bearing_sigma_deg(1.0, kd, 90.0), f64::INFINITY);
+/// ```
+pub fn ula_bearing_sigma_deg(sigma_omega_deg: f64, kd: f64, bearing_broadside_deg: f64) -> f64 {
+    let jacobian = (kd * bearing_broadside_deg.to_radians().cos()).abs();
+    if jacobian > 1e-12 && sigma_omega_deg.is_finite() {
+        sigma_omega_deg / jacobian
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Map a CRLB bearing standard deviation (degrees) to a `[0, 1]` fusion
+/// weight: `1 / (1 + σ)`. Infinite σ (degenerate bound) gives 0.
+pub fn crlb_confidence(sigma_deg: f64) -> f64 {
+    if sigma_deg.is_finite() {
+        1.0 / (1.0 + sigma_deg.max(0.0))
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_tightens_with_snr_snapshots_and_aperture() {
+        let base = crlb_sigma_deg(1.0, 64, 8);
+        assert!(crlb_sigma_deg(10.0, 64, 8) < base);
+        assert!(crlb_sigma_deg(1.0, 256, 8) < base);
+        assert!(crlb_sigma_deg(1.0, 64, 16) < base);
+        // 10× SNR ⇒ √10 tighter.
+        let r = base / crlb_sigma_deg(10.0, 64, 8);
+        assert!((r - 10f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_zero_confidence() {
+        assert_eq!(crlb_sigma_deg(0.0, 64, 8), f64::INFINITY);
+        assert_eq!(crlb_sigma_deg(-1.0, 64, 8), f64::INFINITY);
+        assert_eq!(crlb_sigma_deg(1.0, 0, 8), f64::INFINITY);
+        assert_eq!(crlb_sigma_deg(1.0, 64, 1), f64::INFINITY);
+        assert_eq!(crlb_confidence(f64::INFINITY), 0.0);
+        assert_eq!(crlb_confidence(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn confidence_is_monotone_in_sigma_and_bounded() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let sigma = 0.05 * i as f64;
+            let c = crlb_confidence(sigma);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c <= prev);
+            prev = c;
+        }
+        assert_eq!(crlb_confidence(0.0), 1.0);
+    }
+}

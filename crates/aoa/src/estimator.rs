@@ -28,15 +28,19 @@
 //! assert!(angle_diff_deg(est.bearing_deg(), 50.0, true) < 3.0);
 //! ```
 
+use crate::backends::{coarse_to_fine_scan, Candidate, RootMusicBackend};
 use crate::beamform::{bartlett_spectrum, capon_spectrum};
+use crate::confidence::ConfidenceModel;
 use crate::manifold::{ScanSpace, SteeringTable};
 use crate::music::music_spectrum_from_table;
 use crate::pseudospectrum::Pseudospectrum;
 use crate::source_count::SourceCount;
 use sa_array::geometry::{Array, ArrayKind};
+use sa_linalg::complex::C64;
 use sa_linalg::eigen::{EigBackend, EigH, EighWorkspace};
 use sa_linalg::CMat;
 use sa_sigproc::covariance::{forward_backward_into, sample_covariance, smooth_fb_into};
+use sa_sigproc::snr::eig_split_snr;
 
 /// Spectrum estimation algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +69,75 @@ pub enum Smoothing {
         /// aperture.
         sub_len: usize,
     },
+}
+
+/// How the MUSIC spectrum search is executed (MUSIC only — the
+/// Bartlett/Capon baselines always scan their full grid).
+///
+/// The exhaustive grid scan is the always-available oracle: every other
+/// backend is property-tested against it (`tests/proptest_backends.rs`)
+/// and any can be selected per-deployment without touching the rest of
+/// the pipeline.
+///
+/// ```
+/// use sa_aoa::estimator::{estimate, AoaConfig, ScanBackend};
+/// use sa_aoa::pseudospectrum::angle_diff_deg;
+/// use sa_array::geometry::Array;
+/// use sa_linalg::{C64, CMat};
+///
+/// let array = Array::paper_octagon();
+/// let steer = array.steering(50f64.to_radians());
+/// let x = CMat::from_fn(array.len(), 128, |m, t| steer[m] * C64::cis(0.9 * t as f64));
+/// for backend in [
+///     ScanBackend::Exhaustive,
+///     ScanBackend::coarse_to_fine(),
+///     ScanBackend::RootMusic,
+/// ] {
+///     let cfg = AoaConfig { scan_backend: backend, ..AoaConfig::default() };
+///     let est = estimate(&x, &array, &cfg);
+///     assert!(angle_diff_deg(est.bearing_deg(), 50.0, true) < 3.0);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ScanBackend {
+    /// Evaluate the pseudospectrum at every grid point (the default and
+    /// the reference oracle; bit-identical to the historical pipeline).
+    #[default]
+    Exhaustive,
+    /// Scan a `decimate`-times coarser grid, rescan the full-rate grid
+    /// only around coarse maxima, then polish each peak on the
+    /// continuous steering response to `refine_tol_deg`. Same peak set
+    /// as the exhaustive scan (to within the refinement tolerance) at a
+    /// fraction of the per-packet work; peak bearings are no longer
+    /// quantised to the grid. See [`ScanBackend::coarse_to_fine`] for
+    /// the tuned defaults.
+    CoarseToFine {
+        /// Coarse-grid decimation factor (values ≤ 1 degrade to the
+        /// exhaustive scan).
+        decimate: usize,
+        /// Stop refining a peak once its bracket is this narrow
+        /// (degrees).
+        refine_tol_deg: f64,
+    },
+    /// Root-MUSIC: root the noise-subspace polynomial instead of
+    /// scanning. Only Vandermonde manifolds (physical ULAs, the Davies
+    /// virtual ULA — i.e. every production configuration) have the
+    /// required structure; physical *circular* scan spaces fall back to
+    /// the exhaustive scan. Bearings are continuous (no grid), the
+    /// attached spectrum is synthesized from the noise polynomial on a
+    /// fixed decimated grid.
+    RootMusic,
+}
+
+impl ScanBackend {
+    /// The tuned coarse-to-fine configuration: 6× decimation, 0.05°
+    /// refinement tolerance.
+    pub fn coarse_to_fine() -> Self {
+        Self::CoarseToFine {
+            decimate: 6,
+            refine_tol_deg: 0.05,
+        }
+    }
 }
 
 /// How circular arrays are scanned.
@@ -100,6 +173,14 @@ pub struct AoaConfig {
     /// bearings to well below the grid resolution — pinned by the
     /// estimator oracle test — at several times the per-packet cost).
     pub eig_backend: EigBackend,
+    /// How the MUSIC spectrum search is executed. The default
+    /// exhaustive scan is the oracle the other backends are pinned to.
+    pub scan_backend: ScanBackend,
+    /// Which confidence the estimate carries (see
+    /// [`ConfidenceModel`]); the default leaves confidence computation
+    /// to the downstream peak-power split, unchanged from the
+    /// historical pipeline.
+    pub confidence: ConfidenceModel,
 }
 
 impl Default for AoaConfig {
@@ -112,6 +193,8 @@ impl Default for AoaConfig {
             grid_step_deg: 1.0,
             capon_loading: 1e-6,
             eig_backend: EigBackend::Tridiagonal,
+            scan_backend: ScanBackend::Exhaustive,
+            confidence: ConfidenceModel::PeakPower,
         }
     }
 }
@@ -140,6 +223,20 @@ pub struct AoaEstimate {
     pub eigenvalues: Vec<f64>,
     /// MUSIC peaks ranked by descending Bartlett power.
     pub ranked_peaks: Vec<RankedPeak>,
+    /// Linear *subspace* SNR from the eigenvalue split (`0.0` when the
+    /// split is degenerate). Divide by the analysis dimension
+    /// (`eigenvalues.len()`) for the per-element SNR.
+    pub snr: f64,
+    /// Single-source CRLB bearing standard deviation (degrees) at this
+    /// packet's SNR — `f64::INFINITY` when the SNR estimate is
+    /// degenerate. Always computed (it is a handful of flops on numbers
+    /// MUSIC already produced).
+    pub crlb_sigma_deg: f64,
+    /// CRLB-weighted confidence in `[0, 1]`, present iff the engine was
+    /// configured with [`ConfidenceModel::Crlb`]. `None` keeps the
+    /// downstream peak-power confidence path byte-identical to the
+    /// historical pipeline.
+    pub crlb_confidence: Option<f64>,
 }
 
 impl AoaEstimate {
@@ -241,6 +338,15 @@ pub struct AoaEngine {
     table: Option<SteeringTable>,
     /// Resolved decorrelation plan.
     plan: SmoothingPlan,
+    /// Resolved scan backend: the configured backend after downgrading
+    /// combinations the manifold cannot support (root-MUSIC on a
+    /// physical circular space, coarse-to-fine with `decimate ≤ 1`).
+    backend: ScanBackend,
+    /// Root-MUSIC state (polynomial rooter + fixed signature grid),
+    /// built only when the resolved backend is [`ScanBackend::RootMusic`].
+    root: Option<RootMusicBackend>,
+    /// Steering-vector scratch for continuous refinement evaluations.
+    steer_buf: Vec<C64>,
     /// Reusable eigensolver buffers.
     eig_ws: EighWorkspace,
     /// Reusable eigendecomposition output.
@@ -289,10 +395,35 @@ impl AoaEngine {
             _ => base_space,
         };
 
-        // 3. The manifold, evaluated once (MUSIC's hot path; the
-        //    Bartlett/Capon baselines never read it).
-        let table =
-            matches!(cfg.method, Method::Music).then(|| space.steering_table(cfg.grid_step_deg));
+        // 3. Resolve the scan backend against what the manifold
+        //    supports. Root-MUSIC needs Vandermonde steering (physical
+        //    circular spaces have none); a coarse grid that isn't
+        //    actually coarser is just the exhaustive scan.
+        let mut root = None;
+        let backend = match (cfg.method, cfg.scan_backend) {
+            (Method::Music, ScanBackend::RootMusic) => {
+                match RootMusicBackend::try_new(&space, cfg.grid_step_deg) {
+                    Some(r) => {
+                        root = Some(r);
+                        ScanBackend::RootMusic
+                    }
+                    None => ScanBackend::Exhaustive,
+                }
+            }
+            (Method::Music, ScanBackend::CoarseToFine { decimate, .. }) if decimate <= 1 => {
+                ScanBackend::Exhaustive
+            }
+            (Method::Music, b) => b,
+            // Bartlett/Capon always scan their full grid.
+            _ => ScanBackend::Exhaustive,
+        };
+
+        // 4. The manifold, evaluated once (MUSIC's hot path; the
+        //    Bartlett/Capon baselines never read it, and root-MUSIC
+        //    replaces the grid entirely).
+        let table = (matches!(cfg.method, Method::Music)
+            && !matches!(backend, ScanBackend::RootMusic))
+        .then(|| space.steering_table(cfg.grid_step_deg));
 
         Self {
             cfg: *cfg,
@@ -300,6 +431,9 @@ impl AoaEngine {
             space,
             table,
             plan,
+            backend,
+            root,
+            steer_buf: Vec::new(),
             eig_ws: EighWorkspace::with_backend(cfg.eig_backend),
             eig: EigH {
                 values: Vec::new(),
@@ -388,29 +522,101 @@ impl AoaEngine {
             1
         };
 
-        // 4. Spectrum.
-        let spectrum = match self.cfg.method {
-            Method::Music => {
-                let table = self.table.as_ref().expect("table built for Music in new()");
-                music_spectrum_from_table(&self.eig, table, n_sources.min(m - 1).max(1))
-            }
-            Method::Bartlett => bartlett_spectrum(ra, &self.space, self.cfg.grid_step_deg),
-            Method::Capon => capon_spectrum(
-                ra,
-                &self.space,
-                self.cfg.grid_step_deg,
-                self.cfg.capon_loading,
+        // 4. Spectrum — per scan backend for MUSIC. Backends that know
+        //    their peaks already (off-grid, refined) hand back an
+        //    explicit candidate list; the exhaustive oracle path and the
+        //    baselines extract peaks from the spectrum as before.
+        let k_music = n_sources.min(m.saturating_sub(1)).max(1);
+        let (spectrum, candidates): (Pseudospectrum, Option<Vec<Candidate>>) = match self.cfg.method
+        {
+            Method::Music => match self.backend {
+                ScanBackend::Exhaustive => {
+                    let table = self.table.as_ref().expect("table built for Music in new()");
+                    (music_spectrum_from_table(&self.eig, table, k_music), None)
+                }
+                ScanBackend::CoarseToFine {
+                    decimate,
+                    refine_tol_deg,
+                } => {
+                    let table = self.table.as_ref().expect("table built for Music in new()");
+                    let (s, c) = coarse_to_fine_scan(
+                        &self.eig,
+                        table,
+                        &self.space,
+                        k_music,
+                        decimate,
+                        refine_tol_deg,
+                        &mut self.steer_buf,
+                    );
+                    (s, Some(c))
+                }
+                ScanBackend::RootMusic => {
+                    let root = self
+                        .root
+                        .as_mut()
+                        .expect("root built for RootMusic in new()");
+                    let (s, c) = root.scan(&self.eig, k_music);
+                    (s, Some(c))
+                }
+            },
+            Method::Bartlett => (
+                bartlett_spectrum(ra, &self.space, self.cfg.grid_step_deg),
+                None,
+            ),
+            Method::Capon => (
+                capon_spectrum(
+                    ra,
+                    &self.space,
+                    self.cfg.grid_step_deg,
+                    self.cfg.capon_loading,
+                ),
+                None,
             ),
         };
 
         // 5. Candidate peaks ranked by received power toward them.
-        let ranked_peaks = rank_peaks(&spectrum, ra, &self.space, self.table.as_ref());
+        let ranked_peaks = match candidates {
+            None => rank_peaks(&spectrum, ra, &self.space, self.table.as_ref()),
+            Some(c) => rank_candidates(&c, ra, &self.space),
+        };
+
+        // 6. Per-packet SNR and the CRLB it implies. The eigenvalue
+        //    split reports the *subspace* SNR over the m-dimensional
+        //    analysis domain; dividing by m recovers the per-element
+        //    SNR the CRLB is stated in. The bound uses the full
+        //    physical aperture (never above the subarray's bound, so
+        //    RMSE/CRLB stays ≥ 1 — pinned by `tests/crlb_accuracy.rs`).
+        //    The bound lives in the electrical-angle domain; a physical
+        //    ULA additionally needs the kd·cosθ Jacobian, linearised at
+        //    the bearing estimate.
+        let snr = eig_split_snr(&self.eig.values, k_music.min(m.saturating_sub(1)));
+        let sigma_omega =
+            crate::confidence::crlb_sigma_deg(snr / (m.max(1) as f64), n_snapshots, self.array_len);
+        let sigma = match &self.space {
+            ScanSpace::Ula { array, used } if *used >= 2 => {
+                let e = array.elements();
+                let kd = std::f64::consts::TAU * (e[1].0 - e[0].0) / array.wavelength();
+                let bearing = ranked_peaks
+                    .first()
+                    .map(|p| p.angle_deg)
+                    .unwrap_or_else(|| spectrum.peak().0);
+                crate::confidence::ula_bearing_sigma_deg(sigma_omega, kd, bearing)
+            }
+            _ => sigma_omega,
+        };
+        let crlb_confidence = match self.cfg.confidence {
+            ConfidenceModel::PeakPower => None,
+            ConfidenceModel::Crlb => Some(crate::confidence::crlb_confidence(sigma)),
+        };
 
         AoaEstimate {
             spectrum,
             n_sources,
             eigenvalues: self.eig.values.clone(),
             ranked_peaks,
+            snr,
+            crlb_sigma_deg: sigma,
+            crlb_confidence,
         }
     }
 }
@@ -429,21 +635,9 @@ fn rank_peaks(
     space: &ScanSpace,
     table: Option<&SteeringTable>,
 ) -> Vec<super::estimator::RankedPeak> {
-    use sa_linalg::complex::ZERO;
     use sa_linalg::matrix::vnorm;
     let peaks = spectrum.find_peaks(1.0, 8);
-    let quad_over_norm = |a: &[sa_linalg::C64], norm_sqr: f64| -> f64 {
-        let m = ra.rows();
-        let mut quad = ZERO;
-        for i in 0..m {
-            let mut row = ZERO;
-            for (j, &aj) in a.iter().enumerate() {
-                row += ra[(i, j)] * aj;
-            }
-            quad += a[i].conj() * row;
-        }
-        (quad.re / norm_sqr.max(1e-30)).max(0.0)
-    };
+    let quad_over_norm = |a: &[C64], norm_sqr: f64| bartlett_power(ra, a, norm_sqr);
     let mut ranked: Vec<RankedPeak> = peaks
         .iter()
         .map(|p| {
@@ -469,6 +663,43 @@ fn rank_peaks(
         .collect();
     ranked.sort_by(|a, b| b.power.total_cmp(&a.power));
     ranked
+}
+
+/// Rank explicit backend candidates (possibly off-grid) by Bartlett
+/// power — the candidate-list counterpart of [`rank_peaks`], sharing its
+/// power computation and ordering.
+fn rank_candidates(cands: &[Candidate], ra: &CMat, space: &ScanSpace) -> Vec<RankedPeak> {
+    use sa_linalg::matrix::vnorm;
+    let mut ranked: Vec<RankedPeak> = cands
+        .iter()
+        .map(|c| {
+            let az = space.azimuth_of_present(c.angle_deg);
+            let a = space.steering(az);
+            RankedPeak {
+                angle_deg: c.angle_deg,
+                music_value: c.value,
+                power: bartlett_power(ra, &a, vnorm(&a).powi(2)),
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.power.total_cmp(&a.power));
+    ranked
+}
+
+/// Normalised Bartlett quadratic form `a^H·R·a / ‖a‖²` — physical
+/// received power toward the direction `a` steers at.
+fn bartlett_power(ra: &CMat, a: &[C64], norm_sqr: f64) -> f64 {
+    use sa_linalg::complex::ZERO;
+    let m = ra.rows();
+    let mut quad = ZERO;
+    for i in 0..m {
+        let mut row = ZERO;
+        for (j, &aj) in a.iter().enumerate() {
+            row += ra[(i, j)] * aj;
+        }
+        quad += a[i].conj() * row;
+    }
+    (quad.re / norm_sqr.max(1e-30)).max(0.0)
 }
 
 #[cfg(test)]
@@ -822,8 +1053,175 @@ mod tests {
             n_sources: 1,
             eigenvalues: vec![1.0; 5],
             ranked_peaks: Vec::new(),
+            snr: 0.0,
+            crlb_sigma_deg: f64::INFINITY,
+            crlb_confidence: None,
         };
         let b = est.bearing_deg();
         assert!((0.0..360.0).contains(&b));
+    }
+
+    #[test]
+    fn coarse_to_fine_backend_matches_exhaustive_oracle() {
+        // The coarse-to-fine backend must find the same peak set as the
+        // exhaustive oracle (within one grid cell — its refined bearings
+        // are continuous) and never change the rest of the estimate.
+        for (array, base) in [
+            (Array::paper_octagon(), AoaConfig::default()),
+            (
+                Array::paper_linear(8),
+                AoaConfig {
+                    source_count: SourceCount::Fixed(2),
+                    ..AoaConfig::default()
+                },
+            ),
+        ] {
+            let c2f_cfg = AoaConfig {
+                scan_backend: ScanBackend::coarse_to_fine(),
+                ..base
+            };
+            let mut oracle = AoaEngine::new(&array, &base);
+            let mut fast = AoaEngine::new(&array, &c2f_cfg);
+            for seed in 0..6u64 {
+                let az1 = (20.0 + 50.0 * seed as f64).to_radians();
+                let az2 = (140.0 + 30.0 * seed as f64).to_radians();
+                let x = coherent_snapshots(
+                    &array,
+                    &[(az1, C64::new(1.0, 0.0)), (az2, C64::from_polar(0.6, 1.3))],
+                    128,
+                    0.01,
+                    seed,
+                );
+                let r = sample_covariance(&x);
+                let o = oracle.estimate_cov(&r, x.cols());
+                let f = fast.estimate_cov(&r, x.cols());
+                assert_eq!(f.n_sources, o.n_sources, "seed {}", seed);
+                assert_eq!(f.eigenvalues, o.eigenvalues, "seed {}", seed);
+                assert!(
+                    angle_diff_deg(f.bearing_deg(), o.bearing_deg(), o.spectrum.wraps) <= 1.0,
+                    "seed {}: c2f {} vs oracle {}",
+                    seed,
+                    f.bearing_deg(),
+                    o.bearing_deg()
+                );
+                // Every oracle peak has a refined counterpart nearby.
+                for po in &o.ranked_peaks {
+                    assert!(
+                        f.ranked_peaks.iter().any(|pf| angle_diff_deg(
+                            pf.angle_deg,
+                            po.angle_deg,
+                            o.spectrum.wraps
+                        ) <= 1.0),
+                        "seed {}: oracle peak {}° missing from c2f {:?}",
+                        seed,
+                        po.angle_deg,
+                        f.ranked_peaks
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_music_backend_matches_exhaustive_oracle() {
+        for (array, base) in [
+            (Array::paper_octagon(), AoaConfig::default()),
+            (Array::paper_linear(8), AoaConfig::default()),
+        ] {
+            let root_cfg = AoaConfig {
+                scan_backend: ScanBackend::RootMusic,
+                ..base
+            };
+            let mut oracle = AoaEngine::new(&array, &base);
+            let mut root = AoaEngine::new(&array, &root_cfg);
+            for seed in 0..6u64 {
+                let az = (25.0 + 47.0 * seed as f64).to_radians();
+                let x = coherent_snapshots(&array, &[(az, C64::new(1.0, 0.0))], 128, 0.01, seed);
+                let r = sample_covariance(&x);
+                let o = oracle.estimate_cov(&r, x.cols());
+                let f = root.estimate_cov(&r, x.cols());
+                assert_eq!(f.n_sources, o.n_sources, "seed {}", seed);
+                // The oracle is grid-quantised (±0.5° at the 1° default)
+                // while root-MUSIC is continuous; one grid cell is the
+                // honest agreement bound.
+                assert!(
+                    angle_diff_deg(f.bearing_deg(), o.bearing_deg(), o.spectrum.wraps) <= 1.0,
+                    "seed {}: root {} vs oracle {}",
+                    seed,
+                    f.bearing_deg(),
+                    o.bearing_deg()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_music_falls_back_to_exhaustive_on_physical_circular() {
+        // A physical circular manifold has no Vandermonde structure:
+        // the engine must degrade to the exhaustive scan and reproduce
+        // it exactly.
+        let array = Array::paper_octagon();
+        let base = AoaConfig {
+            circular: CircularHandling::Physical,
+            smoothing: Smoothing::None,
+            ..AoaConfig::default()
+        };
+        let root_cfg = AoaConfig {
+            scan_backend: ScanBackend::RootMusic,
+            ..base
+        };
+        let x = coherent_snapshots(&array, &[(1.2, C64::new(1.0, 0.0))], 96, 0.01, 9);
+        let r = sample_covariance(&x);
+        let o = AoaEngine::new(&array, &base).estimate_cov(&r, x.cols());
+        let f = AoaEngine::new(&array, &root_cfg).estimate_cov(&r, x.cols());
+        assert_eq!(f.spectrum, o.spectrum);
+        assert_eq!(f.ranked_peaks, o.ranked_peaks);
+    }
+
+    #[test]
+    fn degenerate_coarse_to_fine_degrades_to_exhaustive() {
+        let array = Array::paper_octagon();
+        let cfg = AoaConfig {
+            scan_backend: ScanBackend::CoarseToFine {
+                decimate: 1,
+                refine_tol_deg: 0.05,
+            },
+            ..AoaConfig::default()
+        };
+        let x = coherent_snapshots(&array, &[(0.7, C64::new(1.0, 0.0))], 96, 0.01, 11);
+        let r = sample_covariance(&x);
+        let o = AoaEngine::new(&array, &AoaConfig::default()).estimate_cov(&r, x.cols());
+        let f = AoaEngine::new(&array, &cfg).estimate_cov(&r, x.cols());
+        assert_eq!(f.spectrum, o.spectrum);
+        assert_eq!(f.ranked_peaks, o.ranked_peaks);
+    }
+
+    #[test]
+    fn crlb_confidence_threads_only_when_configured() {
+        let array = Array::paper_octagon();
+        let x = coherent_snapshots(&array, &[(0.9, C64::new(1.0, 0.0))], 128, 0.01, 13);
+        let r = sample_covariance(&x);
+        let default_est = AoaEngine::new(&array, &AoaConfig::default()).estimate_cov(&r, x.cols());
+        assert_eq!(default_est.crlb_confidence, None);
+        assert!(default_est.snr > 0.0);
+        assert!(default_est.crlb_sigma_deg.is_finite() && default_est.crlb_sigma_deg > 0.0);
+
+        let crlb_cfg = AoaConfig {
+            confidence: ConfidenceModel::Crlb,
+            ..AoaConfig::default()
+        };
+        let est = AoaEngine::new(&array, &crlb_cfg).estimate_cov(&r, x.cols());
+        let c = est.crlb_confidence.expect("Crlb model sets confidence");
+        assert!((0.0..=1.0).contains(&c) && c > 0.0);
+        // Everything except the confidence annotation is unchanged.
+        assert_eq!(est.spectrum, default_est.spectrum);
+        assert_eq!(est.ranked_peaks, default_est.ranked_peaks);
+        assert_eq!(est.snr, default_est.snr);
+
+        // A noisier packet earns a lower confidence.
+        let xn = coherent_snapshots(&array, &[(0.9, C64::new(1.0, 0.0))], 128, 2.0, 13);
+        let rn = sample_covariance(&xn);
+        let noisy = AoaEngine::new(&array, &crlb_cfg).estimate_cov(&rn, xn.cols());
+        assert!(noisy.crlb_confidence.unwrap() < c);
     }
 }

@@ -13,13 +13,20 @@
 //! * [`two_antenna`] — the paper's Equation 1 (and its multipath
 //!   breakdown);
 //! * [`source_count`] — AIC/MDL signal-subspace dimension estimation;
+//! * [`backends`] — the coarse-to-fine and root-MUSIC scan backends
+//!   behind [`estimator::ScanBackend`] (the exhaustive grid scan in
+//!   [`music`] stays the always-available oracle);
+//! * [`confidence`] — CRLB-weighted per-bearing confidence from the
+//!   eigenvalue-split SNR;
 //! * [`estimator`] — the configured end-to-end pipeline shared by the AP
 //!   implementation and all experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod beamform;
+pub mod confidence;
 pub mod estimator;
 pub mod manifold;
 pub mod music;
@@ -27,8 +34,10 @@ pub mod pseudospectrum;
 pub mod source_count;
 pub mod two_antenna;
 
+pub use confidence::{crlb_confidence, crlb_sigma_deg, ula_bearing_sigma_deg, ConfidenceModel};
 pub use estimator::{
-    estimate, estimate_from_covariance, AoaConfig, AoaEngine, AoaEstimate, Method, Smoothing,
+    estimate, estimate_from_covariance, AoaConfig, AoaEngine, AoaEstimate, Method, ScanBackend,
+    Smoothing,
 };
 pub use manifold::{ScanSpace, SteeringTable};
 pub use music::music_spectrum;

@@ -196,7 +196,7 @@ impl Pseudospectrum {
     /// scan itself.
     pub fn find_peaks(&self, min_prominence_db: f64, max_peaks: usize) -> Vec<Peak> {
         let n = self.len();
-        if n < 3 {
+        if n == 0 {
             return Vec::new();
         }
         // Prescans, as three branch-free folds the compiler can
@@ -226,6 +226,46 @@ impl Pseudospectrum {
                 (10.0 * (v / m).log10()).max(-300.0)
             }
         };
+        // 1- and 2-point spectra (a 2-antenna setup on a very coarse
+        // grid): the windowed scan below needs 3 points, but the
+        // local-max and prominence definitions still apply — the walks
+        // just terminate immediately. Handle them directly so a
+        // boundary peak is not silently dropped (this used to return an
+        // empty list, inconsistently with `peak()` — pinned by
+        // tests/find_peaks_reference.rs).
+        if n < 3 {
+            let mut peaks = Vec::new();
+            for i in 0..n {
+                let other = clv[n - 1 - i];
+                let (is_peak, saddle) = if n == 1 {
+                    // Under wrap the single point is its own neighbour
+                    // and the strict left-side test fails.
+                    (!self.wraps, clv[0])
+                } else if self.wraps {
+                    (clv[i] > other, other)
+                } else {
+                    // Non-wrapping edges: −∞ beyond the domain, strict
+                    // vs the left neighbour, non-strict vs the right.
+                    let is_peak = if i == 0 {
+                        clv[0] >= clv[1]
+                    } else {
+                        clv[1] > clv[0]
+                    };
+                    (is_peak, other.min(clv[i]))
+                };
+                let prominence = db_of(clv[i]) - db_of(saddle);
+                if is_peak && prominence >= min_prominence_db {
+                    peaks.push(Peak {
+                        angle_deg: self.angles_deg[i],
+                        value: self.values[i],
+                        prominence_db: prominence,
+                    });
+                }
+            }
+            peaks.sort_by(|a, b| b.value.total_cmp(&a.value));
+            peaks.truncate(max_peaks);
+            return peaks;
+        }
         // Local maxima (strict on one side to de-duplicate flat tops):
         // a rolling `windows(3)` scan for the interior — the bulk of
         // the grid, bounds-check-free — with the two edges handled

@@ -1,0 +1,191 @@
+//! Reference oracle for `Pseudospectrum::find_peaks`.
+//!
+//! The production implementation walks the linear-scale spectrum with
+//! several shortcuts (clamped floors, fused saddle walks, a global-max
+//! fast path). This suite pins it, exhaustively over small inputs,
+//! against a direct port of the original dB-domain implementation — the
+//! slow, obviously-correct topographic-prominence definition.
+//!
+//! The reference deliberately has *no* minimum-length guard: a 1- or
+//! 2-point spectrum still has well-defined local maxima and prominences
+//! (the walks just terminate immediately). The production code used to
+//! return an empty peak list below 3 points, silently dropping a
+//! boundary peak that `peak()` could still see — the regression pinned
+//! by `short_spectra_keep_their_boundary_peak`.
+
+use sa_aoa::pseudospectrum::{Peak, Pseudospectrum};
+
+fn reference_find_peaks(s: &Pseudospectrum, min_prominence_db: f64, max_peaks: usize) -> Vec<Peak> {
+    let n = s.len();
+    let db = s.db(-300.0);
+    let is_local_max = |i: usize| -> bool {
+        let prev = if i == 0 {
+            if s.wraps {
+                db[n - 1]
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            db[i - 1]
+        };
+        let next = if i == n - 1 {
+            if s.wraps {
+                db[0]
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            db[i + 1]
+        };
+        db[i] > prev && db[i] >= next
+    };
+    let mut peaks = Vec::new();
+    for i in 0..n {
+        if !is_local_max(i) {
+            continue;
+        }
+        let h = db[i];
+        let mut min_left = h;
+        let mut found_higher_left = false;
+        let mut steps = 0;
+        let mut j = i;
+        while steps < n {
+            if j == 0 {
+                if !s.wraps {
+                    break;
+                }
+                j = n - 1;
+            } else {
+                j -= 1;
+            }
+            steps += 1;
+            if db[j] > h {
+                found_higher_left = true;
+                break;
+            }
+            min_left = min_left.min(db[j]);
+        }
+        let mut min_right = h;
+        let mut found_higher_right = false;
+        steps = 0;
+        j = i;
+        while steps < n {
+            j = if j == n - 1 {
+                if !s.wraps {
+                    break;
+                }
+                0
+            } else {
+                j + 1
+            };
+            steps += 1;
+            if db[j] > h {
+                found_higher_right = true;
+                break;
+            }
+            min_right = min_right.min(db[j]);
+        }
+        let saddle = match (found_higher_left, found_higher_right) {
+            (true, true) => min_left.max(min_right),
+            (true, false) => min_left,
+            (false, true) => min_right,
+            (false, false) => min_left.min(min_right),
+        };
+        let prominence = h - saddle;
+        if prominence >= min_prominence_db {
+            peaks.push(Peak {
+                angle_deg: s.angles_deg[i],
+                value: s.values[i],
+                prominence_db: prominence,
+            });
+        }
+    }
+    peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+    peaks.truncate(max_peaks);
+    peaks
+}
+
+fn key(peaks: &[Peak]) -> Vec<(f64, i64)> {
+    peaks
+        .iter()
+        .map(|p| (p.angle_deg, (p.prominence_db * 1e6).round() as i64))
+        .collect()
+}
+
+/// Exhaustive equivalence over every spectrum shape up to 6 points on a
+/// 4-value alphabet, both wrap modes, three prominence thresholds.
+#[test]
+fn exhaustive_small_inputs_match_reference() {
+    let alphabet = [0.5f64, 1.0, 2.0, 4.0];
+    let mut mismatches = 0;
+    for n in 1usize..=6 {
+        let total = alphabet.len().pow(n as u32);
+        for code in 0..total {
+            let mut c = code;
+            let values: Vec<f64> = (0..n)
+                .map(|_| {
+                    let v = alphabet[c % alphabet.len()];
+                    c /= alphabet.len();
+                    v
+                })
+                .collect();
+            for wraps in [false, true] {
+                for min_prom in [0.0, 1.0, 3.0] {
+                    let s = Pseudospectrum::new(
+                        (0..n).map(|i| i as f64 * 10.0).collect(),
+                        values.clone(),
+                        wraps,
+                    );
+                    let got = s.find_peaks(min_prom, 8);
+                    let want = reference_find_peaks(&s, min_prom, 8);
+                    if key(&got) != key(&want) {
+                        mismatches += 1;
+                        if mismatches <= 10 {
+                            eprintln!(
+                                "MISMATCH n={} wraps={} prom={} values={:?}\n  got  {:?}\n  want {:?}",
+                                n, wraps, min_prom, values, got, want
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "{} mismatches", mismatches);
+}
+
+/// The regression the reference exposes: spectra shorter than 3 points
+/// must still report their boundary peak (a 2-antenna Fig-7 setup on a
+/// very coarse grid can legitimately produce one), consistent with
+/// `peak()`.
+#[test]
+fn short_spectra_keep_their_boundary_peak() {
+    // Two points, peak at the left boundary, ~7 dB above the other.
+    let s = Pseudospectrum::new(vec![-45.0, 45.0], vec![5.0, 1.0], false);
+    let peaks = s.find_peaks(1.0, 8);
+    assert_eq!(peaks.len(), 1, "boundary peak dropped: {:?}", peaks);
+    assert_eq!(peaks[0].angle_deg, -45.0);
+    assert!((peaks[0].prominence_db - 10.0 * 5f64.log10()).abs() < 1e-9);
+    assert_eq!(peaks[0].angle_deg, s.peak().0);
+
+    // Right-boundary peak.
+    let s = Pseudospectrum::new(vec![-45.0, 45.0], vec![1.0, 5.0], false);
+    let peaks = s.find_peaks(0.0, 8);
+    assert_eq!(peaks.len(), 1);
+    assert_eq!(peaks[0].angle_deg, 45.0);
+
+    // A single-point spectrum is its own (zero-prominence) peak.
+    let s = Pseudospectrum::new(vec![0.0], vec![3.0], false);
+    let peaks = s.find_peaks(0.0, 8);
+    assert_eq!(peaks.len(), 1);
+    assert_eq!(peaks[0].prominence_db, 0.0);
+
+    // On a wrapping 2-point domain a flat pair has no strict maximum…
+    let s = Pseudospectrum::new(vec![0.0, 180.0], vec![2.0, 2.0], true);
+    assert!(s.find_peaks(0.0, 8).is_empty());
+    // …but an unequal pair peaks at the larger value.
+    let s = Pseudospectrum::new(vec![0.0, 180.0], vec![2.0, 3.0], true);
+    let peaks = s.find_peaks(0.0, 8);
+    assert_eq!(peaks.len(), 1);
+    assert_eq!(peaks[0].angle_deg, 180.0);
+}

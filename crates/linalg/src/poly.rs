@@ -1,0 +1,324 @@
+//! Complex polynomial root finding: Laguerre iteration with deflation.
+//!
+//! Root-MUSIC trades the MUSIC grid scan for the roots of the
+//! noise-subspace polynomial `D(z) = a(1/z)ᵀ·E_n·E_nᴴ·a(z)` — a degree
+//! `2(L−1)` complex polynomial for an `L`-element (virtual) ULA, so at
+//! most degree 30 here (`L ≤ 16`). At these sizes a companion-matrix
+//! eigensolve would drag in a general non-Hermitian eigenroutine; the
+//! classic Laguerre-with-deflation ladder (Numerical Recipes `zroots`
+//! lineage) is simpler, has cubic local convergence, and is guaranteed
+//! to converge to *some* root from any start for polynomials — which
+//! deflation then removes.
+//!
+//! Everything is deterministic: fixed starting points, a fixed
+//! cycle-breaking fraction schedule instead of random kicks, and a
+//! final polish of every root against the *undeflated* polynomial to
+//! wash out deflation error. Same coefficients in, bit-identical roots
+//! out — the property the estimator determinism suite relies on.
+//!
+//! ```
+//! use sa_linalg::poly::PolyRootFinder;
+//! use sa_linalg::C64;
+//!
+//! // p(z) = z² − 1: coefficients low → high degree.
+//! let p = [C64::new(-1.0, 0.0), C64::new(0.0, 0.0), C64::new(1.0, 0.0)];
+//! let mut finder = PolyRootFinder::new();
+//! let mut roots = Vec::new();
+//! finder.roots(&p, &mut roots);
+//! assert_eq!(roots.len(), 2);
+//! assert!(roots.iter().any(|r| (*r - C64::new(1.0, 0.0)).abs() < 1e-12));
+//! assert!(roots.iter().any(|r| (*r + C64::new(1.0, 0.0)).abs() < 1e-12));
+//! ```
+
+use crate::complex::{C64, ZERO};
+
+/// Maximum Laguerre iterations per root (far beyond what degree ≤ 30
+/// polynomials need; cubic convergence typically lands in < 10).
+const MAX_ITERS: usize = 80;
+
+/// Every `CYCLE_PERIOD` iterations the full Laguerre step is replaced by
+/// a fixed fraction of it, breaking the rare limit cycles the pure
+/// iteration can enter. The schedule is fixed — no randomness.
+const CYCLE_PERIOD: usize = 10;
+const CYCLE_FRACTIONS: [f64; 8] = [0.5, 0.25, 0.75, 0.13, 0.38, 0.62, 0.88, 1.0];
+
+/// Relative round-off scale for the "on a root" stopping test.
+const EPS: f64 = 1e-15;
+
+/// Reusable workspace for [`PolyRootFinder::roots`] — the polynomial
+/// analogue of `eigen::EighWorkspace`: the deflation ladder reuses one
+/// scratch coefficient buffer across calls, so the per-packet root-MUSIC
+/// path allocates nothing once the buffers have grown to the problem
+/// size.
+#[derive(Debug, Clone, Default)]
+pub struct PolyRootFinder {
+    /// Deflated coefficients, low → high degree.
+    work: Vec<C64>,
+}
+
+impl PolyRootFinder {
+    /// New workspace with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All complex roots of the polynomial with coefficients `coeffs`
+    /// (low → high degree; `coeffs[k]` multiplies `z^k`), appended into
+    /// `out` (cleared first, allocation reused).
+    ///
+    /// Leading zero coefficients are trimmed; a polynomial of effective
+    /// degree `d` yields exactly `d` roots. Degree-0 (and empty) input
+    /// yields no roots. Roots are polished against the original
+    /// polynomial after deflation and emitted in deflation order —
+    /// deterministic for fixed input, but not sorted; callers impose
+    /// their own order.
+    ///
+    /// Panics if any coefficient is non-finite.
+    pub fn roots(&mut self, coeffs: &[C64], out: &mut Vec<C64>) {
+        out.clear();
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()),
+            "PolyRootFinder: non-finite coefficient"
+        );
+        // Effective degree: trim high-order coefficients that are exactly
+        // zero (a root-MUSIC polynomial's leading coefficient is a real
+        // diagonal sum and never vanishes unless the projector is rank
+        // deficient).
+        let mut deg = coeffs.len();
+        while deg > 0 && coeffs[deg - 1] == ZERO {
+            deg -= 1;
+        }
+        if deg <= 1 {
+            return;
+        }
+        let deg = deg - 1;
+
+        self.work.clear();
+        self.work.extend_from_slice(&coeffs[..=deg]);
+
+        for m in (1..=deg).rev() {
+            // Deflation start at the origin: the next root found is
+            // biased toward the smallest-magnitude remaining root,
+            // which keeps deflation well conditioned (Wilkinson).
+            let x = laguerre(&self.work[..=m], ZERO);
+            // Polish against the *original* polynomial so accumulated
+            // deflation error never reaches the caller.
+            let x = laguerre(&coeffs[..=deg], x);
+            out.push(x);
+            // Synthetic division of the deflated polynomial by (z − x).
+            let mut rem = self.work[m];
+            for j in (0..m).rev() {
+                let c = self.work[j];
+                self.work[j] = rem;
+                rem = c + rem * x;
+            }
+        }
+    }
+}
+
+/// One Laguerre solve: iterate from `start` until the polynomial value
+/// is at round-off level or the step vanishes. `coeffs` is low → high
+/// degree with at least degree 1.
+fn laguerre(coeffs: &[C64], start: C64) -> C64 {
+    let m = coeffs.len() - 1;
+    let mf = m as f64;
+    let mut x = start;
+    for it in 1..=MAX_ITERS {
+        // Evaluate p, p′, p″/2 by nested Horner, tracking the running
+        // round-off bound `err` (Adams' criterion) so we can stop when
+        // |p(x)| is indistinguishable from zero.
+        let mut b = coeffs[m];
+        let mut err = b.abs();
+        let mut d = ZERO;
+        let mut f = ZERO;
+        let abx = x.abs();
+        for j in (0..m).rev() {
+            f = x * f + d;
+            d = x * d + b;
+            b = x * b + coeffs[j];
+            err = b.abs() + abx * err;
+        }
+        if b.abs() <= err * EPS {
+            return x;
+        }
+        let g = d / b;
+        let g2 = g * g;
+        let h = g2 - (f / b) * 2.0;
+        let sq = ((h * mf - g2) * (mf - 1.0)).sqrt();
+        let gp = g + sq;
+        let gm = g - sq;
+        let (abp, abm) = (gp.abs(), gm.abs());
+        let denom = if abp >= abm { gp } else { gm };
+        let dx = if abp.max(abm) > 0.0 {
+            C64::new(mf, 0.0) / denom
+        } else {
+            // p′ and p″ both vanished (e.g. start at the center of a
+            // symmetric root constellation): take a deterministic step
+            // out whose direction rotates with the iteration count.
+            C64::from_polar(1.0 + abx, it as f64)
+        };
+        let x1 = x - dx;
+        if x == x1 {
+            return x;
+        }
+        if it % CYCLE_PERIOD != 0 {
+            x = x1;
+        } else {
+            let frac = CYCLE_FRACTIONS[(it / CYCLE_PERIOD - 1) % CYCLE_FRACTIONS.len()];
+            x -= dx * frac;
+        }
+    }
+    // Laguerre converges from any start in exact arithmetic; hitting the
+    // iteration cap means a pathological (e.g. near-zero) polynomial.
+    // Return the best iterate — callers validate roots by magnitude.
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, ONE};
+
+    /// Evaluate the polynomial at `x` (Horner).
+    fn eval(coeffs: &[C64], x: C64) -> C64 {
+        coeffs.iter().rev().fold(ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Expand a monic polynomial from its roots (ascending coefficients).
+    fn from_roots(roots: &[C64]) -> Vec<C64> {
+        let mut coeffs = vec![ONE];
+        for &r in roots {
+            let mut next = vec![ZERO; coeffs.len() + 1];
+            for (j, &cj) in coeffs.iter().enumerate() {
+                next[j + 1] += cj;
+                next[j] += cj * (-r);
+            }
+            coeffs = next;
+        }
+        coeffs
+    }
+
+    fn assert_roots_match(found: &[C64], expected: &[C64], tol: f64) {
+        assert_eq!(found.len(), expected.len());
+        let mut used = vec![false; expected.len()];
+        for f in found {
+            let (best, dist) = expected
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !used[*i])
+                .map(|(i, e)| (i, (*f - *e).abs()))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert!(
+                dist < tol,
+                "root {:?} off by {} from {:?}",
+                f,
+                dist,
+                expected
+            );
+            used[best] = true;
+        }
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        let mut finder = PolyRootFinder::new();
+        let mut roots = Vec::new();
+        // (z − 2)(z + 3) = z² + z − 6
+        finder.roots(&[c64(-6.0, 0.0), c64(1.0, 0.0), ONE], &mut roots);
+        assert_roots_match(&roots, &[c64(2.0, 0.0), c64(-3.0, 0.0)], 1e-12);
+    }
+
+    #[test]
+    fn unit_circle_constellation() {
+        // The shape root-MUSIC produces: conjugate-reciprocal pairs on
+        // and near the unit circle.
+        let expected: Vec<C64> = [0.3f64, 1.7, 2.9, -1.2]
+            .iter()
+            .flat_map(|&phi| [C64::from_polar(0.95, phi), C64::from_polar(1.0 / 0.95, phi)])
+            .collect();
+        let coeffs = from_roots(&expected);
+        let mut finder = PolyRootFinder::new();
+        let mut roots = Vec::new();
+        finder.roots(&coeffs, &mut roots);
+        assert_roots_match(&roots, &expected, 1e-8);
+    }
+
+    #[test]
+    fn clustered_roots_resolved() {
+        let expected = vec![
+            c64(1.0, 0.0),
+            c64(1.0 + 1e-4, 0.0),
+            c64(-0.5, 0.8),
+            c64(-0.5, -0.8),
+        ];
+        let coeffs = from_roots(&expected);
+        let mut finder = PolyRootFinder::new();
+        let mut roots = Vec::new();
+        finder.roots(&coeffs, &mut roots);
+        // Clustered pair limits attainable accuracy; 1e-2 separates the
+        // cluster from the far roots.
+        assert_roots_match(&roots, &expected, 1e-2);
+    }
+
+    #[test]
+    fn residuals_are_tiny() {
+        let expected: Vec<C64> = (0..10)
+            .map(|i| C64::from_polar(0.5 + 0.1 * i as f64, 0.7 * i as f64))
+            .collect();
+        let coeffs = from_roots(&expected);
+        let mut finder = PolyRootFinder::new();
+        let mut roots = Vec::new();
+        finder.roots(&coeffs, &mut roots);
+        assert_eq!(roots.len(), 10);
+        let scale: f64 = coeffs.iter().map(|c| c.abs()).fold(0.0, f64::max);
+        for &r in &roots {
+            assert!(
+                eval(&coeffs, r).abs() < 1e-9 * scale,
+                "residual {} at {:?}",
+                eval(&coeffs, r).abs(),
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls_and_workspaces() {
+        let expected: Vec<C64> = (0..8)
+            .map(|i| C64::from_polar(1.0, 0.1 + 0.77 * i as f64))
+            .collect();
+        let coeffs = from_roots(&expected);
+        let mut a = PolyRootFinder::new();
+        let mut b = PolyRootFinder::new();
+        let (mut r1, mut r2, mut r3) = (Vec::new(), Vec::new(), Vec::new());
+        a.roots(&coeffs, &mut r1);
+        a.roots(&coeffs, &mut r2); // reused workspace
+        b.roots(&coeffs, &mut r3); // fresh workspace
+        let key = |v: &[C64]| format!("{:?}", v);
+        assert_eq!(key(&r1), key(&r2));
+        assert_eq!(key(&r1), key(&r3));
+    }
+
+    #[test]
+    fn leading_zeros_trimmed_and_degenerate_inputs_empty() {
+        let mut finder = PolyRootFinder::new();
+        let mut roots = Vec::new();
+        // z + 1 padded with zero high-order coefficients: one root.
+        finder.roots(&[ONE, ONE, ZERO, ZERO], &mut roots);
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] + ONE).abs() < 1e-12);
+        // Constants and empty input: no roots.
+        finder.roots(&[c64(3.0, 1.0)], &mut roots);
+        assert!(roots.is_empty());
+        finder.roots(&[], &mut roots);
+        assert!(roots.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_non_finite_coefficients() {
+        let mut finder = PolyRootFinder::new();
+        let mut roots = Vec::new();
+        finder.roots(&[ONE, c64(f64::NAN, 0.0)], &mut roots);
+    }
+}

@@ -8,6 +8,7 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use sa_aoa::estimator::ScanBackend;
 use sa_deploy::{DeployConfig, Deployment, TelemetryConfig, Transmission};
 use sa_testbed::Testbed;
 
@@ -35,12 +36,13 @@ fn run_config(
     n_clients: usize,
     seed: u64,
     windows: &[Vec<Transmission>],
-    decode_shards: usize,
-    fusion_shards: usize,
-    windows_in_flight: usize,
+    backend: ScanBackend,
+    (decode_shards, fusion_shards, windows_in_flight): (usize, usize, usize),
     telemetry: TelemetryConfig,
 ) -> (String, String) {
-    let tb = Testbed::campus_with(n_clients, N_APS, seed);
+    let tb = Testbed::campus_customized(n_clients, N_APS, seed, |cfg| {
+        cfg.aoa.scan_backend = backend;
+    });
     let aps: Vec<_> = tb.nodes.into_iter().map(|n| n.ap).collect();
     let cfg = DeployConfig {
         decode_shards,
@@ -83,11 +85,11 @@ proptest! {
 
         for (decode, fusion, depth) in [(1usize, 1usize, 1usize), (4, 16, 4)] {
             let (off_fused, off_report) = run_config(
-                n_clients, seed, &windows, decode, fusion, depth,
+                n_clients, seed, &windows, ScanBackend::Exhaustive, (decode, fusion, depth),
                 TelemetryConfig::disabled(),
             );
             let (on_fused, on_report) = run_config(
-                n_clients, seed, &windows, decode, fusion, depth,
+                n_clients, seed, &windows, ScanBackend::Exhaustive, (decode, fusion, depth),
                 TelemetryConfig::full(),
             );
             prop_assert_eq!(
@@ -99,6 +101,29 @@ proptest! {
                 &off_report, &on_report,
                 "masked report diverged with telemetry at decode={} fusion={} depth={}",
                 decode, fusion, depth
+            );
+        }
+
+        // Scan-backend knob: telemetry must stay a read-only tap no
+        // matter which spectrum-search backend the APs run.
+        for backend in [ScanBackend::coarse_to_fine(), ScanBackend::RootMusic] {
+            let (off_fused, off_report) = run_config(
+                n_clients, seed, &windows, backend, (4, 16, 4),
+                TelemetryConfig::disabled(),
+            );
+            let (on_fused, on_report) = run_config(
+                n_clients, seed, &windows, backend, (4, 16, 4),
+                TelemetryConfig::full(),
+            );
+            prop_assert_eq!(
+                &off_fused, &on_fused,
+                "fused windows diverged with telemetry for {:?}",
+                backend
+            );
+            prop_assert_eq!(
+                &off_report, &on_report,
+                "masked report diverged with telemetry for {:?}",
+                backend
             );
         }
     }
