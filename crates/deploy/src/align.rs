@@ -16,14 +16,19 @@
 //!    *n*-th end-of-window marker from an AP corresponds to the *n*-th
 //!    window dispatched **to that AP** — churn-safe, because the
 //!    aligner tracks dispatches per AP.
-//! 2. **Offsets are learnable at association.** The first report from
-//!    an AP reveals its constant epoch offset (the deployment-scale
-//!    analogue of 802.11 TSF sync at association). Later labels are
-//!    checked against `global + learned_offset`; a label that has
-//!    drifted beyond the configured tolerance is *rejected* — the
-//!    window still closes (the FIFO marker is trusted), but the
-//!    bearings stamped with the wandering clock are kept out of fusion
-//!    rather than being fused into the wrong window.
+//! 2. **Clock models are learnable at association.** The first report
+//!    from an AP reveals its constant epoch offset (the deployment-
+//!    scale analogue of 802.11 TSF sync at association), and every
+//!    accepted report after it refines a per-AP *drift-rate* estimate,
+//!    so a slowly wandering oscillator stays aligned instead of walking
+//!    out of tolerance. Labels are checked against
+//!    `global + offset + round(drift · elapsed)`; a label that still
+//!    deviates beyond the configured tolerance is *rejected* — the
+//!    window closes (the FIFO marker is trusted), but the bearings
+//!    stamped with the wandering clock are kept out of fusion rather
+//!    than being fused into the wrong window. The sequence-label
+//!    channel (packet counters never drift) doubles as a cross-check
+//!    that keeps marker-gap detection honest under drift.
 //!
 //! The aligner is deliberately pure (no channels, no threads) so the
 //! alignment policy itself is property-testable: see
@@ -48,6 +53,16 @@ struct ApAlignState {
     /// Learned constant window offset (`local label − global`), set by
     /// the AP's first report.
     window_offset: Option<i64>,
+    /// Global window of the offset-learning report — the anchor the
+    /// drift estimate measures elapsed windows from.
+    anchor: u64,
+    /// Learned drift rate, windows of extra label skew per elapsed
+    /// window, refined from every accepted report after the anchor.
+    drift_est: f64,
+    /// Learned constant sequence-label offset (`local − global`).
+    /// Sequence counters do not drift, so this is the cross-check that
+    /// distinguishes a marker gap from a clock jump.
+    seq_offset: Option<i64>,
 }
 
 /// The result of aligning one worker report.
@@ -59,8 +74,11 @@ pub struct Aligned {
     /// learned offset. Rejected reports still close their window — only
     /// their packet payload is excluded from fusion.
     pub accepted: bool,
-    /// Label deviation from `global + learned offset`, windows. Zero
-    /// for a skew-free or constant-offset AP; grows with drift.
+    /// Label deviation from the learned clock model
+    /// (`global + offset + round(drift · elapsed)`), windows. Zero for
+    /// a skew-free, constant-offset or *learned-rate* drifting AP;
+    /// grows only when the clock jumps or drifts faster than the
+    /// tolerance lets the rate be learned.
     pub deviation: i64,
     /// Sequence-label delta for this window: subtract it from a local
     /// sequence label to recover the global sequence. `0` when the
@@ -130,6 +148,20 @@ impl SkewAligner {
         self.aps[ap].dispatched.clear();
     }
 
+    /// Reset AP `ap`'s learned clock model (epoch offset, drift rate,
+    /// sequence offset) along with its outstanding dispatches. A
+    /// re-joining AP ([`crate::Deployment::rejoin_ap`]) comes back with
+    /// a fresh oscillator epoch, so the old model must be relearned
+    /// from its first new report instead of rejecting everything.
+    pub fn revive_ap(&mut self, ap: usize) {
+        let state = &mut self.aps[ap];
+        state.dispatched.clear();
+        state.window_offset = None;
+        state.anchor = 0;
+        state.drift_est = 0.0;
+        state.seq_offset = None;
+    }
+
     /// Align one report from AP `ap`: `window_label` is the worker's
     /// local window stamp, `seq_base` the local sequence label of the
     /// window's first dispatched packet. Returns `None` if nothing is
@@ -157,10 +189,14 @@ impl SkewAligner {
     /// deviation. `max_gap = 0` disables detection (every deviation is
     /// clock skew), which is exactly [`SkewAligner::align`].
     ///
-    /// Gap detection trusts the learned constant offset: a drifting
-    /// clock is indistinguishable from a marker gap on labels alone,
-    /// which is why the policy is opt-in and documented for constant-
-    /// offset deployments only.
+    /// Gap detection is drift-aware: labels are compared against the
+    /// learned clock model (constant offset *plus* the drift rate
+    /// refined from accepted reports), and a candidate gap is
+    /// cross-checked on the sequence-label channel — packet counters
+    /// never drift, so when both the report and the claimed dispatch
+    /// record carry sequence labels and the constant sequence offset is
+    /// already learned, a mismatch unmasks the jump as clock skew and
+    /// nothing is skipped.
     pub fn align_gaps(
         &mut self,
         ap: usize,
@@ -168,41 +204,80 @@ impl SkewAligner {
         seq_base: Option<u64>,
         max_gap: u64,
     ) -> (Vec<u64>, Option<Aligned>) {
+        let tolerance = self.tolerance;
         let state = &mut self.aps[ap];
         let Some(front) = state.dispatched.front().copied() else {
             return (Vec::new(), None);
         };
-        let offset = *state
-            .window_offset
-            .get_or_insert(window_label - front.global as i64);
+        let offset = match state.window_offset {
+            Some(o) => o,
+            None => {
+                let o = window_label - front.global as i64;
+                state.window_offset = Some(o);
+                state.anchor = front.global;
+                o
+            }
+        };
+        let (anchor, drift_est) = (state.anchor, state.drift_est);
+        let predict = |global: u64| -> i64 {
+            let elapsed = global as i64 - anchor as i64;
+            global as i64 + offset + (drift_est * elapsed as f64).round() as i64
+        };
         let mut skipped = Vec::new();
         if max_gap > 0 {
-            let ahead = window_label - (front.global as i64 + offset);
+            let ahead = window_label - predict(front.global);
             if ahead >= 1 && ahead as u64 <= max_gap && state.dispatched.len() > ahead as usize {
-                for _ in 0..ahead {
-                    skipped.push(
-                        state
-                            .dispatched
-                            .pop_front()
-                            .expect("guarded by len() above")
-                            .global,
-                    );
+                // The label claims the record `ahead` deep in the FIFO.
+                // Confirm on the sequence channel before declaring the
+                // intervening markers lost.
+                let candidate = state.dispatched[ahead as usize];
+                let confirmed = match (seq_base, candidate.first_seq, state.seq_offset) {
+                    (Some(local), Some(global), Some(learned)) => {
+                        local as i64 - global as i64 == learned
+                    }
+                    _ => true,
+                };
+                if confirmed {
+                    for _ in 0..ahead {
+                        skipped.push(
+                            state
+                                .dispatched
+                                .pop_front()
+                                .expect("guarded by len() above")
+                                .global,
+                        );
+                    }
                 }
             }
         }
         let Some(record) = state.dispatched.pop_front() else {
             return (skipped, None);
         };
-        let deviation = window_label - (record.global as i64 + offset);
+        let deviation = window_label - predict(record.global);
         let seq_delta = match (seq_base, record.first_seq) {
             (Some(local), Some(global)) => local as i64 - global as i64,
             _ => 0,
         };
+        let accepted = deviation.unsigned_abs() <= tolerance;
+        if accepted {
+            // Refine the clock model from trusted reports only: the
+            // constant sequence offset on first sight, the drift rate
+            // from the raw (offset-relative) deviation over elapsed
+            // windows since the anchor.
+            if let (Some(local), Some(global)) = (seq_base, record.first_seq) {
+                state.seq_offset.get_or_insert(local as i64 - global as i64);
+            }
+            let elapsed = record.global as i64 - anchor as i64;
+            if elapsed > 0 {
+                state.drift_est =
+                    (window_label - (record.global as i64 + offset)) as f64 / elapsed as f64;
+            }
+        }
         (
             skipped,
             Some(Aligned {
                 global: record.global,
-                accepted: deviation.unsigned_abs() <= self.tolerance,
+                accepted,
                 deviation,
                 seq_delta,
             }),
@@ -245,19 +320,40 @@ mod tests {
     }
 
     #[test]
-    fn drift_within_tolerance_is_accepted_beyond_is_rejected() {
+    fn linear_drift_is_learned_and_stays_accepted() {
         let mut a = SkewAligner::new(2);
         let ap = a.add_ap();
-        for w in 0..8 {
+        for w in 0..12 {
             a.note_dispatch(ap, w, None);
         }
-        // Label gains one window of drift per window after the first.
-        for w in 0..8i64 {
-            let label = w + w; // offset learned as 0 at w=0, deviation = w
-            let r = a.align(ap, label, None).unwrap();
+        // A full window of drift gained per window (label = 2w): the
+        // rate is learned from the first in-tolerance deviation, and
+        // the model keeps every later report aligned — under the old
+        // constant-offset-only policy window 3 onward was rejected.
+        for w in 0..12i64 {
+            let r = a.align(ap, w + w, None).unwrap();
             assert_eq!(r.global, w as u64);
-            assert_eq!(r.deviation, w);
-            assert_eq!(r.accepted, w <= 2, "window {}: {:?}", w, r);
+            assert!(r.accepted, "window {}: {:?}", w, r);
+            assert!(r.deviation.unsigned_abs() <= 1, "window {}: {:?}", w, r);
+        }
+    }
+
+    #[test]
+    fn drift_steeper_than_tolerance_is_rejected_not_learned() {
+        let mut a = SkewAligner::new(1);
+        let ap = a.add_ap();
+        for w in 0..6 {
+            a.note_dispatch(ap, w, None);
+        }
+        // Three windows of skew gained per window: the very first
+        // drifted label already exceeds the tolerance, so the rate is
+        // never learned from an accepted report and every later label
+        // stays rejected (still attributed to its FIFO window).
+        for w in 0..6i64 {
+            let r = a.align(ap, w * 4, None).unwrap();
+            assert_eq!(r.global, w as u64);
+            assert_eq!(r.accepted, w == 0, "window {}: {:?}", w, r);
+            assert_eq!(r.deviation, 3 * w);
         }
     }
 
@@ -286,9 +382,11 @@ mod tests {
         for w in 0..4 {
             a.note_dispatch(ap, w, Some(w * 10));
         }
-        // Window 0's marker arrives (offset learned as 0), then windows
-        // 1 and 2's markers are lost: the next marker is labelled 3.
-        let (skipped, r) = a.align_gaps(ap, 0, Some(0), 2);
+        // Window 0's marker arrives (offset learned as 0, sequence
+        // offset learned as 3), then windows 1 and 2's markers are
+        // lost: the next marker is labelled 3 and its sequence label
+        // confirms the gap (33 − 30 matches the learned offset).
+        let (skipped, r) = a.align_gaps(ap, 0, Some(3), 2);
         assert!(skipped.is_empty());
         assert_eq!(r.unwrap().global, 0);
         let (skipped, r) = a.align_gaps(ap, 3, Some(33), 2);
@@ -299,6 +397,48 @@ mod tests {
         assert_eq!(r.deviation, 0);
         assert_eq!(r.seq_delta, 3);
         assert_eq!(a.pending(ap), 0);
+    }
+
+    #[test]
+    fn seq_channel_contradiction_vetoes_a_gap() {
+        let mut a = SkewAligner::new(3);
+        let ap = a.add_ap();
+        for w in 0..4 {
+            a.note_dispatch(ap, w, Some(w * 10));
+        }
+        // Learn offset 0 and sequence offset 5.
+        let (s, r) = a.align_gaps(ap, 0, Some(5), 2);
+        assert!(s.is_empty());
+        assert!(r.unwrap().accepted);
+        // A label 2 ahead whose sequence label does NOT match the
+        // learned sequence offset for the claimed record: sequence
+        // counters never drift, so the jump is clock skew — nothing is
+        // skipped and the report aligns to the FIFO front with the
+        // full deviation.
+        let (s, r) = a.align_gaps(ap, 3, Some(99), 2);
+        assert!(s.is_empty());
+        let r = r.unwrap();
+        assert_eq!(r.global, 1);
+        assert_eq!(r.deviation, 2);
+        assert!(r.accepted, "within the ±3 tolerance: skew, not a gap");
+    }
+
+    #[test]
+    fn revive_ap_relearns_the_clock_model() {
+        let mut a = SkewAligner::new(1);
+        let ap = a.add_ap();
+        a.note_dispatch(ap, 0, Some(0));
+        assert!(a.align(ap, 100, Some(7)).unwrap().accepted);
+        a.revive_ap(ap);
+        assert_eq!(a.pending(ap), 0);
+        // The re-joined AP's new epoch is relearned, not held against
+        // the model learned during its first stint.
+        a.note_dispatch(ap, 5, Some(50));
+        let r = a.align(ap, -40, Some(53)).unwrap();
+        assert!(r.accepted);
+        assert_eq!(r.global, 5);
+        assert_eq!(r.deviation, 0);
+        assert_eq!(r.seq_delta, 3);
     }
 
     #[test]

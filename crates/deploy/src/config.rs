@@ -1,5 +1,7 @@
 //! Deployment configuration and errors.
 
+use crate::faults::FaultPlan;
+use crate::health::HealthConfig;
 use sa_telemetry::TelemetryConfig;
 use secureangle::spoof::ConsensusConfig;
 use secureangle::tracking::TrackerConfig;
@@ -120,7 +122,7 @@ impl Default for LinkConfig {
 /// let residual = cfg.link.loss_rate.powi(cfg.link.retry_limit as i32 + 1);
 /// assert!(residual < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DeployConfig {
     /// Nominal duration of one observation window, seconds — the `dt`
     /// fed to each client's α–β tracker between fused fixes. Purely
@@ -221,14 +223,27 @@ pub struct DeployConfig {
     /// the same consensus slack as lost reports) instead of stalling.
     /// `0` (the default) disables gap detection: every positive
     /// deviation is treated as clock skew, the pre-fleet behavior
-    /// exactly. Enable only for deployments whose clocks are constant-
-    /// offset (drift and marker gaps are indistinguishable from labels
-    /// alone); detection needs a *later* marker from the gapped AP, so
-    /// run with `windows_in_flight > marker_timeout_windows` (a
-    /// synchronous submit/collect loop never sends the revealing later
-    /// window). The deployment's final flush closes any gap at the tail
-    /// of the run.
+    /// exactly. Safe under *drifting* clocks too: the aligner learns
+    /// each AP's drift rate from its accepted markers and confirms
+    /// candidate gaps against the independent sequence-label channel,
+    /// so a drifting label is no longer mistaken for a gap (see
+    /// [`crate::align::SkewAligner`]). Detection needs a *later* marker
+    /// from the gapped AP, so run with `windows_in_flight >
+    /// marker_timeout_windows` (a synchronous submit/collect loop never
+    /// sends the revealing later window). The deployment's final flush
+    /// closes any gap at the tail of the run.
     pub marker_timeout_windows: u64,
+    /// Scripted fault injection ([`crate::faults::FaultPlan`]). `None`
+    /// (the default) injects nothing and is byte-transparent: the fault
+    /// layer is zero-cost-off, pinned by `tests/proptest_chaos.rs`.
+    /// Every injected fault is a pure function of the plan and the
+    /// window number, so seeded chaos runs are byte-reproducible at any
+    /// shard/stream knob setting.
+    pub faults: Option<FaultPlan>,
+    /// AP health scoring, quarantine and the stall watchdog
+    /// ([`crate::health::FleetHealth`]). Disabled by default — the
+    /// defensive layer is byte-transparent when off.
+    pub health: HealthConfig,
     /// Observability: stage-latency histograms, the unified counter
     /// registry and the per-client flight recorder
     /// ([`sa_telemetry::TelemetryConfig`]). Disabled by default —
@@ -259,6 +274,8 @@ impl Default for DeployConfig {
             fusion_shards: 1,
             marker_loss_rate: 0.0,
             marker_timeout_windows: 0,
+            faults: None,
+            health: HealthConfig::default(),
             telemetry: TelemetryConfig::disabled(),
         }
     }
@@ -342,6 +359,10 @@ mod tests {
         // and Debug-rendered reports are byte-stable across releases.
         assert!(!cfg.telemetry.enabled);
         assert_eq!(cfg.telemetry, TelemetryConfig::disabled());
+        // Chaos/immune layers off by default: no fault plan, health
+        // scoring disabled — both byte-transparent.
+        assert!(cfg.faults.is_none());
+        assert!(!cfg.health.enabled);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 
 use crate::align::SkewAligner;
 use crate::config::{ApSkew, DeployConfig, DeployError};
+use crate::faults::payload_checksum;
 use crate::fusion::Fusion;
+use crate::health::{ApWindowEvidence, FleetHealth, HealthAction};
 use crate::report::{ApStats, DeployMetrics, DeploymentReport, FusedWindow};
 use crate::telemetry::{DeployTelemetry, WorkerTap};
 use crate::worker::{run_worker, WindowDone, WorkerCfg, WorkerMsg, WorkerPacket};
@@ -58,10 +60,16 @@ struct WorkerSlot {
     tx: Option<SyncSender<WorkerMsg>>,
     join: Option<JoinHandle<(AccessPoint, ApStats)>>,
     alive: bool,
-    /// An ordered [`WorkerMsg::Shutdown`] is in the worker's queue: the
-    /// thread will exit *normally* once it drains, so the dead-worker
-    /// scan must not reap it as a loss.
-    shutdown_sent: bool,
+    /// The worker's thread has exited and its buffered reports have
+    /// been salvaged, but its *membership* has not ended yet. Hangups
+    /// are noticed at racy points (timeout scans, failed sends), so
+    /// noticing only sets this flag; the membership end — retire,
+    /// re-baseline, loss accounting — happens in
+    /// [`Deployment::collect_window`] at the first window the worker
+    /// failed to report, a deterministic point in window order. A
+    /// worker that exited normally may also be flagged here; since all
+    /// its windows closed, the flag is then inert.
+    hung: bool,
     /// Run totals captured when the worker left early (removed or
     /// reaped); `None` while running or if the thread panicked.
     final_stats: Option<ApStats>,
@@ -84,6 +92,20 @@ struct WindowBin {
     /// later marker's gap, or by the worker's final flush). They count
     /// as reported — the window closes — but contributed nothing.
     markers_lost: usize,
+    /// Per-AP attribution of the degradation above, for the health
+    /// layer's evidence: which APs lost their payload, were
+    /// skew-rejected, lost their marker, failed the wire checksum, or
+    /// arrived stalled. Sets of AP ids (arrival order; consumers treat
+    /// them as sets).
+    lost_ap_ids: Vec<usize>,
+    skew_ap_ids: Vec<usize>,
+    marker_lost_ap_ids: Vec<usize>,
+    corrupt_ap_ids: Vec<usize>,
+    stalled_ap_ids: Vec<usize>,
+    /// Packets withheld from fusion because their AP was quarantined
+    /// when the window closed — still evaluated against the fused fixes
+    /// for the quarantined AP's clean-streak readmission decision.
+    withheld: Vec<crate::report::ApPacket>,
 }
 
 /// One stage-1 decode job: a transmission's reference capture, keyed
@@ -217,6 +239,10 @@ pub struct Deployment {
     up_rx: Receiver<WindowDone>,
     fusion: Fusion,
     aligner: SkewAligner,
+    /// The AP immune system: per-AP scores, quarantine membership, and
+    /// the stall watchdog. Inert when [`crate::HealthConfig::enabled`]
+    /// is off (the default).
+    health: FleetHealth,
     /// Windows submitted but not yet collected, in order.
     pending: VecDeque<u64>,
     next_window: u64,
@@ -273,18 +299,20 @@ impl Deployment {
 
         let (up_tx, up_rx) = sync_channel(cfg.channel_capacity.max(1));
         let mut aligner = SkewAligner::new(cfg.max_skew_windows);
+        let mut health = FleetHealth::new(cfg.health);
         let slots = aps
             .into_iter()
             .zip(skews)
             .enumerate()
             .map(|(ap_id, (ap, skew))| {
                 aligner.add_ap();
+                health.add_ap();
                 let tap = worker_tap(telemetry.as_ref(), ap_id);
                 spawn_worker(ap_id, ap, &cfg, skew, up_tx.clone(), tap)
             })
             .collect();
 
-        let mut fusion = Fusion::new(ap_positions.clone(), cfg);
+        let mut fusion = Fusion::new(ap_positions.clone(), cfg.clone());
         if let Some(t) = &telemetry {
             fusion.attach_telemetry(t);
         }
@@ -294,6 +322,7 @@ impl Deployment {
             inline_decode_hist,
             dump_hook: None,
             cfg,
+            health,
             modulation,
             ap_positions,
             slots,
@@ -383,6 +412,7 @@ impl Deployment {
         );
         let ap_id = self.slots.len();
         self.aligner.add_ap();
+        self.health.add_ap();
         self.ap_positions.push(ap.config().position);
         self.fusion.add_ap(ap.config().position);
         self.per_ap_window_stats.push(ApStats::default());
@@ -485,7 +515,61 @@ impl Deployment {
         };
         self.slots[ap_id].final_stats = Some(stats);
         self.metrics.aps_removed += 1;
+        self.health.mark_dead(ap_id);
         Ok(ap)
+    }
+
+    /// Re-join a previously removed (or lost) AP under its original
+    /// stable id, with its trained state intact — persistent identity
+    /// instead of the fresh-id full retrain [`Deployment::add_ap`]
+    /// would force. The AP participates from the next submitted window.
+    /// When the health layer is on, the re-joiner comes back *on
+    /// probation*: it stays quarantined (reports withheld from
+    /// fusion/consensus, but still scored) until it logs
+    /// [`crate::HealthConfig::probation_windows`] clean windows, then
+    /// is re-admitted. Consensus references re-baseline either way —
+    /// fused geometry shifts with membership.
+    ///
+    /// Errors: [`DeployError::UnknownAp`] if the id was never a member
+    /// or is still live. Panics if the AP's modulation differs from the
+    /// deployment's.
+    pub fn rejoin_ap(
+        &mut self,
+        ap_id: usize,
+        ap: AccessPoint,
+        skew: ApSkew,
+    ) -> Result<(), DeployError> {
+        if self.slots.get(ap_id).is_none_or(|s| s.alive) {
+            return Err(DeployError::UnknownAp { ap_id });
+        }
+        assert_eq!(
+            ap.config().modulation,
+            self.modulation,
+            "deployment APs must share one modulation"
+        );
+        self.ap_positions[ap_id] = ap.config().position;
+        self.aligner.revive_ap(ap_id);
+        self.fusion.revive_ap(ap_id, ap.config().position);
+        let tap = worker_tap(self.telemetry.as_ref(), ap_id);
+        let prior_stats = self.slots[ap_id].final_stats.take();
+        self.slots[ap_id] = spawn_worker(ap_id, ap, &self.cfg, skew, self.up_tx.clone(), tap);
+        self.slots[ap_id].final_stats = prior_stats;
+        self.metrics.aps_rejoined += 1;
+        self.health.start_probation(ap_id);
+        self.fusion.rebaseline();
+        Ok(())
+    }
+
+    /// Current health score for `ap_id`, `[0, 1]` (1.0 when the health
+    /// layer is disabled or the AP has a clean record).
+    pub fn health_score(&self, ap_id: usize) -> f64 {
+        self.health.score(ap_id)
+    }
+
+    /// Ids of the APs currently quarantined by the health layer,
+    /// ascending (always empty when health is disabled).
+    pub fn quarantined_aps(&self) -> Vec<usize> {
+        self.health.quarantined_aps()
     }
 
     /// Make AP `ap_id`'s worker die abruptly without reporting — test
@@ -577,34 +661,34 @@ impl Deployment {
         // skipped; the window will close without it.
         for (k, packets) in per_worker.into_iter().enumerate() {
             let ap_id = live[k];
-            // A worker reaped earlier in this dispatch loop (its death
-            // noticed while waiting out another AP's backpressure) gets
-            // nothing dispatched — and, crucially, no dispatch record,
-            // which would never be answered.
-            let tx = self.slots[ap_id].tx.clone();
-            let Some(tx) = tx else {
-                continue;
-            };
             self.aligner
                 .note_dispatch(ap_id, window, packets.first().map(|p| p.seq));
-            let mut dispatched_packets = packets.len() as u64;
-            let mut msg = WorkerMsg::Window { window, packets };
-            let mut counted = false;
-            loop {
-                match tx.try_send(msg) {
-                    Ok(()) => break,
-                    Err(TrySendError::Full(m)) => {
-                        msg = m;
-                        if !counted {
-                            self.metrics.ingest_backpressure_events += 1;
-                            counted = true;
+            let dispatched_packets = packets.len() as u64;
+            // A hung worker (crash noticed at some earlier racy point)
+            // is still a *member* — its membership ends at the collect
+            // of its first unreported window — so the dispatch is
+            // accounted identically whether the hangup was noticed
+            // before this send, during it (`Disconnected`), or not yet
+            // at all: *when* a crash is noticed never changes a byte.
+            let tx = self.slots[ap_id].tx.clone();
+            if let Some(tx) = tx {
+                let mut msg = WorkerMsg::Window { window, packets };
+                let mut counted = false;
+                loop {
+                    match tx.try_send(msg) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(m)) => {
+                            msg = m;
+                            if !counted {
+                                self.metrics.ingest_backpressure_events += 1;
+                                counted = true;
+                            }
+                            self.wait_for_progress();
                         }
-                        self.wait_for_progress();
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        self.drain_reports_and_reap(ap_id);
-                        dispatched_packets = 0;
-                        break;
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.note_hangup(ap_id);
+                            break;
+                        }
                     }
                 }
             }
@@ -646,13 +730,28 @@ impl Deployment {
         let Some(bin) = self.bins.get_mut(&aligned.global) else {
             return;
         };
+        if done.stalled {
+            // Wedged DSP: the marker closed the window but the payload
+            // is empty. A run of these trips the stall watchdog.
+            bin.stalled_ap_ids.push(done.ap_id);
+            self.metrics.windows_stalled += 1;
+        }
         if done.lost {
             bin.lost_reports += 1;
+            bin.lost_ap_ids.push(done.ap_id);
             self.metrics.reports_lost += 1;
         } else if !aligned.accepted {
             bin.skew_rejected += 1;
+            bin.skew_ap_ids.push(done.ap_id);
             self.metrics.skew_rejections += 1;
             self.per_ap_window_stats[done.ap_id].skew_rejections += 1;
+        } else if payload_checksum(done.label, done.seq_base, &done.packets) != done.checksum {
+            // Wire corruption: the payload does not match the checksum
+            // the worker computed when it sent it. Reject the whole
+            // payload — a bit-flipped bearing must never be fused.
+            bin.corrupt_ap_ids.push(done.ap_id);
+            self.metrics.reports_corrupt += 1;
+            self.per_ap_window_stats[done.ap_id].reports_corrupt += 1;
         } else {
             let mut packets = done.packets;
             for p in &mut packets {
@@ -681,6 +780,7 @@ impl Deployment {
             if !bin.reported.contains(&ap_id) {
                 bin.reported.push(ap_id);
                 bin.markers_lost += 1;
+                bin.marker_lost_ap_ids.push(ap_id);
             }
         }
     }
@@ -691,7 +791,7 @@ impl Deployment {
     /// closes any tail windows whose markers were lost. A full input
     /// queue is waited out while draining reports (the same discipline
     /// as dispatch), and a disconnected one means the worker already
-    /// died — it is reaped.
+    /// died — its hangup is flagged and noted.
     fn send_shutdown(&mut self, ap_id: usize) {
         loop {
             let Some(tx) = self.slots[ap_id].tx.clone() else {
@@ -699,14 +799,12 @@ impl Deployment {
             };
             match tx.try_send(WorkerMsg::Shutdown) {
                 Ok(()) => {
-                    let slot = &mut self.slots[ap_id];
-                    slot.tx = None;
-                    slot.shutdown_sent = true;
+                    self.slots[ap_id].tx = None;
                     return;
                 }
                 Err(TrySendError::Full(_)) => self.wait_for_progress(),
                 Err(TrySendError::Disconnected(_)) => {
-                    self.drain_reports_and_reap(ap_id);
+                    self.note_hangup(ap_id);
                     return;
                 }
             }
@@ -714,12 +812,11 @@ impl Deployment {
     }
 
     /// Wait a beat for the workers to make progress, draining any
-    /// report that arrives in the meantime. Detects dead workers: a
-    /// worker thread that has exited without a shutdown order means a
-    /// panic or injected crash; it is reaped — its buffered reports are
-    /// drained first (they were sent before the thread exited, so they
-    /// are already in the channel), then its membership ends so no
-    /// window ever waits on it.
+    /// report that arrives in the meantime. Detects exited workers: a
+    /// worker thread that is gone (panic, injected crash, or a normal
+    /// post-shutdown exit) has its buffered reports salvaged and its
+    /// hangup flagged — but its membership is *not* ended here; that
+    /// happens deterministically in [`Deployment::collect_window`].
     fn wait_for_progress(&mut self) {
         match self
             .up_rx
@@ -732,40 +829,45 @@ impl Deployment {
                     .iter()
                     .enumerate()
                     .filter(|(_, s)| {
-                        // `shutdown_sent` threads exit *normally* once
-                        // their queue drains — not a loss.
-                        s.alive
-                            && !s.shutdown_sent
-                            && s.join.as_ref().is_some_and(|j| j.is_finished())
+                        s.alive && !s.hung && s.join.as_ref().is_some_and(|j| j.is_finished())
                     })
                     .map(|(id, _)| id)
                     .collect();
-                if finished.is_empty() {
-                    return;
-                }
                 for ap_id in finished {
-                    self.drain_reports_and_reap(ap_id);
+                    self.note_hangup(ap_id);
                 }
             }
         }
     }
 
-    /// Drain every report already in flight, then reap a dead worker.
-    /// The order matters for determinism: a dead thread's sends all
-    /// happened before it exited, so they are already in the channel —
-    /// draining first salvages them no matter *where* the death was
-    /// noticed (timeout scan or a `Disconnected` send error), instead
-    /// of the salvage depending on which path won the race.
-    fn drain_reports_and_reap(&mut self, ap_id: usize) {
+    /// Note that a worker's thread has exited: drain every report
+    /// already in flight, stop sending to it, and flag the hangup. The
+    /// drain-first order matters — a dead thread's sends all happened
+    /// before it exited, so they are already in the channel, and
+    /// draining salvages them no matter *where* the death was noticed
+    /// (timeout scan or a failed send). Deliberately does **not** end
+    /// the worker's membership: hangups are noticed at racy points, so
+    /// the membership end (retire, re-baseline, loss accounting) is
+    /// deferred to [`Deployment::finish_reap`], which
+    /// [`Deployment::collect_window`] runs at the first window the
+    /// worker failed to report — a deterministic point in window order.
+    fn note_hangup(&mut self, ap_id: usize) {
+        if !self.slots[ap_id].alive || self.slots[ap_id].hung {
+            return;
+        }
         while let Ok(done) = self.up_rx.try_recv() {
             self.route(done);
         }
-        self.reap_worker(ap_id);
+        let slot = &mut self.slots[ap_id];
+        slot.tx = None;
+        slot.hung = true;
     }
 
-    /// Mark a dead worker's slot: absorb what can be salvaged, forget
-    /// its outstanding dispatches, end its membership, re-baseline.
-    fn reap_worker(&mut self, ap_id: usize) {
+    /// End a hung worker's membership: forget its outstanding
+    /// dispatches, retire it from fusion/consensus, re-baseline, count
+    /// the loss. Only called from deterministic points (the collect
+    /// sweep and [`Deployment::remove_ap`]).
+    fn finish_reap(&mut self, ap_id: usize) {
         let slot = &mut self.slots[ap_id];
         if !slot.alive {
             return;
@@ -781,18 +883,70 @@ impl Deployment {
         }
         self.aligner.forget_ap(ap_id);
         self.fusion.retire_ap(ap_id);
+        self.health.mark_dead(ap_id);
         self.metrics.worker_losses += 1;
         self.fusion.rebaseline();
     }
 
+    /// Immediate salvage-and-reap, for callers already at a
+    /// deterministic point (mid-removal).
+    fn reap_worker(&mut self, ap_id: usize) {
+        self.note_hangup(ap_id);
+        self.finish_reap(ap_id);
+    }
+
+    /// Reap a *live* worker whose stall run hit the watchdog: hang up
+    /// its input channel (the worker drains its queue and exits
+    /// normally at the next receive), drain its in-flight reports, end
+    /// its membership. Deterministic — triggered by a window count,
+    /// never a wall clock, and counted in
+    /// [`DeployMetrics::watchdog_reaps`] rather than `worker_losses`.
+    fn watchdog_reap(&mut self, ap_id: usize) {
+        if !self.slots[ap_id].alive {
+            return;
+        }
+        self.slots[ap_id].tx = None;
+        // The worker may be mid-publish on the shared report channel;
+        // keep draining until its thread has actually exited, or a full
+        // channel would deadlock the join below.
+        while self.slots[ap_id]
+            .join
+            .as_ref()
+            .is_some_and(|j| !j.is_finished())
+        {
+            if let Ok(done) = self
+                .up_rx
+                .recv_timeout(std::time::Duration::from_millis(10))
+            {
+                self.route(done);
+            }
+        }
+        while let Ok(done) = self.up_rx.try_recv() {
+            self.route(done);
+        }
+        let slot = &mut self.slots[ap_id];
+        slot.alive = false;
+        if let Some(join) = slot.join.take() {
+            if let Ok((_ap, stats)) = join.join() {
+                slot.final_stats = Some(stats);
+            }
+        }
+        self.aligner.forget_ap(ap_id);
+        self.fusion.retire_ap(ap_id);
+        self.health.mark_dead(ap_id);
+        self.metrics.watchdog_reaps += 1;
+        self.fusion.rebaseline();
+    }
+
     /// Is window `w`'s bin closable: every AP expected at submit has
-    /// either delivered its end-of-window marker or is no longer live.
+    /// either delivered its end-of-window marker, hung up (thread gone,
+    /// reports salvaged — it will never deliver), or is no longer live.
     fn closable(&self, window: u64) -> bool {
         match self.bins.get(&window) {
             Some(bin) => bin
                 .expected
                 .iter()
-                .all(|&k| bin.reported.contains(&k) || !self.slots[k].alive),
+                .all(|&k| bin.reported.contains(&k) || !self.slots[k].alive || self.slots[k].hung),
             None => true,
         }
     }
@@ -814,31 +968,103 @@ impl Deployment {
             self.wait_for_progress();
         }
 
-        let bin = self.bins.remove(&window).unwrap_or_default();
+        let mut bin = self.bins.remove(&window).unwrap_or_default();
+        // Membership end for hung workers, at the first window each one
+        // failed to report. Collects run strictly in window order, so
+        // this sweep — and the retire/re-baseline it triggers — lands
+        // at the same window on every rerun, no matter *when* the
+        // hangup was physically noticed. A hung worker that reported
+        // everything it was dispatched (e.g. an ordered shutdown, or a
+        // crash after its last report) is never swept: its exit is
+        // indistinguishable from a clean one.
+        let failed: Vec<usize> = bin
+            .expected
+            .iter()
+            .copied()
+            .filter(|&k| !bin.reported.contains(&k) && self.slots[k].alive && self.slots[k].hung)
+            .collect();
+        for ap_id in failed {
+            self.finish_reap(ap_id);
+        }
         for (ap_id, stats) in &bin.end_stats {
             self.per_ap_window_stats[*ap_id].absorb(stats);
             self.metrics.report_backpressure_events += stats.backpressure_events;
         }
-        let dead_aps = bin
+        // Quarantine filter: a quarantined AP's packets are withheld
+        // from fusion/consensus (still scored against the fused fixes
+        // below, for its readmission decision), it stops counting
+        // toward the expected-AP denominator, and its losses earn no
+        // consensus slack. Quarantine membership is read at *collect*
+        // time, and collects are strictly in window order, so the
+        // filter is deterministic at any pipelining depth.
+        let quarantined: Vec<usize> = bin
             .expected
             .iter()
-            .filter(|&&k| !bin.reported.contains(&k))
+            .copied()
+            .filter(|&k| self.health.is_quarantined(k))
+            .collect();
+        if !quarantined.is_empty() {
+            let packets = std::mem::take(&mut bin.packets);
+            let (withheld, kept) = packets
+                .into_iter()
+                .partition(|p| quarantined.contains(&p.ap_id));
+            bin.withheld = withheld;
+            bin.packets = kept;
+        }
+        // Down-weighting: a degraded-but-not-quarantined AP's report
+        // confidence is scaled by its health score, so its bearings
+        // pull confidence-weighted fixes less while evidence
+        // accumulates. A healthy AP's weight is exactly 1.0, leaving
+        // clean runs byte-identical.
+        if self.health.enabled() {
+            for p in &mut bin.packets {
+                if let Some(r) = &mut p.report {
+                    r.confidence *= self.health.weight(p.ap_id);
+                }
+            }
+        }
+        let not_q = |ids: &[usize]| ids.iter().filter(|k| !quarantined.contains(k)).count();
+        let dead_not_q = bin
+            .expected
+            .iter()
+            .filter(|&&k| !bin.reported.contains(&k) && !quarantined.contains(&k))
             .count();
         // Degradation the coordinator *knows* about — and the only
         // thing that earns consensus slack downstream: reports lost on
-        // the link, rejected for skew, marker-lost, or never coming
-        // (dead worker). Marker-lost APs sit in `reported`, so they are
-        // disjoint from `dead_aps` — no double counting.
-        let missing_aps = bin.lost_reports + bin.skew_rejected + bin.markers_lost + dead_aps;
+        // the link, rejected for skew, marker-lost, checksum-rejected,
+        // stalled, or never coming (dead worker). Marker-lost APs sit
+        // in `reported`, so they are disjoint from `dead_aps` — no
+        // double counting — and a stalled AP whose payload was *also*
+        // lost is only counted once. Quarantined APs' losses are
+        // excluded: they are not expected, so they earn no slack.
+        let stalled_slack = bin
+            .stalled_ap_ids
+            .iter()
+            .filter(|&&k| !quarantined.contains(&k) && !bin.lost_ap_ids.contains(&k))
+            .count();
+        let missing_aps = not_q(&bin.lost_ap_ids)
+            + not_q(&bin.skew_ap_ids)
+            + not_q(&bin.marker_lost_ap_ids)
+            + not_q(&bin.corrupt_ap_ids)
+            + stalled_slack
+            + dead_not_q;
         if missing_aps > 0 {
             self.metrics.degraded_windows += 1;
         }
-        let mut fused =
-            self.fusion
-                .fuse_window_expecting(window, bin.packets, bin.expected.len(), missing_aps);
+        let packets = std::mem::take(&mut bin.packets);
+        let mut fused = self.fusion.fuse_window_degraded(
+            window,
+            packets,
+            bin.expected.len() - quarantined.len(),
+            missing_aps,
+            quarantined.len(),
+        );
         fused.lost_reports = bin.lost_reports;
         fused.skew_rejected = bin.skew_rejected;
         fused.markers_lost = bin.markers_lost;
+        fused.corrupt_reports = bin.corrupt_ap_ids.len();
+        fused.stalled_aps = bin.stalled_ap_ids.len();
+        fused.quarantined_aps = quarantined.len();
         self.metrics.windows += 1;
         self.metrics.fused_bearings += fused.bearings as u64;
         self.metrics.localize_failures += fused.localize_failures as u64;
@@ -849,6 +1075,9 @@ impl Deployment {
             if c.consensus.is_spoof() {
                 self.metrics.consensus_flags += 1;
             }
+        }
+        if self.health.enabled() {
+            self.observe_health(&bin, &fused);
         }
         // Periodic telemetry dump: fire the hook every `every` fused
         // windows, with the window's counters already folded in. Out of
@@ -862,6 +1091,77 @@ impl Deployment {
             self.dump_hook = Some((every, hook));
         }
         Ok(fused)
+    }
+
+    /// Fold one fused window's per-AP evidence into the health layer
+    /// and apply the resulting actions. The evidence is assembled from
+    /// order-independent aggregates (flags, counts, maxima), so the
+    /// scores — and every quarantine/readmit/reap decision — are
+    /// byte-deterministic at any shard count or pipelining depth.
+    fn observe_health(&mut self, bin: &WindowBin, fused: &FusedWindow) {
+        let mut ev = vec![ApWindowEvidence::default(); self.slots.len()];
+        for e in &fused.ap_bearing_errors {
+            let x = &mut ev[e.ap_id];
+            x.bearings = e.bearings;
+            x.over_warn = e.over_warn;
+            x.max_err_deg = e.max_err_deg;
+        }
+        for &k in &bin.lost_ap_ids {
+            ev[k].report_lost = true;
+        }
+        for &k in &bin.skew_ap_ids {
+            ev[k].skew_rejected = true;
+        }
+        for &k in &bin.marker_lost_ap_ids {
+            ev[k].marker_lost = true;
+        }
+        for &k in &bin.corrupt_ap_ids {
+            ev[k].corrupt = true;
+        }
+        for &k in &bin.stalled_ap_ids {
+            ev[k].stalled = true;
+        }
+        // A quarantined AP's withheld packets are scored against the
+        // *untainted* fused fixes: a clean streak here is what earns
+        // its re-admission.
+        for p in &bin.withheld {
+            let Some(r) = &p.report else { continue };
+            let Some(fix) = fused
+                .clients
+                .iter()
+                .find(|c| c.mac == r.mac)
+                .and_then(|c| c.fix.as_ref())
+            else {
+                continue;
+            };
+            let err =
+                crate::fusion::bearing_err_deg(self.ap_positions[p.ap_id], fix.position, r.azimuth);
+            let x = &mut ev[p.ap_id];
+            x.bearings += 1;
+            if err > self.cfg.health.bearing_err_warn_deg {
+                x.over_warn += 1;
+            }
+            if err > x.max_err_deg {
+                x.max_err_deg = err;
+            }
+        }
+        for action in self.health.observe_window(&ev) {
+            match action {
+                HealthAction::Quarantine(k) => {
+                    self.metrics.aps_quarantined += 1;
+                    self.per_ap_window_stats[k].quarantined += 1;
+                    // Fused geometry shifts without the outlier —
+                    // stale references would false-flag every client.
+                    self.fusion.rebaseline();
+                }
+                HealthAction::Readmit(k) => {
+                    self.metrics.aps_readmitted += 1;
+                    self.per_ap_window_stats[k].readmitted += 1;
+                    self.fusion.rebaseline();
+                }
+                HealthAction::Reap(k) => self.watchdog_reap(k),
+            }
+        }
     }
 
     /// Install a periodic telemetry dump hook: `hook` is called with a
@@ -888,7 +1188,13 @@ impl Deployment {
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         match &self.telemetry {
             Some(t) => {
-                mirror_counters(t, &self.metrics, &self.per_ap_window_stats, &self.fusion);
+                mirror_counters(
+                    t,
+                    &self.metrics,
+                    &self.per_ap_window_stats,
+                    &self.fusion,
+                    &self.health,
+                );
                 t.registry.snapshot()
             }
             None => TelemetrySnapshot::default(),
@@ -1012,8 +1318,14 @@ impl Deployment {
         let mut per_ap = Vec::with_capacity(self.slots.len());
         let mut aps = Vec::new();
         for (ap_id, slot) in self.slots.into_iter().enumerate() {
+            let prior = slot.final_stats;
             let mut stats = match slot.join.map(|j| j.join()) {
-                Some(Ok((ap, stats))) => {
+                Some(Ok((ap, mut stats))) => {
+                    // A re-joined AP's totals span both stints: fold
+                    // the pre-rejoin run (captured at removal) in.
+                    if let Some(p) = &prior {
+                        stats.absorb(p);
+                    }
                     // Store-occupancy gauges, tapped now that the AP's
                     // trained signature store is back in hand.
                     if let Some(t) = &telemetry {
@@ -1030,7 +1342,7 @@ impl Deployment {
                         // (1000 = perfectly balanced).
                         t.registry
                             .gauge("store.shard_imbalance_milli", &[("ap", &label)])
-                            .set((occ.imbalance() * 1000.0).round() as i64);
+                            .set_milli(occ.imbalance());
                     }
                     aps.push(ap);
                     stats
@@ -1038,12 +1350,16 @@ impl Deployment {
                 // Removed or reaped earlier: use the captured totals,
                 // falling back to the closed-window view for a panicked
                 // worker whose totals died with it.
-                _ => slot.final_stats.unwrap_or(self.per_ap_window_stats[ap_id]),
+                _ => prior.unwrap_or(self.per_ap_window_stats[ap_id]),
             };
-            // Skew rejections are counted by the coordinator (a worker
-            // cannot see its own clock error), so graft them onto the
-            // worker-side totals here.
+            // Counters only the coordinator can see (a worker cannot
+            // observe its own clock error, wire corruption, or
+            // quarantine status) are grafted onto the worker-side
+            // totals here.
             stats.skew_rejections = self.per_ap_window_stats[ap_id].skew_rejections;
+            stats.reports_corrupt = self.per_ap_window_stats[ap_id].reports_corrupt;
+            stats.quarantined = self.per_ap_window_stats[ap_id].quarantined;
+            stats.readmitted = self.per_ap_window_stats[ap_id].readmitted;
             per_ap.push(stats);
         }
         // Final mirror from the *full-run* per-AP totals (richer than
@@ -1052,7 +1368,7 @@ impl Deployment {
         // empty default snapshot, keeping reports byte-stable.
         let report_telemetry = match &telemetry {
             Some(t) => {
-                mirror_counters(t, &self.metrics, &per_ap, &self.fusion);
+                mirror_counters(t, &self.metrics, &per_ap, &self.fusion, &self.health);
                 t.registry.snapshot()
             }
             None => TelemetrySnapshot::default(),
@@ -1079,6 +1395,7 @@ fn mirror_counters(
     metrics: &DeployMetrics,
     per_ap: &[ApStats],
     fusion: &Fusion,
+    health: &FleetHealth,
 ) {
     metrics.for_each(|name, v| {
         t.registry.counter(&format!("fleet.{name}"), &[]).set(v);
@@ -1093,7 +1410,17 @@ fn mirror_counters(
                 .counter(&format!("ap.{name}"), &[("ap", &label)])
                 .set(v);
         });
+        // The health score is a ratio in [0, 1]; gauges are integers,
+        // so it is exported in milli-units (1000 = perfectly healthy).
+        if ap_id < health.n_aps() {
+            t.registry
+                .gauge("ap.health_score", &[("ap", &label)])
+                .set_milli(health.score(ap_id));
+        }
     }
+    t.registry
+        .gauge("fusion.rebaselines", &[])
+        .set(fusion.rebaseline_count() as i64);
     let per_shard = fusion.tracked_clients_per_shard();
     t.registry
         .gauge("fusion.tracked_clients", &[])
@@ -1135,6 +1462,12 @@ fn spawn_worker(
         link: cfg.link,
         marker_loss_rate: cfg.marker_loss_rate,
         tap,
+        faults: crate::faults::ApFaults::new(
+            cfg.faults
+                .as_ref()
+                .map(|p| p.for_ap(ap_id))
+                .unwrap_or_default(),
+        ),
     };
     let join = std::thread::Builder::new()
         .name(format!("sa-deploy-ap{}", ap_id))
@@ -1144,7 +1477,7 @@ fn spawn_worker(
         tx: Some(tx),
         join: Some(join),
         alive: true,
-        shutdown_sent: false,
+        hung: false,
         final_stats: None,
     }
 }

@@ -19,7 +19,7 @@
 //! pin is `tests/proptest_fleet.rs`.
 
 use crate::config::DeployConfig;
-use crate::report::{ApPacket, ClientFix, ClientSummary, FusedWindow};
+use crate::report::{ApBearingError, ApPacket, ClientFix, ClientSummary, FusedWindow};
 use crate::telemetry::{BearingEvidence, ClientWindowEvent, DeployTelemetry, FusionTaps, ShardTap};
 use sa_channel::geom::Point;
 use sa_mac::MacAddr;
@@ -53,6 +53,10 @@ struct ShardOutput {
     clients: Vec<ClientFix>,
     bearings: usize,
     localize_failures: usize,
+    /// Per-AP bearing-residual aggregates (keyed by AP id), measured
+    /// against every fused fix this shard produced. Counts and maxima
+    /// only, so the merge across shards is order-independent.
+    ap_errors: BTreeMap<usize, ApBearingError>,
 }
 
 /// The read-only drain context shared by every shard of one window.
@@ -64,6 +68,9 @@ struct DrainCtx<'a> {
     quorum: usize,
     expected_aps: usize,
     missing_aps: usize,
+    /// APs withheld from this window by the health layer's quarantine
+    /// — recorded in flight-recorder events; earns no consensus slack.
+    quarantined_aps: usize,
     /// Pre-size for per-client report groups: the live membership is
     /// the expected number of reports per client per window, so groups
     /// allocate once instead of growing through the doubling ladder.
@@ -163,6 +170,28 @@ impl Fusion {
         }
     }
 
+    /// Re-admit a previously retired AP slot at `position`
+    /// ([`crate::Deployment::rejoin_ap`]): it counts toward the
+    /// expected quorum again. Does **not** re-baseline — callers
+    /// decide, exactly as with [`Fusion::add_ap`]. Unknown ids are
+    /// ignored.
+    pub fn revive_ap(&mut self, ap_id: usize, position: Point) {
+        if let Some(flag) = self.live.get_mut(ap_id) {
+            *flag = true;
+            self.ap_positions[ap_id] = position;
+        }
+    }
+
+    /// How many consensus re-baselines this stage has performed
+    /// (membership churn plus health quarantine/readmit events). Every
+    /// re-baseline touches all shards identically, so shard 0's count
+    /// is the stage's — shard-count invariant by construction.
+    pub fn rebaseline_count(&self) -> u64 {
+        self.shards
+            .first()
+            .map_or(0, |s| s.consensus.rebaseline_count())
+    }
+
     /// Number of live APs.
     pub fn live_aps(&self) -> usize {
         self.live.iter().filter(|&&l| l).count()
@@ -235,6 +264,25 @@ impl Fusion {
         expected_aps: usize,
         missing_aps: usize,
     ) -> FusedWindow {
+        self.fuse_window_degraded(window, packets, expected_aps, missing_aps, 0)
+    }
+
+    /// [`Fusion::fuse_window_expecting`] plus the health layer's
+    /// quarantine knowledge: `quarantined_aps` is how many APs the
+    /// coordinator *withheld* from this window because their evidence
+    /// is distrusted ([`crate::health::FleetHealth`]). Quarantine is
+    /// not link degradation — a distrusted AP earns no consensus
+    /// slack and is already excluded from `expected_aps` — but it is
+    /// recorded on the fused window and in flight-recorder events so
+    /// a post-mortem can see *why* the window fused thin.
+    pub fn fuse_window_degraded(
+        &mut self,
+        window: u64,
+        packets: Vec<ApPacket>,
+        expected_aps: usize,
+        missing_aps: usize,
+        quarantined_aps: usize,
+    ) -> FusedWindow {
         // Degrade the fix quorum with the membership: a 4-AP policy on
         // a deployment temporarily down to 2 live APs must still fix
         // (two bearings are the geometric minimum), but never fix on a
@@ -260,6 +308,7 @@ impl Fusion {
             quorum,
             expected_aps,
             missing_aps,
+            quarantined_aps,
             group_capacity: self.live.iter().filter(|&&l| l).count().max(1),
         };
         // Per-shard tap views (Copy refs into the attached bundle). A
@@ -308,10 +357,23 @@ impl Fusion {
         let mut clients = Vec::with_capacity(outputs.iter().map(|o| o.clients.len()).sum());
         let mut bearings_total = 0usize;
         let mut localize_failures = 0usize;
+        let mut ap_errors: BTreeMap<usize, ApBearingError> = BTreeMap::new();
         for o in outputs {
             bearings_total += o.bearings;
             localize_failures += o.localize_failures;
             clients.extend(o.clients);
+            // Merge per-AP residual aggregates: counts add, maxima max
+            // — both commutative, so the merged evidence is identical
+            // at any shard count.
+            for (ap, e) in o.ap_errors {
+                let agg = ap_errors.entry(ap).or_insert(ApBearingError {
+                    ap_id: ap,
+                    ..ApBearingError::default()
+                });
+                agg.bearings += e.bearings;
+                agg.over_warn += e.over_warn;
+                agg.max_err_deg = agg.max_err_deg.max(e.max_err_deg);
+            }
         }
         // Each shard's list is already MAC-ordered; the concatenation
         // only needs one stable sort to interleave the shards back into
@@ -331,6 +393,10 @@ impl Fusion {
             lost_reports: 0,
             skew_rejected: 0,
             markers_lost: 0,
+            corrupt_reports: 0,
+            stalled_aps: 0,
+            quarantined_aps,
+            ap_bearing_errors: ap_errors.into_values().collect(),
         }
     }
 
@@ -390,6 +456,7 @@ fn drain_shard(
     let mut clients = Vec::with_capacity(by_mac.len());
     let mut bearings_total = 0usize;
     let mut localize_failures = 0usize;
+    let mut ap_errors: BTreeMap<usize, ApBearingError> = BTreeMap::new();
     for (mac, reports) in by_mac {
         // Read the consensus reference *before* this client's check (a
         // clean fix below may auto-train it) so the flight-recorder
@@ -516,6 +583,26 @@ fn drain_shard(
             (None, None, ConsensusVerdict::Insufficient)
         };
 
+        // Health evidence: how far every bearing — including any the
+        // robust fit dropped as a ghost — sits from the azimuth the
+        // fused fix implies for its AP. A persistently biased AP shows
+        // up here window after window while honest APs hug zero.
+        if let Some(f) = fix {
+            let warn = ctx.cfg.health.bearing_err_warn_deg;
+            for (i, b) in bearings.iter().enumerate() {
+                let err = bearing_err_deg(b.ap_position, f.position, b.azimuth);
+                let agg = ap_errors.entry(bearing_aps[i]).or_insert(ApBearingError {
+                    ap_id: bearing_aps[i],
+                    ..ApBearingError::default()
+                });
+                agg.bearings += 1;
+                if err > warn {
+                    agg.over_warn += 1;
+                }
+                agg.max_err_deg = agg.max_err_deg.max(err);
+            }
+        }
+
         if let Some(recorder) = tap.recorder {
             recorder.record(
                 mac,
@@ -523,6 +610,7 @@ fn drain_shard(
                     window: ctx.window,
                     expected_aps: ctx.expected_aps,
                     missing_aps: ctx.missing_aps,
+                    quarantined_aps: ctx.quarantined_aps,
                     n_aps,
                     bearings: evidence,
                     fix: fix.map(|f| (f.position.x, f.position.y)),
@@ -553,7 +641,24 @@ fn drain_shard(
         clients,
         bearings: bearings_total,
         localize_failures,
+        ap_errors,
     }
+}
+
+/// Absolute angular disagreement, degrees, between a reported azimuth
+/// and the azimuth from `ap_pos` to the fused `fix_pos` — the health
+/// layer's per-window bearing-residual evidence
+/// ([`crate::health::ApWindowEvidence`]).
+pub(crate) fn bearing_err_deg(ap_pos: Point, fix_pos: Point, azimuth: f64) -> f64 {
+    use std::f64::consts::PI;
+    let mut d = azimuth - ap_pos.azimuth_to(fix_pos);
+    while d > PI {
+        d -= 2.0 * PI;
+    }
+    while d < -PI {
+        d += 2.0 * PI;
+    }
+    d.abs().to_degrees()
 }
 
 #[cfg(test)]
@@ -790,6 +895,51 @@ mod tests {
             w.position,
             u.position
         );
+    }
+
+    #[test]
+    fn bearing_errors_expose_a_biased_ap() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        let target = pt(4.0, 6.0);
+        let mut pkts = bearings_to(&aps, target, 1);
+        // AP 3's bearing is 15 degrees off — a byzantine bias.
+        if let Some(r) = pkts[3].report.as_mut() {
+            r.azimuth += 15f64.to_radians();
+        }
+        let out = fusion.fuse_window_degraded(0, pkts, 4, 0, 1);
+        assert_eq!(out.quarantined_aps, 1);
+        assert_eq!(out.ap_bearing_errors.len(), 4);
+        // The fix absorbs part of the bias, so the biased AP's residual
+        // is below 15° — but it clears the 6° warn line while the
+        // honest APs (pulled at most ~5°) stay under it.
+        let biased = out
+            .ap_bearing_errors
+            .iter()
+            .find(|e| e.ap_id == 3)
+            .expect("evidence for the biased AP");
+        assert!(biased.max_err_deg > 6.0, "{:?}", biased);
+        assert_eq!(biased.over_warn, 1);
+        for e in out.ap_bearing_errors.iter().filter(|e| e.ap_id != 3) {
+            assert!(e.max_err_deg < 6.0, "honest AP flagged: {:?}", e);
+            assert_eq!(e.over_warn, 0);
+        }
+    }
+
+    #[test]
+    fn revive_ap_restores_quorum_membership() {
+        let aps = square_aps();
+        let mut fusion = Fusion::new(aps.clone(), DeployConfig::default());
+        fusion.retire_ap(2);
+        assert_eq!(fusion.live_aps(), 3);
+        assert_eq!(fusion.rebaseline_count(), 0);
+        fusion.rebaseline();
+        assert_eq!(fusion.rebaseline_count(), 1);
+        fusion.revive_ap(2, pt(12.0, 12.0));
+        assert_eq!(fusion.live_aps(), 4);
+        // Unknown ids are ignored, as with retire.
+        fusion.revive_ap(99, pt(0.0, 0.0));
+        assert_eq!(fusion.live_aps(), 4);
     }
 
     #[test]

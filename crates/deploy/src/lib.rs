@@ -52,6 +52,18 @@
 //!   trail behind any spoof verdict. Fused output is byte-identical
 //!   with telemetry on or off (`tests/proptest_telemetry.rs`); see
 //!   `docs/OBSERVABILITY.md` for the metric reference.
+//! * The fleet is **self-healing under scripted chaos**: a seeded
+//!   [`faults::FaultPlan`] injects worker stalls, mid-window crashes,
+//!   wire-corrupted reports (caught by the report checksum), byzantine
+//!   bearing bias, burst link loss and drifting clocks — all pure
+//!   functions of the plan and window number — while
+//!   [`health::FleetHealth`] scores each AP from per-window fusion
+//!   evidence, down-weights then **quarantines** persistent outliers
+//!   (with consensus re-baseline), re-admits them after a clean streak,
+//!   and reaps wedged workers via a window-count stall watchdog.
+//!   Both layers default off and are byte-transparent when disabled
+//!   (`tests/proptest_chaos.rs`); re-joining APs resume their trained
+//!   identity behind a probation window ([`Deployment::rejoin_ap`]).
 //!
 //! ```no_run
 //! use sa_deploy::{DeployConfig, Deployment, Transmission};
@@ -74,16 +86,21 @@
 pub mod align;
 pub mod config;
 pub mod deployment;
+pub mod faults;
 pub mod fusion;
+pub mod health;
 pub mod report;
 pub mod telemetry;
 mod worker;
 
 pub use config::{ApSkew, DeployConfig, DeployError, LinkConfig};
 pub use deployment::{Deployment, Transmission};
+pub use faults::{CorruptionMode, FaultEvent, FaultPlan};
 pub use fusion::Fusion;
+pub use health::{HealthAction, HealthConfig};
 pub use report::{
-    ApPacket, ApStats, ClientFix, ClientSummary, DeployMetrics, DeploymentReport, FusedWindow,
+    ApBearingError, ApPacket, ApStats, ClientFix, ClientSummary, DeployMetrics, DeploymentReport,
+    FusedWindow,
 };
 pub use sa_telemetry::{TelemetryConfig, TelemetrySnapshot};
 pub use telemetry::{BearingEvidence, ClientWindowEvent};

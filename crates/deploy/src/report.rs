@@ -129,6 +129,21 @@ counter_block! {
     /// ([`crate::DeployConfig::marker_timeout_windows`]) or the final
     /// flush instead.
     pub markers_lost: u64,
+    /// Window reports from this AP rejected because their payload
+    /// failed the report-wire checksum (on-path corruption: bit-flipped
+    /// bearings, stale-seq replays, garbage confidence). Counted by the
+    /// coordinator; the whole payload is excluded from fusion.
+    pub reports_corrupt: u64,
+    /// Windows this AP's worker spent wedged: its DSP produced nothing
+    /// and the end-of-window marker arrived flagged stalled. A run of
+    /// these longer than [`crate::HealthConfig::stall_watchdog_windows`]
+    /// gets the worker reaped.
+    pub windows_stalled: u64,
+    /// Times this AP was quarantined by the health layer (excluded from
+    /// fusion/consensus until a clean streak earned re-admission).
+    pub quarantined: u64,
+    /// Times this AP was re-admitted after quarantine or probation.
+    pub readmitted: u64,
     }
 }
 
@@ -161,6 +176,25 @@ pub struct ClientFix {
     pub expected_aps: usize,
 }
 
+/// One AP's bearing-residual evidence for one window, measured against
+/// the fused fixes its bearings fed. Order-independent aggregates
+/// (max + threshold counts, never float sums), so the values are
+/// byte-identical at any [`crate::DeployConfig::fusion_shards`] — the
+/// health layer can consume them without breaking determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ApBearingError {
+    /// The AP.
+    pub ap_id: usize,
+    /// Bearings from this AP that fed a fused fix this window.
+    pub bearings: u32,
+    /// Of those, how many missed their fused fix by more than the
+    /// health layer's warn threshold
+    /// ([`crate::HealthConfig::bearing_err_warn_deg`]).
+    pub over_warn: u32,
+    /// Worst residual this window, degrees.
+    pub max_err_deg: f64,
+}
+
 /// Everything fusion produced for one closed observation window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FusedWindow {
@@ -188,6 +222,18 @@ pub struct FusedWindow {
     /// window closed via gap detection (or the final flush), without
     /// ever hearing from them.
     pub markers_lost: usize,
+    /// AP reports rejected because their payload failed the wire
+    /// checksum.
+    pub corrupt_reports: usize,
+    /// APs whose worker was wedged this window (marker flagged stalled,
+    /// no payload).
+    pub stalled_aps: usize,
+    /// APs excluded from this window by the health layer's quarantine.
+    pub quarantined_aps: usize,
+    /// Per-AP bearing-residual evidence against this window's fused
+    /// fixes, ordered by AP id — the health layer's byzantine-bias
+    /// signal. Empty when no bearings fused.
+    pub ap_bearing_errors: Vec<ApBearingError>,
 }
 
 /// Deployment-wide running counters.
@@ -238,6 +284,24 @@ pub struct DeployMetrics {
     pub aps_added: u64,
     /// APs removed from the deployment mid-run.
     pub aps_removed: u64,
+    /// Window reports rejected for a failed wire checksum (summed over
+    /// APs).
+    pub reports_corrupt: u64,
+    /// Stalled AP-windows observed (summed over APs): a marker arrived
+    /// flagged stalled with no payload.
+    pub windows_stalled: u64,
+    /// Quarantine events: an AP's health score fell below the
+    /// quarantine threshold and it was excluded from fusion/consensus.
+    pub aps_quarantined: u64,
+    /// Re-admission events after quarantine or probation.
+    pub aps_readmitted: u64,
+    /// Workers reaped by the stall watchdog (a run of stalled windows
+    /// hit [`crate::HealthConfig::stall_watchdog_windows`]). Distinct
+    /// from `worker_losses`, which counts uncommanded deaths.
+    pub watchdog_reaps: u64,
+    /// APs re-joined with their persistent identity
+    /// ([`crate::Deployment::rejoin_ap`]).
+    pub aps_rejoined: u64,
 }
 
 impl DeployMetrics {
@@ -269,6 +333,12 @@ impl DeployMetrics {
         f("worker_losses", self.worker_losses);
         f("aps_added", self.aps_added);
         f("aps_removed", self.aps_removed);
+        f("reports_corrupt", self.reports_corrupt);
+        f("windows_stalled", self.windows_stalled);
+        f("aps_quarantined", self.aps_quarantined);
+        f("aps_readmitted", self.aps_readmitted);
+        f("watchdog_reaps", self.watchdog_reaps);
+        f("aps_rejoined", self.aps_rejoined);
     }
 }
 
@@ -368,6 +438,10 @@ mod tests {
             reports_lost: 13,
             skew_rejections: 14,
             markers_lost: 15,
+            reports_corrupt: 16,
+            windows_stalled: 17,
+            quarantined: 18,
+            readmitted: 19,
         };
         let mut b = a;
         b.absorb(&a);
@@ -386,6 +460,10 @@ mod tests {
         assert_eq!(b.reports_lost, 26);
         assert_eq!(b.skew_rejections, 28);
         assert_eq!(b.markers_lost, 30);
+        assert_eq!(b.reports_corrupt, 32);
+        assert_eq!(b.windows_stalled, 34);
+        assert_eq!(b.quarantined, 36);
+        assert_eq!(b.readmitted, 38);
         // for_each visits the same fields absorb folds — exhaustive by
         // construction (both come out of the counter_block! macro), and
         // the visited sum doubles along with the fields.
@@ -396,9 +474,10 @@ mod tests {
         });
         let mut sum_b = 0u64;
         b.for_each(|_, v| sum_b += v);
-        assert_eq!(names_a.len(), 15);
+        assert_eq!(names_a.len(), 19);
         assert_eq!(names_a[0], "windows");
         assert_eq!(names_a[14], "markers_lost");
+        assert_eq!(names_a[18], "readmitted");
         assert_eq!(sum_b, 2 * sum_a);
     }
 
@@ -427,14 +506,20 @@ mod tests {
         m.worker_losses = 15;
         m.aps_added = 16;
         m.aps_removed = 17;
+        m.reports_corrupt = 18;
+        m.windows_stalled = 19;
+        m.aps_quarantined = 20;
+        m.aps_readmitted = 21;
+        m.watchdog_reaps = 22;
+        m.aps_rejoined = 23;
         let mut names = Vec::new();
         let mut sum = 0u64;
         m.for_each(|name, v| {
             names.push(name);
             sum += v;
         });
-        assert_eq!(names.len(), 17);
-        assert_eq!(sum, (1..=17).sum::<u64>());
+        assert_eq!(names.len(), 23);
+        assert_eq!(sum, (1..=23).sum::<u64>());
         // The high-water mark is a gauge, not a counter: never visited.
         assert!(!names.contains(&"max_fusion_queue_depth"));
     }

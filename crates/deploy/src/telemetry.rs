@@ -44,6 +44,10 @@ pub struct ClientWindowEvent {
     /// rejections, lost markers, dead workers) — the degraded-close
     /// reason, and what earned the consensus slack.
     pub missing_aps: usize,
+    /// APs excluded from this window's fusion by the health layer's
+    /// quarantine ([`crate::HealthConfig`]) — withheld evidence, not
+    /// link loss, so it earns no consensus slack.
+    pub quarantined_aps: usize,
     /// Distinct APs that contributed a bearing.
     pub n_aps: usize,
     /// Per-bearing evidence, in `(ap, seq)` order.
@@ -76,6 +80,9 @@ impl ClientWindowEvent {
         );
         if self.missing_aps > 0 {
             let _ = write!(out, " ({} known missing)", self.missing_aps);
+        }
+        if self.quarantined_aps > 0 {
+            let _ = write!(out, " ({} quarantined)", self.quarantined_aps);
         }
         let _ = writeln!(
             out,
@@ -216,6 +223,7 @@ mod tests {
             window: 7,
             expected_aps: 4,
             missing_aps: 1,
+            quarantined_aps: 1,
             n_aps: 3,
             bearings: vec![BearingEvidence {
                 ap_id: 2,
@@ -235,6 +243,7 @@ mod tests {
         assert!(text.contains("window    7"));
         assert!(text.contains("3/4 APs"));
         assert!(text.contains("1 known missing"));
+        assert!(text.contains("1 quarantined"));
         assert!(text.contains("ap2"));
         assert!(text.contains("fix (4.00, 6.00)"));
         assert!(text.contains("reference (4.00, 6.10)"));

@@ -10,6 +10,7 @@
 //! byte-reproducible no matter how the threads interleave.
 
 use crate::config::{ApSkew, LinkConfig};
+use crate::faults::{corrupt_payload, payload_checksum, ApFaults, WindowFaults};
 use crate::report::{ApPacket, ApStats};
 use crate::telemetry::WorkerTap;
 use sa_linalg::CMat;
@@ -65,6 +66,16 @@ pub(crate) struct WindowDone {
     pub stats: ApStats,
     /// The packet payload was lost on the link (packets is empty).
     pub lost: bool,
+    /// The worker was wedged for this window (fault-injected stall):
+    /// no DSP ran and the payload is empty, but the marker still rides
+    /// the live control path so the window closes. A run of these
+    /// trips the coordinator's stall watchdog.
+    pub stalled: bool,
+    /// Report-wire checksum over `(label, seq_base, packets)`, computed
+    /// before any injected wire corruption. The coordinator recomputes
+    /// and rejects the whole payload on mismatch
+    /// ([`ApStats::reports_corrupt`]).
+    pub checksum: u64,
     /// Final flush sentinel: the worker processed its whole queue and
     /// is exiting after an ordered shutdown. Carries no window — it
     /// tells the coordinator that any still-outstanding dispatches for
@@ -90,6 +101,11 @@ pub(crate) struct WorkerCfg {
     /// clock. Timing is write-only: nothing downstream ever reads it,
     /// keeping fused output byte-identical with telemetry on or off.
     pub tap: Option<WorkerTap>,
+    /// This AP's slice of the deployment's scripted fault plan
+    /// ([`crate::faults::FaultPlan`]); empty when no plan is attached.
+    /// Every fault is a pure function of the window number, so faulted
+    /// runs stay byte-reproducible.
+    pub faults: ApFaults,
 }
 
 /// Deterministic per-AP loss stream: splitmix64 over `seed ^ ap_id`.
@@ -161,6 +177,8 @@ pub(crate) fn run_worker(
                     packets: Vec::new(),
                     stats: ApStats::default(),
                     lost: false,
+                    stalled: false,
+                    checksum: 0,
                     flush: true,
                 });
                 break;
@@ -168,74 +186,106 @@ pub(crate) fn run_worker(
             WorkerMsg::Crash => return (ap, totals),
             WorkerMsg::Window { window, packets } => (window, packets),
         };
+        // Scripted faults for this window: a pure function of the plan
+        // and the window number, so nothing here depends on scheduling.
+        let wf = if cfg.faults.is_empty() {
+            WindowFaults::default()
+        } else {
+            cfg.faults.at(window)
+        };
+        if wf.crash {
+            // Die mid-window: no payload, no marker, thread gone — the
+            // coordinator's dead-worker machinery notices the hangup.
+            return (ap, totals);
+        }
         let mut stats = ApStats {
             windows: 1,
             ..ApStats::default()
         };
-        let label = cfg.skew.window_label(window);
+        let label = cfg.skew.window_label(window) + wf.extra_label;
         let seq_base = packets.first().map(|p| cfg.skew.seq_label(p.seq));
 
-        // DSP pass over the whole window through one batch; the engine
-        // (manifold, steering table, eigensolver buffers) carries over
-        // from the previous window.
-        let mut batch = match engine.take() {
-            Some(e) => ap.batch_with_engine(e),
-            None => ap.batch(),
-        };
-        batch.set_snapshot_cap(cfg.snapshot_cap);
-        let mut seqs = Vec::with_capacity(packets.len());
-        for p in &packets {
-            stats.packets += 1;
-            match batch.push_predecoded(&p.buffer, &p.decoded) {
-                Ok(()) => seqs.push(p.seq),
-                Err(_) => stats.observe_failures += 1,
-            }
-        }
-        let observations = {
-            let _span = StageTimer::start(cfg.tap.as_ref().map(|t| &*t.dsp));
-            batch.process()
-        };
-        engine = Some(batch.into_engine());
-
-        // Enforcement + report assembly, in seq order. Reports carry
-        // the worker's local labels — the coordinator's aligner maps
-        // them back to global numbering.
-        let mut reports = Vec::with_capacity(observations.len());
-        for (obs, &seq) in observations.iter().zip(&seqs) {
-            stats.observed += 1;
-            let verdict = {
-                let _span = StageTimer::start(cfg.tap.as_ref().map(|t| &*t.enforce));
-                ap.enforce(obs)
+        let mut reports = Vec::new();
+        if wf.stall {
+            // Wedged DSP: the window's captures are dropped on the
+            // floor, but the marker still goes out (flagged stalled) on
+            // the live control path so the window closes.
+            stats.windows_stalled += 1;
+        } else {
+            // DSP pass over the whole window through one batch; the
+            // engine (manifold, steering table, eigensolver buffers)
+            // carries over from the previous window.
+            let mut batch = match engine.take() {
+                Some(e) => ap.batch_with_engine(e),
+                None => ap.batch(),
             };
-            match verdict {
-                FrameVerdict::Admit { spoof } => {
-                    stats.admitted += 1;
-                    if cfg.auto_train_signatures && spoof == SpoofVerdict::Untrained {
-                        if let Some(frame) = &obs.frame {
-                            ap.train_client(frame.src, obs);
-                            stats.trained += 1;
+            batch.set_snapshot_cap(cfg.snapshot_cap);
+            let mut seqs = Vec::with_capacity(packets.len());
+            for p in &packets {
+                stats.packets += 1;
+                match batch.push_predecoded(&p.buffer, &p.decoded) {
+                    Ok(()) => seqs.push(p.seq),
+                    Err(_) => stats.observe_failures += 1,
+                }
+            }
+            let observations = {
+                let _span = StageTimer::start(cfg.tap.as_ref().map(|t| &*t.dsp));
+                batch.process()
+            };
+            engine = Some(batch.into_engine());
+
+            // Enforcement + report assembly, in seq order. Reports
+            // carry the worker's local labels — the coordinator's
+            // aligner maps them back to global numbering.
+            reports.reserve(observations.len());
+            for (obs, &seq) in observations.iter().zip(&seqs) {
+                stats.observed += 1;
+                let verdict = {
+                    let _span = StageTimer::start(cfg.tap.as_ref().map(|t| &*t.enforce));
+                    ap.enforce(obs)
+                };
+                match verdict {
+                    FrameVerdict::Admit { spoof } => {
+                        stats.admitted += 1;
+                        if cfg.auto_train_signatures && spoof == SpoofVerdict::Untrained {
+                            if let Some(frame) = &obs.frame {
+                                ap.train_client(frame.src, obs);
+                                stats.trained += 1;
+                            }
                         }
                     }
+                    FrameVerdict::Drop(DropReason::SpoofSuspected { .. })
+                    | FrameVerdict::Drop(DropReason::Quarantined) => stats.dropped_spoof += 1,
+                    FrameVerdict::Drop(_) => stats.dropped_other += 1,
                 }
-                FrameVerdict::Drop(DropReason::SpoofSuspected { .. })
-                | FrameVerdict::Drop(DropReason::Quarantined) => stats.dropped_spoof += 1,
-                FrameVerdict::Drop(_) => stats.dropped_other += 1,
+                let local_seq = cfg.skew.seq_label(seq);
+                let report = obs.bearing_report(local_seq);
+                if report.is_some() {
+                    stats.bearings += 1;
+                }
+                reports.push(ApPacket {
+                    ap_id,
+                    window: label.max(0) as u64,
+                    seq: local_seq,
+                    mac: obs.frame.as_ref().map(|f| f.src),
+                    report,
+                    bearing_deg: obs.bearing_deg,
+                    rss_db: obs.rss_db,
+                    verdict,
+                });
             }
-            let local_seq = cfg.skew.seq_label(seq);
-            let report = obs.bearing_report(local_seq);
-            if report.is_some() {
-                stats.bearings += 1;
+        }
+
+        // Byzantine bias: the AP itself lies about its bearings, so the
+        // bias lands *before* the checksum (the wire bytes are "valid")
+        // and only the cross-AP health score can catch it.
+        if wf.bias_rad != 0.0 {
+            for p in &mut reports {
+                p.bearing_deg += wf.bias_rad.to_degrees();
+                if let Some(r) = &mut p.report {
+                    r.azimuth += wf.bias_rad;
+                }
             }
-            reports.push(ApPacket {
-                ap_id,
-                window: label.max(0) as u64,
-                seq: local_seq,
-                mac: obs.frame.as_ref().map(|f| f.src),
-                report,
-                bearing_deg: obs.bearing_deg,
-                rss_db: obs.rss_db,
-                verdict,
-            });
         }
 
         // Marker loss: the whole end-of-window message vanishes — the
@@ -266,14 +316,29 @@ pub(crate) fn run_worker(
                 }
             }
         }
+        // Burst link loss: the whole payload (retries and all) is gone
+        // for the faulted span; the marker still closes the window.
+        if wf.burst_loss && payload.is_some() {
+            stats.reports_lost += 1;
+            payload = None;
+        }
         let lost = payload.is_none();
+        let mut packets_out = payload.unwrap_or_default();
+        // Checksum the payload as sent, then apply any injected wire
+        // corruption *after* — the coordinator's recompute catches it.
+        let checksum = payload_checksum(label, seq_base, &packets_out);
+        if let Some(mode) = wf.corrupt {
+            corrupt_payload(&mut packets_out, mode);
+        }
         let done = WindowDone {
             ap_id,
             label,
             seq_base,
-            packets: payload.unwrap_or_default(),
+            packets: packets_out,
             stats,
             lost,
+            stalled: wf.stall,
+            checksum,
             flush: false,
         };
         let delivered = match tx.try_send(done) {

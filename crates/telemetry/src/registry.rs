@@ -78,6 +78,14 @@ impl Gauge {
         self.0.fetch_add(d, Ordering::Relaxed);
     }
 
+    /// Overwrite with a fractional value scaled to milli-units (the
+    /// registry convention for ratio gauges such as health scores and
+    /// shard imbalance: `0.35` is stored as `350`).
+    #[inline]
+    pub fn set_milli(&self, v: f64) {
+        self.set((v * 1000.0).round() as i64);
+    }
+
     /// Ratchet up to `v` if it exceeds the current value (high-water
     /// marks).
     #[inline]

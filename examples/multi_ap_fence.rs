@@ -12,7 +12,7 @@
 //! ```text
 //! cargo run --release --example multi_ap_fence [-- --aps 4 --windows 3 --seed 2010 --smoke]
 //!     [--loss 0.1] [--retries 3] [--skew 2] [--churn] [--stream 2]
-//!     [--metrics-out telemetry.prom]
+//!     [--chaos 6] [--metrics-out telemetry.prom]
 //! ```
 //!
 //! Degraded-mode knobs: `--loss R` runs the worker report links at drop
@@ -26,6 +26,17 @@
 //! claims (used by CI, with and without the degraded knobs) and exits
 //! non-zero on failure.
 //!
+//! `--chaos SEED` attaches the canonical scripted fault schedule
+//! ([`sa_deploy::faults::FaultPlan::scripted`]) — one AP turns
+//! byzantine (+15° on every bearing), the rest draw wire corruption,
+//! burst report loss, worker stalls, or clock-drift onset — and arms
+//! the AP health layer ([`sa_deploy::HealthConfig::enabled`]). The run
+//! ends with a per-AP health summary (scores, quarantines, fault
+//! counters); under `--smoke` it asserts the byzantine AP was
+//! quarantined and the headline claims still hold on the surviving
+//! fleet. Use `--windows 10` or more so the scripted onsets (window
+//! 4+) and the quarantine response both land before the attack window.
+//!
 //! `--metrics-out PATH` turns the full telemetry surface on
 //! (`TelemetryConfig::full()`): the run writes its Prometheus text
 //! exposition to `PATH` and the JSON snapshot to `PATH.json`, prints
@@ -38,7 +49,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sa_channel::geom::pt;
 use sa_channel::pattern::TxAntenna;
-use sa_deploy::{ApSkew, DeployConfig, Deployment, LinkConfig, TelemetryConfig, Transmission};
+use sa_deploy::faults::{FaultEvent, FaultPlan};
+use sa_deploy::{
+    ApSkew, DeployConfig, Deployment, HealthConfig, LinkConfig, TelemetryConfig, Transmission,
+};
 use sa_testbed::Testbed;
 use secureangle::fence::{FenceConfig, VirtualFence};
 
@@ -60,6 +74,7 @@ fn main() {
     let skew: i64 = arg("--skew").and_then(|s| s.parse().ok()).unwrap_or(0);
     let churn = flag("--churn");
     let stream: usize = arg("--stream").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let chaos: Option<u64> = arg("--chaos").and_then(|s| s.parse().ok());
     let smoke = flag("--smoke");
     let metrics_out = arg("--metrics-out");
     let victim = 5usize;
@@ -76,6 +91,15 @@ fn main() {
             skew,
             if churn { "on" } else { "off" }
         );
+    }
+    // --chaos: the canonical scripted fault schedule, plus the health
+    // layer that is supposed to absorb it.
+    let fault_plan = chaos.map(|s| FaultPlan::scripted(n_aps, s));
+    if let Some(plan) = &fault_plan {
+        println!("chaos mode: scripted fault plan (seed {})", plan.seed);
+        for e in &plan.events {
+            println!("  {:?}", e);
+        }
     }
 
     let tb = Testbed::deployment(n_aps, seed);
@@ -171,6 +195,12 @@ fn main() {
         },
         max_skew_windows: skew.unsigned_abs().max(2),
         windows_in_flight: stream.max(1),
+        faults: fault_plan.clone(),
+        health: if chaos.is_some() {
+            HealthConfig::enabled()
+        } else {
+            HealthConfig::default()
+        },
         telemetry: if metrics_out.is_some() {
             TelemetryConfig::full()
         } else {
@@ -237,8 +267,11 @@ fn main() {
     // Steady-state survey (last all-legitimate window).
     let survey = &fused[fused.len() - 2];
     println!(
-        "\nwindow {} (steady state): fused fixes vs truth",
-        survey.window
+        "\nwindow {} (steady state): fused fixes vs truth ({}/{} APs reporting, {} quarantined)",
+        survey.window,
+        survey.expected_aps - survey.lost_reports - survey.stalled_aps,
+        survey.expected_aps,
+        survey.quarantined_aps
     );
     let mut within_3m = 0usize;
     let mut fixed = 0usize;
@@ -318,6 +351,31 @@ fn main() {
         }
     }
 
+    // Post-run health summary: where every AP's score ended up and who
+    // sat in quarantine when the run closed.
+    let quarantined_now = deployment.quarantined_aps();
+    let byz_quarantined = fault_plan.as_ref().is_none_or(|plan| {
+        plan.events.iter().all(|e| match *e {
+            FaultEvent::ByzantineBias { ap, .. } => quarantined_now.contains(&ap),
+            _ => true,
+        })
+    });
+    if chaos.is_some() {
+        println!("\nAP health summary:");
+        for k in 0..n_aps {
+            println!(
+                "  ap{}: score {:.2}{}",
+                k,
+                deployment.health_score(k),
+                if quarantined_now.contains(&k) {
+                    "  QUARANTINED"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
     // Report.
     let (report, aps) = deployment.finish();
     println!("\ndeployment report:");
@@ -354,6 +412,17 @@ fn main() {
         println!(
             "  churn: {} added, {} removed, {} worker losses",
             report.metrics.aps_added, report.metrics.aps_removed, report.metrics.worker_losses
+        );
+    }
+    if chaos.is_some() {
+        println!(
+            "  self-healing: {} quarantines / {} re-admissions / {} watchdog reaps; \
+             {} corrupt reports rejected, {} stalled windows",
+            report.metrics.aps_quarantined,
+            report.metrics.aps_readmitted,
+            report.metrics.watchdog_reaps,
+            report.metrics.reports_corrupt,
+            report.metrics.windows_stalled
         );
     }
     for (k, s) in report.per_ap.iter().enumerate() {
@@ -448,16 +517,21 @@ fn main() {
         let ok_fixes = 10 * within_3m >= 9 * survey.clients.len();
         let expected_windows = n_windows.max(2) + u64::from(churn);
         let ok_windows = report.metrics.windows == expected_windows;
+        // Under --chaos the byzantine AP must have been caught: at
+        // least one quarantine event, and every scripted liar still
+        // quarantined when the run closed.
+        let chaos_ok = chaos.is_none() || (report.metrics.aps_quarantined >= 1 && byz_quarantined);
         if !(ok_fixes
             && spoof_caught
             && outsider_outside
             && ok_windows
             && telemetry_ok
-            && explain_ok)
+            && explain_ok
+            && chaos_ok)
         {
             eprintln!(
-                "SMOKE FAILED: fixes_ok={} spoof_caught={} outsider_outside={} windows_ok={} telemetry_ok={} explain_ok={}",
-                ok_fixes, spoof_caught, outsider_outside, ok_windows, telemetry_ok, explain_ok
+                "SMOKE FAILED: fixes_ok={} spoof_caught={} outsider_outside={} windows_ok={} telemetry_ok={} explain_ok={} chaos_ok={}",
+                ok_fixes, spoof_caught, outsider_outside, ok_windows, telemetry_ok, explain_ok, chaos_ok
             );
             std::process::exit(1);
         }

@@ -356,7 +356,7 @@ fn degraded_deployment_still_meets_the_bar() {
         max_skew_windows: 2,
         ..DeployConfig::default()
     };
-    let a = run_deployment_with(cfg, Some(test_skews()));
+    let a = run_deployment_with(cfg.clone(), Some(test_skews()));
 
     // ---- byte-determinism under loss + skew. --------------------------
     let b = run_deployment_with(cfg, Some(test_skews()));
